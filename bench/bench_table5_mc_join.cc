@@ -1,0 +1,142 @@
+// Table V: multi-column join discovery — true/false positives, precision and
+// runtime of BLEND's MC seeker vs MATE on two composite-key lakes standing in
+// for DWTC and German Open Data.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "baselines/mate.h"
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "lakegen/mc_lake.h"
+
+using namespace blend;
+
+namespace {
+
+lakegen::McLake* g_lake = nullptr;
+core::Blend* g_blend = nullptr;
+baselines::Mate* g_mate = nullptr;
+std::vector<std::vector<std::string>>* g_tuples = nullptr;
+
+void BM_BlendMc(benchmark::State& state) {
+  for (auto _ : state) {
+    core::MCSeeker mc(*g_tuples, 10);
+    benchmark::DoNotOptimize(mc.Execute(g_blend->context(), "").ok());
+  }
+}
+void BM_Mate(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g_mate->TopK(*g_tuples, 10, nullptr).size());
+  }
+}
+BENCHMARK(BM_BlendMc)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Mate)->Unit(benchmark::kMillisecond);
+
+struct CaseResult {
+  size_t tp = 0, fp = 0, candidates = 0;
+  double seconds = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  struct LakeCase {
+    std::string name;
+    lakegen::McLakeSpec spec;
+  };
+  std::vector<LakeCase> cases;
+  {
+    LakeCase c;
+    c.name = "dwtc-like";
+    c.spec.name = c.name;
+    c.spec.num_tables = 500;
+    c.spec.rows_min = 80;
+    c.spec.rows_max = 200;
+    c.spec.seed = 55;
+    cases.push_back(std::move(c));
+  }
+  {
+    LakeCase c;
+    c.name = "opendata-like";
+    c.spec.name = c.name;
+    c.spec.num_tables = 150;
+    c.spec.pairs_per_domain = 300;
+    c.spec.seed = 56;
+    cases.push_back(std::move(c));
+  }
+
+  // google-benchmark fixture on the first lake.
+  auto gb_lake = lakegen::MakeMcLake(cases[0].spec);
+  core::Blend gb_blend(&gb_lake.lake);
+  baselines::Mate gb_mate(&gb_lake.lake);
+  Rng gb_rng(1);
+  auto gb_tuples = lakegen::MakeMcQuery(cases[0].spec, 0, 12, &gb_rng);
+  g_lake = &gb_lake;
+  g_blend = &gb_blend;
+  g_mate = &gb_mate;
+  g_tuples = &gb_tuples;
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  TablePrinter tp({"Lake", "System", "TP", "FP", "Precision", "candidate rows",
+                   "avg runtime"});
+  for (const auto& c : cases) {
+    auto mc_lake = lakegen::MakeMcLake(c.spec);
+    core::Blend blend(&mc_lake.lake);
+    baselines::Mate mate(&mc_lake.lake);
+
+    CaseResult blend_res, mate_res;
+    const int queries = 15;
+    Rng rng(c.spec.seed + 7);
+    double speedup_checks = 0;
+    for (int q = 0; q < queries; ++q) {
+      int domain = q % static_cast<int>(c.spec.num_pair_domains);
+      auto tuples = lakegen::MakeMcQuery(c.spec, domain, 15 + rng.Uniform(10), &rng);
+
+      StopWatch sw;
+      core::MCSeeker mc(tuples, 10);
+      auto blend_out = mc.Execute(blend.context(), "");
+      blend_res.seconds += sw.ElapsedSeconds();
+      if (blend_out.ok()) {
+        blend_res.tp += mc.last_stats().true_positives;
+        blend_res.fp += mc.last_stats().false_positives;
+        blend_res.candidates += mc.last_stats().candidate_rows;
+      }
+
+      sw.Reset();
+      baselines::Mate::Stats stats;
+      auto mate_out = mate.TopK(tuples, 10, &stats);
+      mate_res.seconds += sw.ElapsedSeconds();
+      mate_res.tp += stats.true_positives;
+      mate_res.fp += stats.false_positives;
+      mate_res.candidates += stats.candidate_rows;
+
+      // Both systems have 100% recall (bloom-filter character): same tables.
+      if (blend_out.ok() && core::IdSet(blend_out.value()) == core::IdSet(mate_out)) {
+        speedup_checks += 1;
+      }
+    }
+    auto precision = [](const CaseResult& r) {
+      size_t total = r.tp + r.fp;
+      return total == 0 ? 0.0 : static_cast<double>(r.tp) / static_cast<double>(total);
+    };
+    tp.AddRow({c.name, "BLEND", std::to_string(blend_res.tp),
+               std::to_string(blend_res.fp), TablePrinter::Pct(precision(blend_res)),
+               std::to_string(blend_res.candidates),
+               bench::FmtSeconds(blend_res.seconds / queries)});
+    tp.AddRow({c.name, "MATE", std::to_string(mate_res.tp),
+               std::to_string(mate_res.fp), TablePrinter::Pct(precision(mate_res)),
+               std::to_string(mate_res.candidates),
+               bench::FmtSeconds(mate_res.seconds / queries)});
+    std::printf("[%s] top-k agreement between BLEND and MATE: %.0f/%d queries\n",
+                c.name.c_str(), speedup_checks, queries);
+  }
+  std::printf("\n%s", tp.Render("Table V: MC join precision, BLEND vs MATE").c_str());
+  std::printf("Paper shape: identical TP sets (recall 100%% for both); BLEND's\n"
+              "SQL join filters far more candidate rows, so it validates fewer\n"
+              "false rows and runs faster.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Table VI: union search quality — P@k, Recall@k and MAP@k of BLEND's native
+// union plan vs Starmie at k = 10, 20, 50, 100. Groups are large (like TUS)
+// so the large-k rows are meaningful.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "baselines/starmie.h"
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "eval/metrics.h"
+#include "lakegen/union_lake.h"
+
+using namespace blend;
+
+namespace {
+
+void BM_UnionQualityQuery(benchmark::State& state) {
+  static lakegen::UnionLake* ul = [] {
+    lakegen::UnionLakeSpec spec;
+    spec.num_groups = 6;
+    spec.seed = 3;
+    return new lakegen::UnionLake(lakegen::MakeUnionLake(spec));
+  }();
+  static core::Blend* blend = new core::Blend(&ul->lake);
+  const Table& q = ul->lake.table(ul->query_tables[0]);
+  for (auto _ : state) {
+    core::Plan plan;
+    (void)core::tasks::AddUnionSearch(&plan, q, 10, 100);
+    benchmark::DoNotOptimize(blend->Run(plan).ok());
+  }
+}
+BENCHMARK(BM_UnionQualityQuery)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  lakegen::UnionLakeSpec spec;
+  spec.name = "tus-quality";
+  spec.num_groups = 10;
+  spec.group_size_min = 40;
+  spec.group_size_max = 60;
+  spec.rows_min = 20;
+  spec.rows_max = 45;
+  spec.noise_tables = 200;
+  spec.semantic_frac = 0.2;
+  spec.semantic_frac_alt = 0.85;  // semantic-heavy topic areas
+  spec.alt_group_frac = 0.4;
+  spec.tag_noise = 0.12;  // the embedding model's error rate
+  spec.seed = 61;
+  auto ul = lakegen::MakeUnionLake(spec);
+  core::Blend blend(&ul.lake);
+  baselines::Starmie starmie(&ul.lake);
+
+  const std::vector<size_t> ks = {10, 20, 50, 100};
+  const int queries = 10;
+  std::vector<std::vector<double>> p_b(ks.size()), r_b(ks.size()), m_b(ks.size()),
+      p_s(ks.size()), r_s(ks.size()), m_s(ks.size());
+
+  for (int g = 0; g < queries; ++g) {
+    TableId query_id = ul.query_tables[static_cast<size_t>(g)];
+    const Table& query = ul.lake.table(query_id);
+    std::unordered_set<int32_t> relevant;
+    for (TableId t : ul.groups[static_cast<size_t>(g)]) {
+      if (t != query_id) relevant.insert(t);
+    }
+
+    core::Plan plan;
+    (void)core::tasks::AddUnionSearch(&plan, query, 101, 300);
+    auto blend_out = blend.Run(plan).ValueOrDie();
+    auto starmie_out = starmie.TopK(query, 101, query_id, 400);
+
+    auto strip_self = [&](const core::TableList& l) {
+      std::vector<int32_t> ids;
+      for (const auto& e : l) {
+        if (e.table != query_id) ids.push_back(e.table);
+      }
+      return ids;
+    };
+    auto b_ids = strip_self(blend_out);
+    auto s_ids = strip_self(starmie_out);
+    for (size_t i = 0; i < ks.size(); ++i) {
+      p_b[i].push_back(eval::PrecisionAtK(b_ids, relevant, ks[i]));
+      r_b[i].push_back(eval::RecallAtK(b_ids, relevant, ks[i]));
+      m_b[i].push_back(eval::AveragePrecisionAtK(b_ids, relevant, ks[i]));
+      p_s[i].push_back(eval::PrecisionAtK(s_ids, relevant, ks[i]));
+      r_s[i].push_back(eval::RecallAtK(s_ids, relevant, ks[i]));
+      m_s[i].push_back(eval::AveragePrecisionAtK(s_ids, relevant, ks[i]));
+    }
+  }
+
+  TablePrinter tp({"k", "P@k BLEND", "Recall BLEND", "MAP BLEND", "P@k STARMIE",
+                   "Recall STARMIE", "MAP STARMIE"});
+  for (size_t i = 0; i < ks.size(); ++i) {
+    tp.AddRow({std::to_string(ks[i]), TablePrinter::Pct(eval::Mean(p_b[i])),
+               TablePrinter::Pct(eval::Mean(r_b[i])),
+               TablePrinter::Pct(eval::Mean(m_b[i])),
+               TablePrinter::Pct(eval::Mean(p_s[i])),
+               TablePrinter::Pct(eval::Mean(r_s[i])),
+               TablePrinter::Pct(eval::Mean(m_s[i]))});
+  }
+  std::printf("\n%s", tp.Render("Table VI: union search quality, BLEND vs "
+                                "Starmie").c_str());
+  std::printf("Paper shape: Starmie leads at k=10 (semantic members lack overlap),\n"
+              "parity around k=20, BLEND ahead at k=50/100 (embedding noise "
+              "pollutes\nthe deep ranking while exact overlap counting stays "
+              "precise).\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Table VII: correlation discovery — P@10/R@10 and runtime of BLEND (default
+// convenience sampling), BLEND (rand) (rows pre-shuffled at indexing time) and
+// the QCR sketch baseline, on numeric-key-allowed ("NYC (All)") and
+// categorical-key ("NYC (Cat.)") query sets. Ground truth is the exact
+// Pearson top-10 computed from the raw lake.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "baselines/qcr_sketch.h"
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "eval/metrics.h"
+#include "lakegen/correlation_lake.h"
+#include "lakegen/workloads.h"
+
+using namespace blend;
+
+namespace {
+
+core::Blend* g_blend = nullptr;
+lakegen::CorrQuery* g_query = nullptr;
+baselines::QcrSketchIndex* g_qcr = nullptr;
+
+void BM_BlendCorrelation(benchmark::State& state) {
+  for (auto _ : state) {
+    core::CorrelationSeeker seeker(g_query->keys, g_query->targets, 10, 256);
+    benchmark::DoNotOptimize(seeker.Execute(g_blend->context(), "").ok());
+  }
+}
+void BM_QcrBaseline(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g_qcr->TopK(g_query->keys, g_query->targets, 10).size());
+  }
+}
+BENCHMARK(BM_BlendCorrelation)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_QcrBaseline)->Unit(benchmark::kMillisecond);
+
+struct SystemScore {
+  std::vector<double> p, r;
+  double seconds = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lakegen::CorrLakeSpec spec;
+  spec.name = "nyc-like";
+  spec.num_tables = 250;
+  spec.numeric_key_frac = 0.4;
+  spec.keys_per_table_min = 80;
+  spec.keys_per_table_max = 150;
+  spec.run_min = 4;  // long duplicate runs: the convenience-sampling hazard
+  spec.run_max = 9;  // (sorted layout => RowId<h sees few distinct keys)
+  spec.seed = 91;
+  auto corr = lakegen::MakeCorrLake(spec);
+
+  core::Blend blend(&corr.lake);  // convenience sampling (RowId order)
+  core::Blend::Options rand_opts;
+  rand_opts.shuffle_rows = true;  // BLEND (rand)
+  core::Blend blend_rand(&corr.lake, rand_opts);
+  baselines::QcrSketchIndex qcr(&corr.lake, 256);
+
+  // google-benchmark fixture.
+  Rng gb_rng(7);
+  auto gb_query = lakegen::MakeCorrQuery(spec, 0, false, 60, &gb_rng);
+  g_blend = &blend;
+  g_query = &gb_query;
+  g_qcr = &qcr;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  TablePrinter tp({"Benchmark", "System", "P@10", "R@10", "avg runtime"});
+  for (bool all_keys : {true, false}) {
+    const char* bench_name = all_keys ? "NYC (All)" : "NYC (Cat.)";
+    SystemScore s_blend, s_rand, s_qcr;
+    const int queries = 20;
+    Rng rng(all_keys ? 101 : 102);
+    for (int q = 0; q < queries; ++q) {
+      int domain = q % static_cast<int>(spec.num_key_domains);
+      // NYC (All): join keys may be numeric; NYC (Cat.): categorical only.
+      bool numeric = all_keys && (q % 2 == 0);
+      auto query = lakegen::MakeCorrQuery(spec, domain, numeric, 60, &rng);
+
+      auto gt = lakegen::ExactCorrelationTopK(corr.lake, query.keys, query.targets,
+                                              10);
+      std::unordered_set<int32_t> relevant;
+      for (const auto& e : gt) relevant.insert(e.table);
+      if (relevant.empty()) continue;
+
+      auto score = [&](SystemScore* s, const core::TableList& out) {
+        auto ids = core::IdsOf(out);
+        s->p.push_back(eval::PrecisionAtK(ids, relevant, 10,
+                                          /*penalize_missing=*/true));
+        s->r.push_back(eval::RecallAtK(ids, relevant, 10));
+      };
+
+      StopWatch sw;
+      core::CorrelationSeeker seeker(query.keys, query.targets, 10, 256);
+      auto out = seeker.Execute(blend.context(), "").ValueOrDie();
+      s_blend.seconds += sw.ElapsedSeconds();
+      score(&s_blend, out);
+
+      sw.Reset();
+      core::CorrelationSeeker seeker_rand(query.keys, query.targets, 10, 256);
+      auto out_rand = seeker_rand.Execute(blend_rand.context(), "").ValueOrDie();
+      s_rand.seconds += sw.ElapsedSeconds();
+      score(&s_rand, out_rand);
+
+      sw.Reset();
+      auto out_qcr = qcr.TopK(query.keys, query.targets, 10);
+      s_qcr.seconds += sw.ElapsedSeconds();
+      score(&s_qcr, out_qcr);
+    }
+    auto row = [&](const char* system, const SystemScore& s) {
+      tp.AddRow({bench_name, system, TablePrinter::Pct(eval::Mean(s.p)),
+                 TablePrinter::Pct(eval::Mean(s.r)),
+                 bench::FmtSeconds(s.seconds / queries)});
+    };
+    row("BLEND", s_blend);
+    row("BLEND (rand)", s_rand);
+    row("Baseline (QCR)", s_qcr);
+  }
+  std::printf("\n%s", tp.Render("Table VII: correlation discovery (h=256, "
+                                "k=10)").c_str());
+  std::printf("Paper shape: the QCR baseline collapses on NYC (All) (numeric join\n"
+              "keys are not indexed); BLEND (rand) beats vanilla BLEND because the\n"
+              "pre-shuffled layout makes the RowId<h sample representative.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Quickstart: the paper's running example (Fig. 1 / Example 1).
+//
+// A user table S lists departments and their heads; most heads are missing.
+// The user knows the head of IT, "Tom Riddle", has left, so any lake table
+// containing the row ("IT", "Tom Riddle") is outdated. The discovery task:
+//
+//   find the top-1 table that contains ("HR", "Firenze") in a row, overlaps
+//   the department column, and does NOT contain ("IT", "Tom Riddle").
+//
+// Expected answer: T3 (the 2024 leads table).
+
+#include <cstdio>
+
+#include "core/blend.h"
+#include "lakegen/workloads.h"
+
+using blend::core::Blend;
+using blend::core::DifferenceCombiner;
+using blend::core::IntersectCombiner;
+using blend::core::MCSeeker;
+using blend::core::Plan;
+using blend::core::SCSeeker;
+
+int main() {
+  // The lake: T1 (team sizes), T2 (2022 leads, outdated), T3 (2024 leads).
+  auto fig1 = blend::lakegen::MakeFig1Lake();
+  std::printf("Lake '%s' with %zu tables, %zu cells\n",
+              fig1.lake.name().c_str(), fig1.lake.NumTables(),
+              fig1.lake.TotalCells());
+
+  // Offline phase: build the unified AllTables index.
+  Blend blend(&fig1.lake);
+  std::printf("AllTables index: %zu records, %zu distinct values, %zu bytes\n\n",
+              blend.bundle().NumRecords(), blend.bundle().dictionary().Size(),
+              blend.IndexBytes());
+
+  // The find_dep_heads plan of the paper's Fig. 2a.
+  Plan plan;
+  std::vector<std::vector<std::string>> positive = {{"HR", "Firenze"}};
+  std::vector<std::vector<std::string>> negative = {{"IT", "Tom Riddle"}};
+  std::vector<std::string> departments = {"HR", "Marketing", "Finance",
+                                          "IT",  "R&D",      "Sales"};
+  (void)plan.Add("P_examples", std::make_shared<MCSeeker>(positive, 10));
+  (void)plan.Add("N_examples", std::make_shared<MCSeeker>(negative, 10));
+  (void)plan.Add("exclude", std::make_shared<DifferenceCombiner>(10),
+                 {"P_examples", "N_examples"});
+  (void)plan.Add("dep", std::make_shared<SCSeeker>(departments, 10));
+  (void)plan.Add("intersect", std::make_shared<IntersectCombiner>(1),
+                 {"exclude", "dep"});
+
+  // Show what a seeker compiles to.
+  SCSeeker sc(departments, 10);
+  std::printf("SC seeker SQL:\n  %s\n\n", sc.GenerateSql("$REWRITE$", 10).c_str());
+
+  // Online phase: optimize and execute.
+  auto report = blend.RunReport(plan).ValueOrDie();
+  std::printf("Optimized execution order:\n");
+  for (const auto& step : report.executed_plan.steps) {
+    const char* rw = "";
+    if (step.rewrite.kind == blend::core::RewriteSpec::Kind::kIn) rw = "  [TableId IN]";
+    if (step.rewrite.kind == blend::core::RewriteSpec::Kind::kNotIn) {
+      rw = "  [TableId NOT IN]";
+    }
+    std::printf("  %-12s%s\n", step.node.c_str(), rw);
+  }
+
+  std::printf("\nIntermediates:\n");
+  for (const char* node : {"P_examples", "N_examples", "exclude", "dep"}) {
+    std::printf("  %-12s -> %s\n", node,
+                ToString(report.node_outputs.at(node), &fig1.lake).c_str());
+  }
+
+  std::printf("\nTop-1 answer: %s\n",
+              ToString(report.output, &fig1.lake).c_str());
+  std::printf("Expected:     T3 (the up-to-date 2024 leads table)\n");
+  return report.output.size() == 1 && report.output[0].table == fig1.t3 ? 0 : 1;
+}

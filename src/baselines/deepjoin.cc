@@ -1,0 +1,38 @@
+#include "baselines/deepjoin.h"
+
+#include <unordered_map>
+
+namespace blend::baselines {
+
+DeepJoin::DeepJoin(const DataLake* lake, double semantic_weight)
+    : semantic_weight_(semantic_weight), index_(lake, semantic_weight) {}
+
+core::TableList DeepJoin::TopK(const std::vector<std::string>& query_column, int k,
+                               size_t per_query_candidates) const {
+  Column col;
+  col.name = "q";
+  col.cells = query_column;
+  // The query column carries no oracle tag; the encoder sees tokens only —
+  // like a PLM embedding raw query values.
+  col.domain_tag = -1;
+  return TopK(col, k, per_query_candidates);
+}
+
+core::TableList DeepJoin::TopK(const Column& query_column, int k,
+                               size_t per_query_candidates) const {
+  Embedding q = EmbedColumn(query_column, semantic_weight_);
+  auto neighbors = index_.TopKColumns(q, per_query_candidates);
+  std::unordered_map<TableId, double> best;
+  for (const auto& n : neighbors) {
+    auto& b = best[n.entry->table];
+    if (n.score > b) b = n.score;
+  }
+  core::TableList out;
+  out.reserve(best.size());
+  for (const auto& [t, s] : best) out.push_back({t, s});
+  core::SortDesc(&out);
+  core::TruncateK(&out, k);
+  return out;
+}
+
+}  // namespace blend::baselines

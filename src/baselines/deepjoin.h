@@ -1,0 +1,32 @@
+#pragma once
+
+#include "baselines/embedding.h"
+
+namespace blend::baselines {
+
+/// Simulation of DeepJoin (Dong et al., VLDB'23): joinable-table discovery
+/// via column embeddings and ANN search. The PLM encoder is replaced by the
+/// domain-tag oracle embedding; the per-query work is a single embedding plus
+/// an ANN probe, which is what gives DeepJoin its runtime edge in Fig. 6.
+class DeepJoin {
+ public:
+  explicit DeepJoin(const DataLake* lake, double semantic_weight = 0.8);
+
+  /// Top-k tables with a column semantically joinable with the query column.
+  /// Raw value lists embed from tokens only (like a PLM embedding raw text).
+  core::TableList TopK(const std::vector<std::string>& query_column, int k,
+                       size_t per_query_candidates = 200) const;
+
+  /// Overload for query columns taken from a (tagged) table, giving the
+  /// encoder the semantic signal a fine-tuned PLM would extract.
+  core::TableList TopK(const Column& query_column, int k,
+                       size_t per_query_candidates = 200) const;
+
+  size_t IndexBytes() const { return index_.IndexBytes(); }
+
+ private:
+  double semantic_weight_;
+  ColumnEmbeddingIndex index_;
+};
+
+}  // namespace blend::baselines

@@ -1,0 +1,162 @@
+#include "baselines/embedding.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/hashing.h"
+#include "common/str_util.h"
+
+namespace blend::baselines {
+
+namespace {
+
+void Normalize(Embedding* e) {
+  double norm = 0;
+  for (float v : *e) norm += static_cast<double>(v) * v;
+  norm = std::sqrt(norm);
+  if (norm < 1e-12) {
+    (*e)[0] = 1.0f;
+    return;
+  }
+  for (float& v : *e) v = static_cast<float>(v / norm);
+}
+
+Embedding HashDirection(uint64_t seed) {
+  Embedding e{};
+  uint64_t s = seed;
+  for (int i = 0; i < kEmbedDim; ++i) {
+    s = Mix64(s + 0x9E37u);
+    // Map to roughly N(0,1) via sum of two uniforms - 1.
+    double u1 = static_cast<double>(s >> 11) / 9007199254740992.0;
+    s = Mix64(s);
+    double u2 = static_cast<double>(s >> 11) / 9007199254740992.0;
+    e[i] = static_cast<float>(u1 + u2 - 1.0);
+  }
+  Normalize(&e);
+  return e;
+}
+
+}  // namespace
+
+Embedding EmbedColumn(const Column& column, double semantic_weight) {
+  // Token feature vector: hashed bag of (up to) the first 64 distinct tokens.
+  Embedding tokens{};
+  std::unordered_set<std::string> seen;
+  for (const auto& cell : column.cells) {
+    std::string n = NormalizeCell(cell);
+    if (n.empty() || !seen.insert(n).second) continue;
+    Embedding d = HashDirection(Fnv1a64(n));
+    for (int i = 0; i < kEmbedDim; ++i) tokens[i] += d[i];
+    if (seen.size() >= 64) break;
+  }
+  Normalize(&tokens);
+
+  Embedding out{};
+  if (column.domain_tag >= 0) {
+    Embedding dir = HashDirection(0xD00D0000ULL + static_cast<uint64_t>(column.domain_tag));
+    for (int i = 0; i < kEmbedDim; ++i) {
+      out[i] = static_cast<float>(semantic_weight * dir[i] +
+                                  (1.0 - semantic_weight) * tokens[i]);
+    }
+  } else {
+    out = tokens;
+  }
+  Normalize(&out);
+  return out;
+}
+
+double Cosine(const Embedding& a, const Embedding& b) {
+  double dot = 0;
+  for (int i = 0; i < kEmbedDim; ++i) dot += static_cast<double>(a[i]) * b[i];
+  return dot;  // inputs are unit vectors
+}
+
+ColumnEmbeddingIndex::ColumnEmbeddingIndex(const DataLake* lake,
+                                           double semantic_weight,
+                                           size_t num_clusters) {
+  for (TableId t = 0; t < static_cast<TableId>(lake->NumTables()); ++t) {
+    const Table& table = lake->table(t);
+    for (size_t c = 0; c < table.NumColumns(); ++c) {
+      entries_.push_back({t, static_cast<int32_t>(c),
+                          EmbedColumn(table.column(c), semantic_weight)});
+    }
+  }
+  if (entries_.empty()) return;
+
+  if (num_clusters == 0) {
+    num_clusters = static_cast<size_t>(std::sqrt(static_cast<double>(entries_.size())));
+  }
+  num_clusters = std::max<size_t>(1, std::min(num_clusters, entries_.size()));
+
+  // Deterministic k-means: seed centroids with evenly spaced entries.
+  centroids_.resize(num_clusters);
+  for (size_t c = 0; c < num_clusters; ++c) {
+    centroids_[c] = entries_[c * entries_.size() / num_clusters].embedding;
+  }
+  std::vector<uint32_t> assignment(entries_.size(), 0);
+  for (int iter = 0; iter < 5; ++iter) {
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      double best = -2;
+      uint32_t best_c = 0;
+      for (size_t c = 0; c < num_clusters; ++c) {
+        double s = Cosine(entries_[i].embedding, centroids_[c]);
+        if (s > best) {
+          best = s;
+          best_c = static_cast<uint32_t>(c);
+        }
+      }
+      assignment[i] = best_c;
+    }
+    std::vector<Embedding> sums(num_clusters, Embedding{});
+    std::vector<size_t> counts(num_clusters, 0);
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      for (int d = 0; d < kEmbedDim; ++d) {
+        sums[assignment[i]][d] += entries_[i].embedding[d];
+      }
+      ++counts[assignment[i]];
+    }
+    for (size_t c = 0; c < num_clusters; ++c) {
+      if (counts[c] == 0) continue;
+      Normalize(&sums[c]);
+      centroids_[c] = sums[c];
+    }
+  }
+  clusters_.assign(num_clusters, {});
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    clusters_[assignment[i]].push_back(static_cast<uint32_t>(i));
+  }
+}
+
+std::vector<ColumnEmbeddingIndex::Neighbor> ColumnEmbeddingIndex::TopKColumns(
+    const Embedding& query, size_t k, size_t nprobe) const {
+  // Rank centroids, probe the nearest nprobe clusters.
+  std::vector<std::pair<double, size_t>> ranked;
+  ranked.reserve(centroids_.size());
+  for (size_t c = 0; c < centroids_.size(); ++c) {
+    ranked.emplace_back(Cosine(query, centroids_[c]), c);
+  }
+  std::sort(ranked.begin(), ranked.end(), std::greater<>());
+
+  std::vector<Neighbor> out;
+  for (size_t p = 0; p < ranked.size() && p < nprobe; ++p) {
+    for (uint32_t id : clusters_[ranked[p].second]) {
+      out.push_back({&entries_[id], Cosine(query, entries_[id].embedding)});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.entry->table != b.entry->table) return a.entry->table < b.entry->table;
+    return a.entry->column < b.entry->column;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+size_t ColumnEmbeddingIndex::IndexBytes() const {
+  size_t bytes = entries_.size() * sizeof(Entry) + centroids_.size() * sizeof(Embedding);
+  for (const auto& c : clusters_) bytes += c.size() * sizeof(uint32_t);
+  return bytes;
+}
+
+}  // namespace blend::baselines

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/result.h"
+#include "storage/data_lake.h"
+
+namespace blend::baselines {
+
+/// Dimensionality of the simulated column embeddings.
+constexpr int kEmbedDim = 64;
+using Embedding = std::array<float, kEmbedDim>;
+
+/// Simulated contrastive column encoder (substitute for Starmie's trained
+/// model and DeepJoin's PLM; see DESIGN.md §2). A column embeds as the unit
+/// vector of
+///     semantic_weight * direction(domain_tag) + (1 - w) * token_features
+/// where `direction(tag)` is a deterministic unit vector per latent domain
+/// (the role the learned semantics play) and `token_features` is a hashed
+/// bag-of-tokens vector (the syntactic signal). Columns without a domain tag
+/// embed from tokens alone.
+Embedding EmbedColumn(const Column& column, double semantic_weight = 0.8);
+
+/// Cosine similarity of two embeddings.
+double Cosine(const Embedding& a, const Embedding& b);
+
+/// IVF-style approximate nearest neighbour index over all lake columns; the
+/// stand-in for the HNSW index of Starmie/DeepJoin. Columns are clustered by
+/// a deterministic k-means (few Lloyd iterations); a query probes the nearest
+/// `nprobe` clusters only.
+class ColumnEmbeddingIndex {
+ public:
+  struct Entry {
+    TableId table;
+    int32_t column;
+    Embedding embedding;
+  };
+
+  ColumnEmbeddingIndex(const DataLake* lake, double semantic_weight = 0.8,
+                       size_t num_clusters = 0 /* 0 = sqrt(columns) */);
+
+  struct Neighbor {
+    const Entry* entry;
+    double score;
+  };
+
+  /// Approximate top-k columns by cosine similarity.
+  std::vector<Neighbor> TopKColumns(const Embedding& query, size_t k,
+                                    size_t nprobe = 4) const;
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  size_t IndexBytes() const;
+
+ private:
+  std::vector<Entry> entries_;
+  std::vector<Embedding> centroids_;
+  std::vector<std::vector<uint32_t>> clusters_;  // entry ids per centroid
+};
+
+}  // namespace blend::baselines

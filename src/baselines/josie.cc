@@ -1,0 +1,123 @@
+#include "baselines/josie.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/str_util.h"
+
+namespace blend::baselines {
+
+Josie::Josie(const DataLake* lake) : lake_(lake) {
+  for (TableId t = 0; t < static_cast<TableId>(lake->NumTables()); ++t) {
+    const Table& table = lake->table(t);
+    for (size_t c = 0; c < table.NumColumns(); ++c) {
+      ColumnKey key = (static_cast<uint64_t>(static_cast<uint32_t>(t)) << 32) |
+                      static_cast<uint32_t>(c);
+      std::vector<TokenId>& set = column_sets_[key];
+      std::unordered_set<std::string> seen;
+      for (const auto& cell : table.column(c).cells) {
+        std::string n = NormalizeCell(cell);
+        if (n.empty() || !seen.insert(n).second) continue;
+        auto [it, inserted] =
+            token_ids_.emplace(n, static_cast<TokenId>(token_ids_.size()));
+        if (inserted) postings_.emplace_back();
+        postings_[it->second].push_back(key);
+        set.push_back(it->second);
+      }
+      std::sort(set.begin(), set.end());
+    }
+  }
+}
+
+core::TableList Josie::TopK(const std::vector<std::string>& query, int k) const {
+  last_stats_ = QueryStats{};
+
+  // Resolve query tokens and order by increasing posting-list length.
+  std::vector<TokenId> toks;
+  std::unordered_set<std::string> distinct;
+  for (const auto& q : query) {
+    std::string n = NormalizeCell(q);
+    if (n.empty() || !distinct.insert(n).second) continue;
+    auto it = token_ids_.find(n);
+    if (it != token_ids_.end()) toks.push_back(it->second);
+  }
+  std::sort(toks.begin(), toks.end(), [&](TokenId a, TokenId b) {
+    return postings_[a].size() < postings_[b].size();
+  });
+
+  const size_t q = toks.size();
+  std::unordered_map<ColumnKey, uint32_t> partial;
+  partial.reserve(1024);
+
+  size_t processed = 0;
+  bool stopped = false;
+  for (; processed < q; ++processed) {
+    // Early-termination test: the best total any *unseen* candidate can still
+    // reach is the number of unprocessed tokens. If the k-th best partial
+    // count already exceeds it, reading more posting lists cannot surface new
+    // top-k candidates.
+    const size_t remaining = q - processed;
+    if (k > 0 && partial.size() >= static_cast<size_t>(k) && (processed % 4 == 0)) {
+      std::vector<uint32_t> counts;
+      counts.reserve(partial.size());
+      for (const auto& [ck, c] : partial) counts.push_back(c);
+      std::nth_element(counts.begin(), counts.begin() + (k - 1), counts.end(),
+                       std::greater<uint32_t>());
+      if (static_cast<size_t>(counts[static_cast<size_t>(k - 1)]) >= remaining) {
+        stopped = true;
+        break;
+      }
+    }
+    for (ColumnKey ck : postings_[toks[processed]]) {
+      ++partial[ck];
+      ++last_stats_.postings_read;
+    }
+  }
+  last_stats_.early_terminated = stopped;
+
+  // Finish survivors by probing their token sets with the unread suffix.
+  std::unordered_map<ColumnKey, uint32_t> exact;
+  exact.reserve(partial.size());
+  if (stopped) {
+    for (const auto& [ck, c] : partial) {
+      uint32_t total = c;
+      const auto& set = column_sets_.at(ck);
+      ++last_stats_.sets_probed;
+      for (size_t i = processed; i < q; ++i) {
+        if (std::binary_search(set.begin(), set.end(), toks[i])) ++total;
+      }
+      exact[ck] = total;
+    }
+  } else {
+    exact = std::move(partial);
+  }
+
+  // Best column per table.
+  std::unordered_map<TableId, uint32_t> best;
+  for (const auto& [ck, c] : exact) {
+    TableId t = static_cast<TableId>(ck >> 32);
+    auto& b = best[t];
+    if (c > b) b = c;
+  }
+  core::TableList out;
+  out.reserve(best.size());
+  for (const auto& [t, s] : best) out.push_back({t, static_cast<double>(s)});
+  core::SortDesc(&out);
+  core::TruncateK(&out, k);
+  return out;
+}
+
+size_t Josie::IndexBytes() const {
+  size_t bytes = 0;
+  for (const auto& [tok, id] : token_ids_) bytes += tok.size() + sizeof(TokenId);
+  for (const auto& p : postings_) {
+    bytes += sizeof(std::vector<ColumnKey>) + p.size() * sizeof(ColumnKey);
+  }
+  for (const auto& [ck, set] : column_sets_) {
+    bytes += sizeof(ColumnKey) + sizeof(std::vector<TokenId>) +
+             set.size() * sizeof(TokenId);
+  }
+  return bytes;
+}
+
+}  // namespace blend::baselines

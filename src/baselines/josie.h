@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/result.h"
+#include "storage/data_lake.h"
+
+namespace blend::baselines {
+
+/// Reimplementation of JOSIE (Zhu et al., SIGMOD'19): exact top-k overlap set
+/// similarity search for single-column join discovery. Keeps JOSIE's two
+/// index structures — global posting lists and per-column token sets — and
+/// its core pruning idea: process query tokens in increasing frequency order
+/// and stop reading posting lists once no unseen candidate can reach the
+/// current top-k; surviving candidates are finished by probing their token
+/// sets directly (the "read candidate set" path of the paper's cost model).
+class Josie {
+ public:
+  explicit Josie(const DataLake* lake);
+
+  /// Exact top-k tables by the largest distinct-overlap column.
+  core::TableList TopK(const std::vector<std::string>& query, int k) const;
+
+  /// Storage of posting lists + set file (for the Table VIII comparison).
+  size_t IndexBytes() const;
+
+  /// Diagnostics of the last query (posting entries read, sets probed).
+  struct QueryStats {
+    size_t postings_read = 0;
+    size_t sets_probed = 0;
+    bool early_terminated = false;
+  };
+  const QueryStats& last_stats() const { return last_stats_; }
+
+ private:
+  using ColumnKey = uint64_t;  // (table << 32) | column
+  using TokenId = uint32_t;
+
+  const DataLake* lake_;
+  std::unordered_map<std::string, TokenId> token_ids_;
+  std::vector<std::vector<ColumnKey>> postings_;      // by token id
+  std::unordered_map<ColumnKey, std::vector<TokenId>> column_sets_;  // sorted
+  mutable QueryStats last_stats_;
+};
+
+}  // namespace blend::baselines

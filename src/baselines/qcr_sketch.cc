@@ -1,0 +1,156 @@
+#include "baselines/qcr_sketch.h"
+
+#include <algorithm>
+
+#include "common/hashing.h"
+#include "common/str_util.h"
+
+namespace blend::baselines {
+
+namespace {
+
+uint64_t KeyQuadrantHash(const std::string& key, uint8_t quadrant) {
+  return SaltedHash(key, 0x51C7ULL + quadrant);
+}
+
+}  // namespace
+
+std::vector<uint64_t> QcrSketchIndex::BuildSketch(
+    const std::vector<std::string>& keys, const std::vector<uint8_t>& quadrants) const {
+  std::vector<uint64_t> hashes;
+  hashes.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    hashes.push_back(KeyQuadrantHash(keys[i], quadrants[i]));
+  }
+  std::sort(hashes.begin(), hashes.end());
+  hashes.erase(std::unique(hashes.begin(), hashes.end()), hashes.end());
+  if (hashes.size() > static_cast<size_t>(h_)) hashes.resize(static_cast<size_t>(h_));
+  return hashes;
+}
+
+QcrSketchIndex::QcrSketchIndex(const DataLake* lake, int h) : h_(h) {
+  for (TableId t = 0; t < static_cast<TableId>(lake->NumTables()); ++t) {
+    const Table& table = lake->table(t);
+    // Identify categorical and numeric columns.
+    std::vector<size_t> cat_cols, num_cols;
+    for (size_t c = 0; c < table.NumColumns(); ++c) {
+      if (table.column(c).IsNumeric()) {
+        num_cols.push_back(c);
+      } else {
+        cat_cols.push_back(c);
+      }
+    }
+    // Per numeric column: mean, then per-row quadrant bit.
+    std::unordered_map<size_t, std::vector<int8_t>> quad;
+    for (size_t nc : num_cols) {
+      auto mean = table.column(nc).NumericMean();
+      if (!mean.has_value()) continue;
+      auto& qs = quad[nc];
+      qs.resize(table.NumRows(), -1);
+      for (size_t r = 0; r < table.NumRows(); ++r) {
+        auto v = ParseNumeric(table.At(r, nc));
+        if (v.has_value()) qs[r] = (*v >= *mean) ? 1 : 0;
+      }
+    }
+    // Quadratic enumeration of (categorical, numeric) pairs — the storage
+    // characteristic BLEND's single Quadrant column avoids.
+    for (size_t kc : cat_cols) {
+      for (size_t nc : num_cols) {
+        auto it = quad.find(nc);
+        if (it == quad.end()) continue;
+        std::vector<std::string> keys;
+        std::vector<uint8_t> qs;
+        for (size_t r = 0; r < table.NumRows(); ++r) {
+          if (it->second[r] < 0) continue;
+          std::string key = NormalizeCell(table.At(r, kc));
+          if (key.empty()) continue;
+          keys.push_back(std::move(key));
+          qs.push_back(static_cast<uint8_t>(it->second[r]));
+        }
+        if (keys.size() < 3) continue;
+        PairSketch ps;
+        ps.table = t;
+        ps.key_col = static_cast<int32_t>(kc);
+        ps.num_col = static_cast<int32_t>(nc);
+        ps.hashes = BuildSketch(keys, qs);
+        uint32_t id = static_cast<uint32_t>(sketches_.size());
+        for (uint64_t hsh : ps.hashes) inverted_[hsh].push_back(id);
+        sketches_.push_back(std::move(ps));
+      }
+    }
+  }
+}
+
+core::TableList QcrSketchIndex::TopK(const std::vector<std::string>& keys,
+                                     const std::vector<double>& targets,
+                                     int k) const {
+  // Build the query sketches: one assuming positive correlation (quadrant =
+  // target side), one assuming negative (flipped), per the original paper's
+  // dual-run scheme.
+  double mean = 0;
+  size_t n = std::min(keys.size(), targets.size());
+  if (n == 0) return {};
+  for (size_t i = 0; i < n; ++i) mean += targets[i];
+  mean /= static_cast<double>(n);
+
+  std::vector<std::string> norm;
+  std::vector<uint8_t> pos_q, neg_q;
+  for (size_t i = 0; i < n; ++i) {
+    std::string key = NormalizeCell(keys[i]);
+    if (key.empty()) continue;
+    uint8_t q = targets[i] >= mean ? 1 : 0;
+    norm.push_back(std::move(key));
+    pos_q.push_back(q);
+    neg_q.push_back(static_cast<uint8_t>(1 - q));
+  }
+  if (norm.empty()) return {};
+
+  auto score_with = [&](const std::vector<uint8_t>& qs,
+                        std::unordered_map<uint32_t, uint32_t>* overlap) {
+    std::vector<uint64_t> sketch = BuildSketch(norm, qs);
+    for (uint64_t hsh : sketch) {
+      auto it = inverted_.find(hsh);
+      if (it == inverted_.end()) continue;
+      for (uint32_t id : it->second) ++(*overlap)[id];
+    }
+  };
+  std::unordered_map<uint32_t, uint32_t> pos_overlap, neg_overlap;
+  score_with(pos_q, &pos_overlap);
+  score_with(neg_q, &neg_overlap);
+
+  std::unordered_map<TableId, double> best;
+  auto fold = [&](const std::unordered_map<uint32_t, uint32_t>& overlap) {
+    for (const auto& [id, count] : overlap) {
+      const PairSketch& ps = sketches_[id];
+      double denom = static_cast<double>(
+          std::min<size_t>(static_cast<size_t>(h_), ps.hashes.size()));
+      if (denom <= 0) continue;
+      double score = static_cast<double>(count) / denom;
+      auto& b = best[ps.table];
+      if (score > b) b = score;
+    }
+  };
+  fold(pos_overlap);
+  fold(neg_overlap);
+
+  core::TableList out;
+  out.reserve(best.size());
+  for (const auto& [t, s] : best) out.push_back({t, s});
+  core::SortDesc(&out);
+  core::TruncateK(&out, k);
+  return out;
+}
+
+size_t QcrSketchIndex::IndexBytes() const {
+  size_t bytes = 0;
+  for (const auto& ps : sketches_) {
+    bytes += sizeof(PairSketch) + ps.hashes.size() * sizeof(uint64_t);
+  }
+  for (const auto& [hsh, ids] : inverted_) {
+    bytes += sizeof(uint64_t) + sizeof(std::vector<uint32_t>) +
+             ids.size() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+}  // namespace blend::baselines

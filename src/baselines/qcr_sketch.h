@@ -1,0 +1,50 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/result.h"
+#include "storage/data_lake.h"
+
+namespace blend::baselines {
+
+/// Reimplementation of the QCR sketch index (Santos et al., ICDE'22): for
+/// every (categorical column, numeric column) pair of every lake table, hash
+/// each row's (key value, quadrant bit) and keep the h smallest hashes. At
+/// query time the same sketch is built from (join key, target quadrant) and
+/// overlap between bottom-h sketches estimates the concordance fraction,
+/// hence QCR, hence Pearson correlation.
+///
+/// Faithful limitations the paper calls out (§VIII-G): join keys must be
+/// categorical (numeric key columns are not indexed), the sketch size h is
+/// fixed at indexing time, and storage is quadratic in the column pairs.
+class QcrSketchIndex {
+ public:
+  QcrSketchIndex(const DataLake* lake, int h);
+
+  /// Top-k tables by estimated |correlation| of their best column pair.
+  core::TableList TopK(const std::vector<std::string>& keys,
+                       const std::vector<double>& targets, int k) const;
+
+  size_t IndexBytes() const;
+  int h() const { return h_; }
+
+ private:
+  struct PairSketch {
+    TableId table;
+    int32_t key_col;
+    int32_t num_col;
+    std::vector<uint64_t> hashes;  // sorted, ascending, size <= h
+  };
+
+  /// Bottom-h sketch of (key, quadrant) pairs.
+  std::vector<uint64_t> BuildSketch(const std::vector<std::string>& keys,
+                                    const std::vector<uint8_t>& quadrants) const;
+
+  int h_;
+  std::vector<PairSketch> sketches_;
+  /// hash -> sketch ids containing it (inverted, for sub-linear retrieval).
+  std::unordered_map<uint64_t, std::vector<uint32_t>> inverted_;
+};
+
+}  // namespace blend::baselines

@@ -1,0 +1,36 @@
+#include "baselines/starmie.h"
+
+#include <unordered_map>
+
+namespace blend::baselines {
+
+Starmie::Starmie(const DataLake* lake, double semantic_weight)
+    : semantic_weight_(semantic_weight), index_(lake, semantic_weight) {}
+
+core::TableList Starmie::TopK(const Table& query, int k, TableId exclude,
+                              size_t per_column_candidates) const {
+  // Unionability score of a candidate table: sum over query columns of the
+  // best cosine match among the candidate's retrieved columns.
+  std::unordered_map<TableId, std::unordered_map<int32_t, double>> best_per_col;
+  for (size_t c = 0; c < query.NumColumns(); ++c) {
+    Embedding q = EmbedColumn(query.column(c), semantic_weight_);
+    auto neighbors = index_.TopKColumns(q, per_column_candidates);
+    for (const auto& n : neighbors) {
+      if (n.entry->table == exclude) continue;
+      auto& slot = best_per_col[n.entry->table][static_cast<int32_t>(c)];
+      if (n.score > slot) slot = n.score;
+    }
+  }
+  core::TableList out;
+  out.reserve(best_per_col.size());
+  for (const auto& [t, cols] : best_per_col) {
+    double score = 0;
+    for (const auto& [c, s] : cols) score += s;
+    out.push_back({t, score});
+  }
+  core::SortDesc(&out);
+  core::TruncateK(&out, k);
+  return out;
+}
+
+}  // namespace blend::baselines

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <memory>
+
+#include "baselines/embedding.h"
+
+namespace blend::baselines {
+
+/// Simulation of Starmie (Fan et al., VLDB'23): semantics-aware table union
+/// search with contextualized column embeddings and an ANN index. The
+/// contrastive encoder is replaced by the domain-tag oracle embedding and the
+/// HNSW index by the IVF index (DESIGN.md §2); the retrieval pipeline —
+/// embed query columns, ANN-retrieve candidate columns, aggregate best
+/// column matches per candidate table — follows the original.
+class Starmie {
+ public:
+  explicit Starmie(const DataLake* lake, double semantic_weight = 0.8);
+
+  /// Top-k unionable tables for the query table (itself excluded when it is a
+  /// lake member, pass its id in `exclude`).
+  core::TableList TopK(const Table& query, int k, TableId exclude = -1,
+                       size_t per_column_candidates = 200) const;
+
+  size_t IndexBytes() const { return index_.IndexBytes(); }
+
+ private:
+  double semantic_weight_;
+  ColumnEmbeddingIndex index_;
+};
+
+}  // namespace blend::baselines

@@ -1,0 +1,110 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace blend {
+
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& field) {
+  if (!NeedsQuoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Result<CsvData> ParseCsv(const std::string& text) {
+  CsvData data;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool record_has_content = false;
+
+  auto end_field = [&]() {
+    record.push_back(field);
+    field.clear();
+  };
+  auto end_record = [&]() {
+    end_field();
+    if (data.header.empty()) {
+      data.header = record;
+    } else {
+      data.rows.push_back(record);
+    }
+    record.clear();
+    record_has_content = false;
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        record_has_content = true;
+        break;
+      case ',':
+        end_field();
+        record_has_content = true;
+        break;
+      case '\r':
+        break;
+      case '\n':
+        if (record_has_content || !field.empty() || !record.empty()) end_record();
+        break;
+      default:
+        field += c;
+        record_has_content = true;
+    }
+  }
+  if (in_quotes) return Status::ParseError("unterminated quoted CSV field");
+  if (record_has_content || !field.empty() || !record.empty()) end_record();
+  return data;
+}
+
+Result<CsvData> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ParseCsv(ss.str());
+}
+
+std::string WriteCsv(const CsvData& data) {
+  std::string out;
+  auto write_record = [&](const std::vector<std::string>& rec) {
+    for (size_t i = 0; i < rec.size(); ++i) {
+      if (i) out += ',';
+      out += QuoteField(rec[i]);
+    }
+    out += '\n';
+  };
+  write_record(data.header);
+  for (const auto& r : data.rows) write_record(r);
+  return out;
+}
+
+}  // namespace blend

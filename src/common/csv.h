@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace blend {
+
+/// Minimal RFC-4180-ish CSV support for loading user tables in examples and
+/// exporting experiment results. Handles quoted fields with embedded commas,
+/// quotes and newlines.
+struct CsvData {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses CSV text. First record becomes the header.
+Result<CsvData> ParseCsv(const std::string& text);
+
+/// Reads and parses a CSV file.
+Result<CsvData> ReadCsvFile(const std::string& path);
+
+/// Serializes rows to CSV text (quoting where needed).
+std::string WriteCsv(const CsvData& data);
+
+}  // namespace blend

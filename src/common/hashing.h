@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace blend {
+
+/// 64-bit FNV-1a over bytes; stable across platforms and runs.
+uint64_t Fnv1a64(std::string_view s);
+
+/// Strong 64-bit mix (splitmix64 finalizer); used to derive independent hash
+/// families from a base hash.
+uint64_t Mix64(uint64_t x);
+
+/// Combine two hashes (boost-style).
+uint64_t HashCombine(uint64_t a, uint64_t b);
+
+/// Hash of a string with a salt, for simulating independent hash functions.
+uint64_t SaltedHash(std::string_view s, uint64_t salt);
+
+}  // namespace blend

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace blend {
+
+/// Deterministic 64-bit PRNG (splitmix64 seeded xoshiro256**). All randomized
+/// components of the library (lake generation, sampling, workload selection)
+/// draw from an explicitly seeded Rng so experiments are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9E3779B97f4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Standard normal via Box-Muller.
+  double Normal() {
+    double u1 = UniformDouble();
+    double u2 = UniformDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Zipf-distributed rank in [0, n) with exponent s, via rejection-free
+  /// cumulative inversion over a cached table (callers reuse ZipfTable).
+  struct ZipfTable {
+    std::vector<double> cdf;
+  };
+
+  static ZipfTable MakeZipf(size_t n, double s) {
+    ZipfTable t;
+    t.cdf.resize(n);
+    double sum = 0;
+    for (size_t i = 0; i < n; ++i) sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    double acc = 0;
+    for (size_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), s) / sum;
+      t.cdf[i] = acc;
+    }
+    return t;
+  }
+
+  size_t Zipf(const ZipfTable& t) {
+    double u = UniformDouble();
+    // Binary search the CDF.
+    size_t lo = 0, hi = t.cdf.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (t.cdf[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo < t.cdf.size() ? lo : t.cdf.size() - 1;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[Uniform(i)]);
+    }
+  }
+
+  /// Sample m distinct indices from [0, n) (m <= n) in O(n).
+  std::vector<size_t> SampleIndices(size_t n, size_t m) {
+    std::vector<size_t> idx(n);
+    for (size_t i = 0; i < n; ++i) idx[i] = i;
+    for (size_t i = 0; i < m && i + 1 < n; ++i) {
+      std::swap(idx[i], idx[i + Uniform(n - i)]);
+    }
+    idx.resize(m < n ? m : n);
+    return idx;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+}  // namespace blend

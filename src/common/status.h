@@ -1,0 +1,120 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace blend {
+
+/// Error codes used across the library. Modeled after the Status idiom common
+/// in database engines (Arrow, RocksDB): recoverable errors are values, not
+/// exceptions, so hot paths stay exception-free.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kParseError,
+  kPlanError,
+  kExecutionError,
+  kInternal,
+};
+
+/// A cheap, copyable success-or-error value.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status ParseError(std::string m) {
+    return Status(StatusCode::kParseError, std::move(m));
+  }
+  static Status PlanError(std::string m) {
+    return Status(StatusCode::kPlanError, std::move(m));
+  }
+  static Status ExecutionError(std::string m) {
+    return Status(StatusCode::kExecutionError, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + message_;
+  }
+
+ private:
+  static std::string CodeName(StatusCode c) {
+    switch (c) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kParseError: return "ParseError";
+      case StatusCode::kPlanError: return "PlanError";
+      case StatusCode::kExecutionError: return "ExecutionError";
+      case StatusCode::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> carries either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}           // NOLINT(runtime/explicit)
+  Result(Status status) : v_(std::move(status)) {}    // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  const Status& status() const { return std::get<Status>(v_); }
+  T& value() { return std::get<T>(v_); }
+  const T& value() const { return std::get<T>(v_); }
+  T&& take() { return std::move(std::get<T>(v_)); }
+
+  /// Returns the value or aborts; for tests and examples where errors are bugs.
+  T& ValueOrDie() {
+    if (!ok()) {
+      // Deliberately crash with the message visible.
+      fprintf(stderr, "Result error: %s\n", status().ToString().c_str());
+      abort();
+    }
+    return value();
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+#define BLEND_RETURN_NOT_OK(expr)            \
+  do {                                       \
+    ::blend::Status _st = (expr);            \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+#define BLEND_CONCAT_INNER(a, b) a##b
+#define BLEND_CONCAT(a, b) BLEND_CONCAT_INNER(a, b)
+
+#define BLEND_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto&& tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = tmp.take();
+
+#define BLEND_ASSIGN_OR_RETURN(lhs, expr) \
+  BLEND_ASSIGN_OR_RETURN_IMPL(BLEND_CONCAT(_blend_res_, __LINE__), lhs, expr)
+
+}  // namespace blend

@@ -1,0 +1,104 @@
+#include "common/str_util.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace blend {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (auto& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string NormalizeCell(std::string_view s) { return ToLower(Trim(s)); }
+
+std::vector<std::string> Split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view delim) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += delim;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::optional<double> ParseNumeric(std::string_view s) {
+  std::string_view t = Trim(s);
+  if (t.empty()) return std::nullopt;
+  std::string buf(t);
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return std::nullopt;
+  return v;
+}
+
+std::string ReplaceAll(std::string s, std::string_view from, std::string_view to) {
+  if (from.empty()) return s;
+  std::string out;
+  out.reserve(s.size());
+  size_t pos = 0;
+  while (true) {
+    size_t hit = s.find(from, pos);
+    if (hit == std::string::npos) {
+      out.append(s, pos, std::string::npos);
+      break;
+    }
+    out.append(s, pos, hit - pos);
+    out.append(to);
+    pos = hit + from.size();
+  }
+  return out;
+}
+
+std::string SqlQuote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '\'';
+  for (char c : s) {
+    if (c == '\'') out += "''";
+    else out += c;
+  }
+  out += '\'';
+  return out;
+}
+
+std::string SqlInList(const std::vector<std::string>& values) {
+  std::string out;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i) out += ',';
+    out += SqlQuote(values[i]);
+  }
+  return out;
+}
+
+std::string SqlInListInts(const std::vector<int64_t>& values) {
+  std::string out;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i) out += ',';
+    out += std::to_string(values[i]);
+  }
+  return out;
+}
+
+}  // namespace blend

@@ -1,0 +1,59 @@
+#include "common/table_printer.h"
+
+#include <cstdio>
+
+namespace blend {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::Pct(double ratio, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, ratio * 100.0);
+  return buf;
+}
+
+std::string TablePrinter::Render(const std::string& title) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& r : rows_) {
+    for (size_t i = 0; i < r.size(); ++i) {
+      if (r[i].size() > widths[i]) widths[i] = r[i].size();
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& r) {
+    std::string line = "|";
+    for (size_t i = 0; i < header_.size(); ++i) {
+      std::string cell = i < r.size() ? r[i] : "";
+      line += ' ' + cell + std::string(widths[i] - cell.size(), ' ') + " |";
+    }
+    return line + '\n';
+  };
+
+  std::string rule = "+";
+  for (size_t w : widths) rule += std::string(w + 2, '-') + '+';
+  rule += '\n';
+
+  std::string out;
+  if (!title.empty()) out += "== " + title + " ==\n";
+  out += rule;
+  out += render_row(header_);
+  out += rule;
+  for (const auto& r : rows_) out += render_row(r);
+  out += rule;
+  return out;
+}
+
+}  // namespace blend

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace blend {
+
+/// Aligned ASCII table renderer used by the benchmark harnesses to print the
+/// paper's tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row (sized to the header; shorter rows are padded).
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats a double with the given precision.
+  static std::string Fmt(double v, int precision = 2);
+  /// Formats a ratio as a percent string, e.g. 0.423 -> "42.3%".
+  static std::string Pct(double ratio, int precision = 1);
+
+  /// Renders the table with a title line and column rules.
+  std::string Render(const std::string& title) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace blend

@@ -1,0 +1,147 @@
+#include "core/blend.h"
+
+#include "common/str_util.h"
+
+namespace blend::core {
+
+Blend::Blend(const DataLake* lake, Options options)
+    : options_(options),
+      lake_(lake),
+      bundle_(IndexBuilder(IndexBuildOptions{options.layout, options.shuffle_rows,
+                                             options.shuffle_seed})
+                  .Build(*lake)),
+      engine_(&bundle_),
+      stats_(&bundle_) {
+  ctx_.lake = lake_;
+  ctx_.bundle = &bundle_;
+  ctx_.engine = &engine_;
+  ctx_.stats = &stats_;
+}
+
+Result<TableList> Blend::Run(const Plan& plan) const {
+  BLEND_ASSIGN_OR_RETURN(auto report, RunReport(plan));
+  return report.output;
+}
+
+Result<ExecutionReport> Blend::RunReport(const Plan& plan) const {
+  PlanExecutor executor(&ctx_, model_ ? model_.get() : nullptr);
+  return executor.Run(plan, options_.optimize);
+}
+
+Status Blend::TrainCostModel(int samples_per_type, uint64_t seed) {
+  CostModelTrainer::Options opts;
+  opts.samples_per_type = samples_per_type;
+  opts.seed = seed;
+  CostModelTrainer trainer(opts);
+  BLEND_ASSIGN_OR_RETURN(auto model, trainer.Train(ctx_));
+  model_ = std::make_unique<CostModel>(std::move(model));
+  return Status::OK();
+}
+
+namespace tasks {
+
+Result<std::string> AddUnionSearch(Plan* plan, const Table& query, int k,
+                                   int per_column_k, const std::string& prefix) {
+  std::vector<std::string> seeker_ids;
+  for (size_t c = 0; c < query.NumColumns(); ++c) {
+    std::vector<std::string> values = query.column(c).cells;
+    std::string id = prefix + "_sc" + std::to_string(c);
+    BLEND_RETURN_NOT_OK(
+        plan->Add(id, std::make_shared<SCSeeker>(std::move(values), per_column_k)));
+    seeker_ids.push_back(std::move(id));
+  }
+  if (seeker_ids.empty()) {
+    return Status::InvalidArgument("union search needs a non-empty query table");
+  }
+  std::string sink = prefix + "_counter";
+  BLEND_RETURN_NOT_OK(
+      plan->Add(sink, std::make_shared<CounterCombiner>(k), seeker_ids));
+  return sink;
+}
+
+Result<std::string> AddNegativeExampleSearch(
+    Plan* plan, const std::vector<std::vector<std::string>>& positives,
+    const std::vector<std::vector<std::string>>& negatives, int k,
+    const std::string& prefix) {
+  BLEND_RETURN_NOT_OK(
+      plan->Add(prefix + "_pos", std::make_shared<MCSeeker>(positives, k)));
+  BLEND_RETURN_NOT_OK(
+      plan->Add(prefix + "_neg", std::make_shared<MCSeeker>(negatives, k * 10)));
+  std::string sink = prefix + "_diff";
+  BLEND_RETURN_NOT_OK(plan->Add(sink, std::make_shared<DifferenceCombiner>(k),
+                                {prefix + "_pos", prefix + "_neg"}));
+  return sink;
+}
+
+Result<std::string> AddDataImputation(
+    Plan* plan, const std::vector<std::vector<std::string>>& examples,
+    const std::vector<std::string>& queries, int k, const std::string& prefix) {
+  BLEND_RETURN_NOT_OK(
+      plan->Add(prefix + "_examples", std::make_shared<MCSeeker>(examples, k)));
+  BLEND_RETURN_NOT_OK(
+      plan->Add(prefix + "_query", std::make_shared<SCSeeker>(queries, k)));
+  std::string sink = prefix + "_intersection";
+  BLEND_RETURN_NOT_OK(plan->Add(sink, std::make_shared<IntersectCombiner>(k),
+                                {prefix + "_examples", prefix + "_query"}));
+  return sink;
+}
+
+Result<std::string> AddFeatureDiscovery(
+    Plan* plan, const std::vector<std::string>& join_keys,
+    const std::vector<double>& target,
+    const std::vector<std::vector<double>>& existing_features,
+    const std::vector<std::vector<std::string>>& key_tuples, int k,
+    const std::string& prefix) {
+  // Correlation with the prediction target.
+  BLEND_RETURN_NOT_OK(plan->Add(
+      prefix + "_target",
+      std::make_shared<CorrelationSeeker>(join_keys, target, k * 10)));
+  // One correlation seeker per existing feature; tables correlating with an
+  // existing feature are filtered out (multicollinearity check).
+  std::string current = prefix + "_target";
+  for (size_t f = 0; f < existing_features.size(); ++f) {
+    std::string cid = prefix + "_collin" + std::to_string(f);
+    BLEND_RETURN_NOT_OK(plan->Add(
+        cid, std::make_shared<CorrelationSeeker>(join_keys, existing_features[f],
+                                                 k * 10)));
+    std::string did = prefix + "_diff" + std::to_string(f);
+    BLEND_RETURN_NOT_OK(plan->Add(did, std::make_shared<DifferenceCombiner>(k * 10),
+                                  {current, cid}));
+    current = did;
+  }
+  std::string sink = current;
+  if (!key_tuples.empty() && !key_tuples[0].empty() && key_tuples[0].size() >= 2) {
+    BLEND_RETURN_NOT_OK(
+        plan->Add(prefix + "_mc", std::make_shared<MCSeeker>(key_tuples, k * 10)));
+    sink = prefix + "_join";
+    BLEND_RETURN_NOT_OK(plan->Add(sink, std::make_shared<IntersectCombiner>(k),
+                                  {current, prefix + "_mc"}));
+  }
+  return sink;
+}
+
+Result<std::string> AddMultiObjective(Plan* plan,
+                                      const std::vector<std::string>& keywords,
+                                      const Table& examples,
+                                      const std::vector<std::string>& join_keys,
+                                      const std::vector<double>& target, int k,
+                                      const std::string& prefix) {
+  // Keyword search.
+  BLEND_RETURN_NOT_OK(
+      plan->Add(prefix + "_kw", std::make_shared<KWSeeker>(keywords, k)));
+  // Union search sub-plan.
+  BLEND_ASSIGN_OR_RETURN(std::string counter,
+                         AddUnionSearch(plan, examples, k, 100, prefix + "_union"));
+  // Correlation search.
+  BLEND_RETURN_NOT_OK(plan->Add(
+      prefix + "_corr", std::make_shared<CorrelationSeeker>(join_keys, target, k)));
+  // Results aggregation.
+  std::string sink = prefix + "_out";
+  BLEND_RETURN_NOT_OK(plan->Add(sink, std::make_shared<UnionCombiner>(4 * k),
+                                {prefix + "_kw", counter, prefix + "_corr"}));
+  return sink;
+}
+
+}  // namespace tasks
+
+}  // namespace blend::core

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/executor.h"
+
+namespace blend::core {
+
+/// The top-level entry point of the library: attaches to a data lake, builds
+/// the unified AllTables index offline, hosts the embedded SQL engine, and
+/// runs discovery plans through the optimizer.
+///
+///   DataLake lake = ...;
+///   Blend blend(&lake);
+///   Plan plan;
+///   plan.Add("dep", std::make_shared<SCSeeker>(departments, 10));
+///   auto tables = blend.Run(plan).ValueOrDie();
+class Blend {
+ public:
+  struct Options {
+    /// Physical layout of AllTables: the paper's (Row)/(Column) deployments.
+    StoreLayout layout = StoreLayout::kColumn;
+    /// Enable the two-phase optimizer; `false` is the paper's B-NO ablation.
+    bool optimize = true;
+    /// Index rows in shuffled order (the BLEND(rand) correlation variant).
+    bool shuffle_rows = false;
+    uint64_t shuffle_seed = 17;
+  };
+
+  /// Builds the index for the lake (the offline phase, paper Fig. 2e). The
+  /// lake must outlive this object.
+  explicit Blend(const DataLake* lake) : Blend(lake, Options()) {}
+  Blend(const DataLake* lake, Options options);
+
+  /// Runs a plan and returns the sink's top-k tables.
+  Result<TableList> Run(const Plan& plan) const;
+
+  /// Runs a plan and returns the full execution report (per-node outputs,
+  /// timings, executed step order).
+  Result<ExecutionReport> RunReport(const Plan& plan) const;
+
+  /// Trains the learned cost model by sampling random inputs from the lake
+  /// (paper: offline, once per lake installation).
+  Status TrainCostModel(int samples_per_type = 40, uint64_t seed = 7);
+
+  const DiscoveryContext& context() const { return ctx_; }
+  const sql::Engine& engine() const { return engine_; }
+  const IndexBundle& bundle() const { return bundle_; }
+  const IndexStats& stats() const { return stats_; }
+  const CostModel* cost_model() const { return model_ ? model_.get() : nullptr; }
+  const Options& options() const { return options_; }
+
+  /// Index storage footprint in bytes (for the Table VIII experiment).
+  size_t IndexBytes() const { return bundle_.ApproxBytes(); }
+
+ private:
+  Options options_;
+  const DataLake* lake_;
+  IndexBundle bundle_;
+  sql::Engine engine_;
+  IndexStats stats_;
+  std::unique_ptr<CostModel> model_;
+  DiscoveryContext ctx_;
+};
+
+/// Ready-made discovery plans for the tasks evaluated in the paper (§VII-A,
+/// §VIII-B). Each returns the id of the plan's sink node.
+namespace tasks {
+
+/// Union search: one SC seeker per query-table column plus a Counter
+/// combiner; per-seeker k is chosen larger than the final k (paper §VII-A).
+Result<std::string> AddUnionSearch(Plan* plan, const Table& query, int k,
+                                   int per_column_k = 100,
+                                   const std::string& prefix = "union");
+
+/// Discovery with negative examples: MC(positive) \ MC(negative).
+Result<std::string> AddNegativeExampleSearch(
+    Plan* plan, const std::vector<std::vector<std::string>>& positives,
+    const std::vector<std::vector<std::string>>& negatives, int k,
+    const std::string& prefix = "neg");
+
+/// Example-based data imputation: MC(complete examples) ∩ SC(query keys).
+Result<std::string> AddDataImputation(
+    Plan* plan, const std::vector<std::vector<std::string>>& examples,
+    const std::vector<std::string>& queries, int k,
+    const std::string& prefix = "imp");
+
+/// Multicollinearity-aware feature discovery: C(target) minus C(each
+/// existing feature), intersected with MC joinability on the key columns.
+Result<std::string> AddFeatureDiscovery(
+    Plan* plan, const std::vector<std::string>& join_keys,
+    const std::vector<double>& target,
+    const std::vector<std::vector<double>>& existing_features,
+    const std::vector<std::vector<std::string>>& key_tuples, int k,
+    const std::string& prefix = "feat");
+
+/// Multi-objective discovery (paper Listing 4 without the imputation
+/// sub-plan): keyword search + union search + correlation search, unioned.
+Result<std::string> AddMultiObjective(Plan* plan,
+                                      const std::vector<std::string>& keywords,
+                                      const Table& examples,
+                                      const std::vector<std::string>& join_keys,
+                                      const std::vector<double>& target, int k,
+                                      const std::string& prefix = "multi");
+
+}  // namespace tasks
+
+}  // namespace blend::core

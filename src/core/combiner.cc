@@ -1,0 +1,79 @@
+#include "core/combiner.h"
+
+#include <unordered_map>
+
+namespace blend::core {
+
+TableList IntersectCombiner::Combine(const std::vector<TableList>& inputs) const {
+  TableList out;
+  if (inputs.empty()) return out;
+  std::unordered_map<TableId, std::pair<size_t, double>> counts;  // hits, score sum
+  for (const auto& e : inputs[0]) counts[e.table] = {1, e.score};
+  for (size_t i = 1; i < inputs.size(); ++i) {
+    for (const auto& e : inputs[i]) {
+      auto it = counts.find(e.table);
+      if (it == counts.end()) continue;
+      if (it->second.first == i) {  // present in all previous inputs
+        ++it->second.first;
+        it->second.second += e.score;
+      }
+    }
+  }
+  for (const auto& [t, hs] : counts) {
+    if (hs.first == inputs.size()) out.push_back({t, hs.second});
+  }
+  SortDesc(&out);
+  TruncateK(&out, k_);
+  return out;
+}
+
+TableList UnionCombiner::Combine(const std::vector<TableList>& inputs) const {
+  std::unordered_map<TableId, double> scores;
+  for (const auto& in : inputs) {
+    for (const auto& e : in) scores[e.table] += e.score;
+  }
+  TableList out;
+  out.reserve(scores.size());
+  for (const auto& [t, s] : scores) out.push_back({t, s});
+  SortDesc(&out);
+  TruncateK(&out, k_);
+  return out;
+}
+
+TableList DifferenceCombiner::Combine(const std::vector<TableList>& inputs) const {
+  TableList out;
+  if (inputs.empty()) return out;
+  std::unordered_set<TableId> excluded;
+  for (size_t i = 1; i < inputs.size(); ++i) {
+    for (const auto& e : inputs[i]) excluded.insert(e.table);
+  }
+  for (const auto& e : inputs[0]) {
+    if (excluded.count(e.table) == 0) out.push_back(e);
+  }
+  SortDesc(&out);
+  TruncateK(&out, k_);
+  return out;
+}
+
+TableList CounterCombiner::Combine(const std::vector<TableList>& inputs) const {
+  std::unordered_map<TableId, std::pair<size_t, double>> counts;
+  for (const auto& in : inputs) {
+    for (const auto& e : in) {
+      auto& c = counts[e.table];
+      ++c.first;
+      c.second += e.score;
+    }
+  }
+  TableList out;
+  out.reserve(counts.size());
+  for (const auto& [t, c] : counts) {
+    // Rank primarily by frequency; summed score breaks ties (scaled down so
+    // frequency always dominates).
+    out.push_back({t, static_cast<double>(c.first) + c.second * 1e-9});
+  }
+  SortDesc(&out);
+  TruncateK(&out, k_);
+  return out;
+}
+
+}  // namespace blend::core

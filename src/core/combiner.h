@@ -1,0 +1,74 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+
+namespace blend::core {
+
+/// A combiner merges the ranked table lists produced by seekers (or other
+/// combiners) with a set operation and returns a new ranked list, truncated
+/// to its own top-k. Users may subclass Combiner to add new operations; the
+/// optimizer treats unknown combiner types as non-rewritable (like Union).
+class Combiner {
+ public:
+  enum class Type { kIntersect, kUnion, kDifference, kCounter, kCustom };
+
+  explicit Combiner(int k) : k_(k) {}
+  virtual ~Combiner() = default;
+
+  virtual Type type() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Merges the inputs. Implementations must return a list sorted descending
+  /// by score and truncated to k().
+  virtual TableList Combine(const std::vector<TableList>& inputs) const = 0;
+
+  int k() const { return k_; }
+
+ protected:
+  int k_;
+};
+
+/// Tables present in every input; score = sum of the inputs' scores.
+class IntersectCombiner : public Combiner {
+ public:
+  explicit IntersectCombiner(int k) : Combiner(k) {}
+  Type type() const override { return Type::kIntersect; }
+  std::string name() const override { return "Intersect"; }
+  TableList Combine(const std::vector<TableList>& inputs) const override;
+};
+
+/// Union of all inputs; score = sum of scores across inputs.
+class UnionCombiner : public Combiner {
+ public:
+  explicit UnionCombiner(int k) : Combiner(k) {}
+  Type type() const override { return Type::kUnion; }
+  std::string name() const override { return "Union"; }
+  TableList Combine(const std::vector<TableList>& inputs) const override;
+};
+
+/// Tables of the first input absent from every later input (first input's
+/// scores are kept). Non-commutative.
+class DifferenceCombiner : public Combiner {
+ public:
+  explicit DifferenceCombiner(int k) : Combiner(k) {}
+  Type type() const override { return Type::kDifference; }
+  std::string name() const override { return "Difference"; }
+  TableList Combine(const std::vector<TableList>& inputs) const override;
+};
+
+/// Counts occurrences of each table across inputs and ranks by frequency
+/// (ties broken by summed score). The aggregator of BLEND's union-search
+/// plan (§VII-A).
+class CounterCombiner : public Combiner {
+ public:
+  explicit CounterCombiner(int k) : Combiner(k) {}
+  Type type() const override { return Type::kCounter; }
+  std::string name() const override { return "Counter"; }
+  TableList Combine(const std::vector<TableList>& inputs) const override;
+};
+
+}  // namespace blend::core

@@ -1,0 +1,20 @@
+#pragma once
+
+#include "index/builder.h"
+#include "index/stats.h"
+#include "sql/engine.h"
+#include "storage/data_lake.h"
+
+namespace blend::core {
+
+/// Everything an operator needs at execution time: the lake (for MC exact
+/// validation), the unified index, the SQL engine hosting it, and the token
+/// statistics used by the optimizer's cost model.
+struct DiscoveryContext {
+  const DataLake* lake = nullptr;
+  const IndexBundle* bundle = nullptr;
+  const sql::Engine* engine = nullptr;
+  const IndexStats* stats = nullptr;
+};
+
+}  // namespace blend::core

@@ -1,0 +1,90 @@
+#include "core/executor.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/str_util.h"
+#include "common/timer.h"
+
+namespace blend::core {
+
+namespace {
+
+/// Builds the SQL rewrite predicate from already-computed node outputs:
+/// Intersection sources contribute the intersection of their id sets, NOT IN
+/// sources their union.
+std::string BuildRewrite(
+    const RewriteSpec& spec,
+    const std::unordered_map<std::string, TableList>& node_outputs) {
+  if (spec.kind == RewriteSpec::Kind::kNone || spec.sources.empty()) return "";
+
+  std::vector<int64_t> ids;
+  if (spec.kind == RewriteSpec::Kind::kIn) {
+    // Intersection of the sources' table-id sets.
+    std::unordered_map<TableId, size_t> counts;
+    for (const auto& src : spec.sources) {
+      auto it = node_outputs.find(src);
+      if (it == node_outputs.end()) continue;
+      std::unordered_set<TableId> seen;
+      for (const auto& e : it->second) {
+        if (seen.insert(e.table).second) ++counts[e.table];
+      }
+    }
+    for (const auto& [t, c] : counts) {
+      if (c == spec.sources.size()) ids.push_back(t);
+    }
+    return "AND TableId IN (" + SqlInListInts(ids) + ")";
+  }
+
+  // Union for NOT IN.
+  std::unordered_set<TableId> all;
+  for (const auto& src : spec.sources) {
+    auto it = node_outputs.find(src);
+    if (it == node_outputs.end()) continue;
+    for (const auto& e : it->second) all.insert(e.table);
+  }
+  ids.assign(all.begin(), all.end());
+  std::sort(ids.begin(), ids.end());
+  if (ids.empty()) return "";  // NOT IN () excludes nothing
+  return "AND TableId NOT IN (" + SqlInListInts(ids) + ")";
+}
+
+}  // namespace
+
+Result<ExecutionReport> PlanExecutor::Run(const Plan& plan, bool optimize) const {
+  ExecutionReport report;
+
+  StopWatch opt_watch;
+  Optimizer optimizer(model_, ctx_->stats);
+  BLEND_ASSIGN_OR_RETURN(report.executed_plan, optimizer.Optimize(plan, optimize));
+  report.optimize_seconds = opt_watch.ElapsedSeconds();
+
+  StopWatch run_watch;
+  for (const ExecutionStep& step : report.executed_plan.steps) {
+    const Plan::Node& node = plan.node(step.node);
+    if (node.is_seeker()) {
+      std::string rewrite = BuildRewrite(step.rewrite, report.node_outputs);
+      BLEND_ASSIGN_OR_RETURN(auto out, node.seeker->Execute(*ctx_, rewrite));
+      report.node_outputs.emplace(node.id, std::move(out));
+    } else {
+      std::vector<TableList> inputs;
+      inputs.reserve(node.inputs.size());
+      for (const auto& in : node.inputs) {
+        auto it = report.node_outputs.find(in);
+        if (it == report.node_outputs.end()) {
+          return Status::Internal("input '" + in + "' of '" + node.id +
+                                  "' not computed");
+        }
+        inputs.push_back(it->second);
+      }
+      report.node_outputs.emplace(node.id, node.combiner->Combine(inputs));
+    }
+  }
+  report.seconds = run_watch.ElapsedSeconds();
+
+  BLEND_ASSIGN_OR_RETURN(auto sink, plan.SinkId());
+  report.output = report.node_outputs.at(sink);
+  return report;
+}
+
+}  // namespace blend::core

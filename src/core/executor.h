@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/context.h"
+#include "core/optimizer.h"
+#include "core/plan.h"
+
+namespace blend::core {
+
+/// Outcome of running a discovery plan.
+struct ExecutionReport {
+  /// Output of the plan's sink node.
+  TableList output;
+  /// Output of every node (keyed by node id), for debugging and combiners
+  /// with multiple consumers.
+  std::unordered_map<std::string, TableList> node_outputs;
+  /// End-to-end execution time (excludes optimization when reported
+  /// separately; see `optimize_seconds`).
+  double seconds = 0;
+  double optimize_seconds = 0;
+  /// The steps that were executed, in order (for inspection and tests).
+  ExecutionPlan executed_plan;
+};
+
+/// Runs optimized execution plans: executes seekers against the engine with
+/// rewrite predicates built from intermediate results, then applies
+/// combiners.
+class PlanExecutor {
+ public:
+  PlanExecutor(const DiscoveryContext* ctx, const CostModel* model)
+      : ctx_(ctx), model_(model) {}
+
+  /// Optimizes (unless `optimize` is false, the paper's B-NO mode) and runs
+  /// the plan, returning the sink output and per-node intermediates.
+  Result<ExecutionReport> Run(const Plan& plan, bool optimize = true) const;
+
+ private:
+  const DiscoveryContext* ctx_;
+  const CostModel* model_;
+};
+
+}  // namespace blend::core

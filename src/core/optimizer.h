@@ -1,0 +1,60 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/cost_model.h"
+#include "core/plan.h"
+
+namespace blend::core {
+
+/// How a seeker's SQL is rewritten with the intermediate results of
+/// previously executed siblings (paper §VII-B "Query rewriting"):
+///   kIn     -> AND TableId IN (ids)       (Intersection)
+///   kNotIn  -> AND TableId NOT IN (ids)   (Difference)
+struct RewriteSpec {
+  enum class Kind { kNone, kIn, kNotIn };
+  Kind kind = Kind::kNone;
+  /// Node ids whose outputs feed the predicate. For kIn the intersection of
+  /// the sources' table-id sets is injected; for kNotIn their union.
+  std::vector<std::string> sources;
+};
+
+/// One step of the optimized execution plan.
+struct ExecutionStep {
+  std::string node;
+  RewriteSpec rewrite;
+};
+
+/// The high-level execution plan the optimizer hands to the executor: a
+/// ranked sequence of node executions with rewrite instructions.
+struct ExecutionPlan {
+  std::vector<ExecutionStep> steps;
+};
+
+/// BLEND's two-phase plan optimizer: execution-group identification, EG
+/// ordering (topological), operator ranking (Rules 1-3 + learned cost
+/// model), and combiner-dependent query rewriting.
+class Optimizer {
+ public:
+  /// `model` may be null (heuristic ranking only); `stats` is required for
+  /// feature computation.
+  Optimizer(const CostModel* model, const IndexStats* stats)
+      : model_(model), stats_(stats) {}
+
+  /// Produces the optimized step sequence. With `enable == false` (the
+  /// paper's B-NO configuration) nodes run in insertion order without
+  /// rewriting.
+  Result<ExecutionPlan> Optimize(const Plan& plan, bool enable) const;
+
+  /// Ranking key used within an execution group: rule rank first (KW < SC <
+  /// C < MC), then predicted runtime.
+  double PredictedCost(const Seeker& seeker) const;
+
+ private:
+  const CostModel* model_;
+  const IndexStats* stats_;
+};
+
+}  // namespace blend::core

@@ -1,0 +1,68 @@
+#include "core/plan.h"
+
+namespace blend::core {
+
+Status Plan::Add(const std::string& id, std::shared_ptr<Seeker> seeker) {
+  if (seeker == nullptr) return Status::InvalidArgument("null seeker");
+  Node n;
+  n.id = id;
+  n.seeker = std::move(seeker);
+  return AddNode(std::move(n));
+}
+
+Status Plan::Add(const std::string& id, std::shared_ptr<Combiner> combiner,
+                 std::vector<std::string> inputs) {
+  if (combiner == nullptr) return Status::InvalidArgument("null combiner");
+  if (inputs.empty()) {
+    return Status::InvalidArgument("combiner '" + id + "' needs at least one input");
+  }
+  for (const auto& in : inputs) {
+    if (!Has(in)) {
+      return Status::InvalidArgument("combiner '" + id + "' references unknown node '" +
+                                     in + "' (inputs must be added first)");
+    }
+  }
+  if (combiner->type() == Combiner::Type::kDifference && inputs.size() < 2) {
+    return Status::InvalidArgument("Difference combiner needs two inputs");
+  }
+  Node n;
+  n.id = id;
+  n.combiner = std::move(combiner);
+  n.inputs = std::move(inputs);
+  return AddNode(std::move(n));
+}
+
+Status Plan::AddNode(Node node) {
+  if (node.id.empty()) return Status::InvalidArgument("node id must be non-empty");
+  if (Has(node.id)) {
+    return Status::InvalidArgument("duplicate node id: " + node.id);
+  }
+  index_.emplace(node.id, nodes_.size());
+  nodes_.push_back(std::move(node));
+  return Status::OK();
+}
+
+std::vector<std::string> Plan::ConsumersOf(const std::string& id) const {
+  std::vector<std::string> out;
+  for (const auto& n : nodes_) {
+    for (const auto& in : n.inputs) {
+      if (in == id) {
+        out.push_back(n.id);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::string> Plan::SinkId() const {
+  if (nodes_.empty()) return Status::InvalidArgument("empty plan");
+  std::string sink;
+  for (const auto& n : nodes_) {
+    if (ConsumersOf(n.id).empty()) sink = n.id;  // last such node wins
+  }
+  if (sink.empty()) return Status::Internal("plan has no sink (cycle?)");
+  return sink;
+}
+
+}  // namespace blend::core

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/combiner.h"
+#include "core/seeker.h"
+
+namespace blend::core {
+
+/// A discovery plan: the DAG of seekers and combiners the user declares
+/// (paper Fig. 2a/b). Mirrors the Python API:
+///
+///   Plan plan;
+///   plan.Add("dep", std::make_shared<SCSeeker>(departments, 10));
+///   plan.Add("examples", std::make_shared<MCSeeker>(tuples, 10));
+///   plan.Add("both", std::make_shared<IntersectCombiner>(10),
+///            {"examples", "dep"});
+///
+/// Nodes must be added after their inputs (which also guarantees acyclicity).
+/// The plan's output is its unique sink; plans with several sinks report the
+/// last-added one.
+class Plan {
+ public:
+  struct Node {
+    std::string id;
+    std::shared_ptr<Seeker> seeker;      // exactly one of seeker / combiner set
+    std::shared_ptr<Combiner> combiner;
+    std::vector<std::string> inputs;     // empty for seekers
+
+    bool is_seeker() const { return seeker != nullptr; }
+  };
+
+  /// Adds a seeker node.
+  Status Add(const std::string& id, std::shared_ptr<Seeker> seeker);
+
+  /// Adds a combiner node consuming previously added nodes.
+  Status Add(const std::string& id, std::shared_ptr<Combiner> combiner,
+             std::vector<std::string> inputs);
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  bool Has(const std::string& id) const { return index_.count(id) > 0; }
+  const Node& node(const std::string& id) const { return nodes_[index_.at(id)]; }
+  size_t NumNodes() const { return nodes_.size(); }
+
+  /// Node ids that feed the given node (empty for seekers).
+  const std::vector<std::string>& InputsOf(const std::string& id) const {
+    return node(id).inputs;
+  }
+
+  /// Ids of nodes consuming the given node.
+  std::vector<std::string> ConsumersOf(const std::string& id) const;
+
+  /// The plan output node: the last-added node no other node consumes.
+  Result<std::string> SinkId() const;
+
+ private:
+  Status AddNode(Node node);
+
+  std::vector<Node> nodes_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace blend::core

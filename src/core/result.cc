@@ -1,0 +1,58 @@
+#include "core/result.h"
+
+#include <algorithm>
+
+namespace blend::core {
+
+void SortDesc(TableList* list) {
+  std::sort(list->begin(), list->end(), [](const ScoredTable& a, const ScoredTable& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.table < b.table;
+  });
+}
+
+void TruncateK(TableList* list, int k) {
+  if (k >= 0 && list->size() > static_cast<size_t>(k)) {
+    list->resize(static_cast<size_t>(k));
+  }
+}
+
+std::unordered_set<TableId> IdSet(const TableList& list) {
+  std::unordered_set<TableId> s;
+  s.reserve(list.size() * 2);
+  for (const auto& t : list) s.insert(t.table);
+  return s;
+}
+
+std::vector<TableId> IdsOf(const TableList& list) {
+  std::vector<TableId> ids;
+  ids.reserve(list.size());
+  for (const auto& t : list) ids.push_back(t.table);
+  return ids;
+}
+
+bool ContainsTable(const TableList& list, TableId t) {
+  for (const auto& e : list) {
+    if (e.table == t) return true;
+  }
+  return false;
+}
+
+std::string ToString(const TableList& list, const DataLake* lake, size_t max_items) {
+  std::string out = "[";
+  for (size_t i = 0; i < list.size() && i < max_items; ++i) {
+    if (i) out += ", ";
+    if (lake != nullptr && list[i].table >= 0 &&
+        static_cast<size_t>(list[i].table) < lake->NumTables()) {
+      out += lake->table(list[i].table).name();
+    } else {
+      out += "T" + std::to_string(list[i].table);
+    }
+    out += "(" + std::to_string(list[i].score) + ")";
+  }
+  if (list.size() > max_items) out += ", ...";
+  out += "]";
+  return out;
+}
+
+}  // namespace blend::core

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/data_lake.h"
+
+namespace blend::core {
+
+/// One discovered table with its relevance score (overlap count, counter
+/// frequency, or |QCR| depending on the producing operator).
+struct ScoredTable {
+  TableId table = -1;
+  double score = 0;
+
+  bool operator==(const ScoredTable& o) const {
+    return table == o.table && score == o.score;
+  }
+};
+
+/// Ranked list of discovered tables, best first. The output type of every
+/// seeker and combiner.
+using TableList = std::vector<ScoredTable>;
+
+/// Sorts descending by score; ties broken by ascending TableId so results are
+/// deterministic across runs and store layouts.
+void SortDesc(TableList* list);
+
+/// Keeps the best k entries (list must already be sorted).
+void TruncateK(TableList* list, int k);
+
+/// The set of table ids in a list.
+std::unordered_set<TableId> IdSet(const TableList& list);
+
+/// Table ids in rank order.
+std::vector<TableId> IdsOf(const TableList& list);
+
+/// True if the list contains the table.
+bool ContainsTable(const TableList& list, TableId t);
+
+/// Human-readable rendering (for examples and debugging).
+std::string ToString(const TableList& list, const DataLake* lake = nullptr,
+                     size_t max_items = 20);
+
+}  // namespace blend::core

@@ -1,0 +1,339 @@
+#include "core/seeker.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/str_util.h"
+#include "common/xash.h"
+
+namespace blend::core {
+
+namespace {
+
+/// Normalizes and de-duplicates raw input values (the inverted index stores
+/// normalized cells, so Q must be normalized the same way).
+std::vector<std::string> NormalizeDistinct(const std::vector<std::string>& raw) {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  out.reserve(raw.size());
+  for (const auto& v : raw) {
+    std::string n = NormalizeCell(v);
+    if (n.empty()) continue;
+    if (seen.insert(n).second) out.push_back(std::move(n));
+  }
+  return out;
+}
+
+/// Runs an adaptive top-k-tables query: the SQL groups at sub-table
+/// granularity (table+column), so the LIMIT is widened until k distinct
+/// tables are found or the result is exhausted.
+Result<TableList> RunDedupTopK(const sql::Engine& engine,
+                               const std::function<std::string(int64_t)>& make_sql,
+                               int k, size_t table_col, size_t score_col) {
+  int64_t fetch = k < 0 ? -1 : std::max<int64_t>(4LL * k, k + 16);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    BLEND_ASSIGN_OR_RETURN(auto res, engine.Query(make_sql(fetch)));
+    TableList out;
+    std::unordered_set<TableId> seen;
+    for (size_t r = 0; r < res.NumRows(); ++r) {
+      TableId t = static_cast<TableId>(res.Int(r, table_col));
+      if (!seen.insert(t).second) continue;
+      out.push_back({t, res.Double(r, score_col)});
+      if (k >= 0 && out.size() == static_cast<size_t>(k)) break;
+    }
+    const bool exhausted = fetch < 0 || res.NumRows() < static_cast<size_t>(fetch);
+    if (k < 0 || out.size() == static_cast<size_t>(k) || exhausted) return out;
+    fetch = attempt < 2 ? fetch * 8 : -1;
+  }
+  return Status::Internal("RunDedupTopK did not converge");
+}
+
+std::string LimitClause(int64_t fetch) {
+  return fetch < 0 ? "" : (" LIMIT " + std::to_string(fetch));
+}
+
+std::string RewriteClause(const std::string& rewrite) {
+  return rewrite.empty() ? "" : (" " + rewrite);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SC seeker
+// ---------------------------------------------------------------------------
+
+SCSeeker::SCSeeker(std::vector<std::string> values, int k)
+    : Seeker(k), values_(NormalizeDistinct(values)) {}
+
+std::string SCSeeker::GenerateSql(const std::string& rewrite, int fetch_limit) const {
+  return "SELECT TableId, ColumnId, COUNT(DISTINCT CellValue) AS score "
+         "FROM AllTables WHERE CellValue IN (" +
+         SqlInList(values_) + ")" + RewriteClause(rewrite) +
+         " GROUP BY TableId, ColumnId ORDER BY score DESC" + LimitClause(fetch_limit) +
+         ";";
+}
+
+Result<TableList> SCSeeker::Execute(const DiscoveryContext& ctx,
+                                    const std::string& rewrite) const {
+  return RunDedupTopK(
+      *ctx.engine,
+      [&](int64_t fetch) { return GenerateSql(rewrite, static_cast<int>(fetch)); }, k_,
+      /*table_col=*/0, /*score_col=*/2);
+}
+
+SeekerFeatures SCSeeker::ComputeFeatures(const IndexStats& stats) const {
+  return {static_cast<double>(values_.size()), 1.0, stats.AvgFrequency(values_)};
+}
+
+// ---------------------------------------------------------------------------
+// KW seeker
+// ---------------------------------------------------------------------------
+
+KWSeeker::KWSeeker(std::vector<std::string> keywords, int k)
+    : Seeker(k), keywords_(NormalizeDistinct(keywords)) {}
+
+std::string KWSeeker::GenerateSql(const std::string& rewrite, int fetch_limit) const {
+  return "SELECT TableId, COUNT(DISTINCT CellValue) AS score "
+         "FROM AllTables WHERE CellValue IN (" +
+         SqlInList(keywords_) + ")" + RewriteClause(rewrite) +
+         " GROUP BY TableId ORDER BY score DESC" + LimitClause(fetch_limit) + ";";
+}
+
+Result<TableList> KWSeeker::Execute(const DiscoveryContext& ctx,
+                                    const std::string& rewrite) const {
+  BLEND_ASSIGN_OR_RETURN(auto res, ctx.engine->Query(GenerateSql(rewrite, k_)));
+  TableList out;
+  out.reserve(res.NumRows());
+  for (size_t r = 0; r < res.NumRows(); ++r) {
+    out.push_back({static_cast<TableId>(res.Int(r, 0)), res.Double(r, 1)});
+  }
+  return out;
+}
+
+SeekerFeatures KWSeeker::ComputeFeatures(const IndexStats& stats) const {
+  return {static_cast<double>(keywords_.size()), 1.0, stats.AvgFrequency(keywords_)};
+}
+
+// ---------------------------------------------------------------------------
+// MC seeker
+// ---------------------------------------------------------------------------
+
+MCSeeker::MCSeeker(std::vector<std::vector<std::string>> tuples, int k) : Seeker(k) {
+  // Normalize tuples; drop tuples with empty cells (they cannot be aligned).
+  for (auto& t : tuples) {
+    std::vector<std::string> n;
+    n.reserve(t.size());
+    bool ok = true;
+    for (auto& v : t) {
+      std::string nv = NormalizeCell(v);
+      if (nv.empty()) {
+        ok = false;
+        break;
+      }
+      n.push_back(std::move(nv));
+    }
+    if (ok && !n.empty()) tuples_.push_back(std::move(n));
+  }
+  num_columns_ = tuples_.empty() ? 0 : tuples_[0].size();
+  col_values_.resize(num_columns_);
+  std::vector<std::unordered_set<std::string>> seen(num_columns_);
+  for (const auto& t : tuples_) {
+    for (size_t c = 0; c < num_columns_ && c < t.size(); ++c) {
+      if (seen[c].insert(t[c]).second) col_values_[c].push_back(t[c]);
+    }
+  }
+}
+
+std::string MCSeeker::GenerateSql(const std::string& rewrite, int fetch_limit) const {
+  (void)fetch_limit;  // phase 1 must see every candidate row
+  std::string sql =
+      "SELECT T0.TableId AS TableId, T0.RowId AS RowId, T0.SuperKey AS SuperKey "
+      "FROM (SELECT TableId, RowId, SuperKey FROM AllTables WHERE CellValue IN (" +
+      SqlInList(col_values_.empty() ? std::vector<std::string>{} : col_values_[0]) +
+      ")" + RewriteClause(rewrite) + ") AS T0";
+  for (size_t c = 1; c < num_columns_; ++c) {
+    std::string alias = "T" + std::to_string(c);
+    sql += " INNER JOIN (SELECT TableId, RowId FROM AllTables WHERE CellValue IN (" +
+           SqlInList(col_values_[c]) + ")) AS " + alias + " ON T0.TableId = " + alias +
+           ".TableId AND T0.RowId = " + alias + ".RowId";
+  }
+  sql += ";";
+  return sql;
+}
+
+namespace {
+
+/// Exact-match validation (MATE's application-level phase): does the lake row
+/// contain every value of the tuple, each in a distinct column?
+bool AlignTuple(const std::vector<std::string>& row_cells,
+                const std::vector<std::string>& tuple, size_t vi,
+                std::vector<bool>* used) {
+  if (vi == tuple.size()) return true;
+  for (size_t c = 0; c < row_cells.size(); ++c) {
+    if ((*used)[c] || row_cells[c] != tuple[vi]) continue;
+    (*used)[c] = true;
+    if (AlignTuple(row_cells, tuple, vi + 1, used)) return true;
+    (*used)[c] = false;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<TableList> MCSeeker::Execute(const DiscoveryContext& ctx,
+                                    const std::string& rewrite) const {
+  last_stats_ = MCExecutionStats{};
+  if (num_columns_ < 2) {
+    return Status::InvalidArgument("MC seeker requires at least two key columns");
+  }
+  if (num_columns_ > static_cast<size_t>(sql::kMaxRels)) {
+    return Status::InvalidArgument("MC seeker supports at most " +
+                                   std::to_string(sql::kMaxRels) + " key columns");
+  }
+
+  // Phase 1: SQL join over AllTables fetches candidate rows where every query
+  // column contributes a value to the same row.
+  BLEND_ASSIGN_OR_RETURN(auto res, ctx.engine->Query(GenerateSql(rewrite, -1)));
+
+  // De-duplicate (table, row) pairs; the join multiplies matches.
+  std::unordered_map<uint64_t, uint64_t> candidates;  // (table,row) -> superkey
+  for (size_t r = 0; r < res.NumRows(); ++r) {
+    uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(res.Int(r, 0))) << 32) |
+                   static_cast<uint32_t>(res.Int(r, 1));
+    candidates.emplace(key, static_cast<uint64_t>(res.Int(r, 2)));
+  }
+  last_stats_.candidate_rows = candidates.size();
+
+  // Query tuple super keys for the Bloom-filter stage.
+  std::vector<uint64_t> tuple_hashes;
+  tuple_hashes.reserve(tuples_.size());
+  for (const auto& t : tuples_) {
+    std::vector<std::string_view> views(t.begin(), t.end());
+    tuple_hashes.push_back(Xash::SuperKey(views));
+  }
+
+  std::unordered_map<TableId, double> table_scores;
+  std::vector<std::string> row_cells;
+  for (const auto& [key, super_key] : candidates) {
+    TableId t = static_cast<TableId>(key >> 32);
+    int32_t indexed_row = static_cast<int32_t>(key & 0xFFFFFFFFu);
+
+    // Phase 2: XASH super-key filter prunes rows without loading them.
+    std::vector<size_t> surviving;
+    for (size_t i = 0; i < tuples_.size(); ++i) {
+      if (Xash::MayContain(super_key, tuple_hashes[i])) surviving.push_back(i);
+    }
+    if (surviving.empty()) continue;
+    ++last_stats_.bloom_pass_rows;
+
+    // Phase 3: exact validation against the lake table.
+    const Table& table = ctx.lake->table(t);
+    int32_t lake_row = ctx.bundle->OriginalRow(t, indexed_row);
+    row_cells.clear();
+    for (size_t c = 0; c < table.NumColumns(); ++c) {
+      row_cells.push_back(NormalizeCell(table.At(static_cast<size_t>(lake_row), c)));
+    }
+    bool validated = false;
+    for (size_t i : surviving) {
+      std::vector<bool> used(row_cells.size(), false);
+      if (AlignTuple(row_cells, tuples_[i], 0, &used)) {
+        validated = true;
+        break;
+      }
+    }
+    if (validated) {
+      ++last_stats_.true_positives;
+      table_scores[t] += 1.0;
+    } else {
+      ++last_stats_.false_positives;
+    }
+  }
+
+  TableList out;
+  out.reserve(table_scores.size());
+  for (const auto& [t, s] : table_scores) out.push_back({t, s});
+  SortDesc(&out);
+  TruncateK(&out, k_);
+  return out;
+}
+
+SeekerFeatures MCSeeker::ComputeFeatures(const IndexStats& stats) const {
+  double card = 0;
+  double freq_product = 1;
+  for (const auto& col : col_values_) {
+    card += static_cast<double>(col.size());
+    freq_product *= std::max(1.0, stats.AvgFrequency(col));
+  }
+  return {card, static_cast<double>(num_columns_), freq_product};
+}
+
+// ---------------------------------------------------------------------------
+// Correlation seeker
+// ---------------------------------------------------------------------------
+
+CorrelationSeeker::CorrelationSeeker(std::vector<std::string> join_keys,
+                                     std::vector<double> targets, int k, int h)
+    : Seeker(k), h_(h) {
+  // Split keys by the side of the target mean (the paper's $k_0$ / $k_1$
+  // lists, computed "while parsing the input table").
+  double mean = 0;
+  size_t n = std::min(join_keys.size(), targets.size());
+  for (size_t i = 0; i < n; ++i) mean += targets[i];
+  if (n > 0) mean /= static_cast<double>(n);
+
+  std::unordered_set<std::string> below, above, all;
+  for (size_t i = 0; i < n; ++i) {
+    std::string key = NormalizeCell(join_keys[i]);
+    if (key.empty()) continue;
+    if (targets[i] < mean) {
+      if (below.insert(key).second) keys_below_.push_back(key);
+    } else {
+      if (above.insert(key).second) keys_above_.push_back(key);
+    }
+    if (all.insert(key).second) all_keys_.push_back(std::move(key));
+  }
+}
+
+std::string CorrelationSeeker::GenerateSql(const std::string& rewrite,
+                                           int fetch_limit) const {
+  std::string h = std::to_string(h_);
+  return "SELECT keys.TableId AS TableId, keys.ColumnId AS KeyCol, "
+         "nums.ColumnId AS NumCol, "
+         "ABS((2 * SUM((keys.CellValue IN (" +
+         SqlInList(keys_below_) +
+         ") AND nums.Quadrant = 0) OR (keys.CellValue IN (" + SqlInList(keys_above_) +
+         ") AND nums.Quadrant = 1)) - COUNT(*)) / COUNT(*)) AS score "
+         "FROM (SELECT TableId, RowId, ColumnId, CellValue FROM AllTables "
+         "WHERE RowId < " +
+         h + " AND CellValue IN (" + SqlInList(all_keys_) + ")" +
+         RewriteClause(rewrite) +
+         ") AS keys INNER JOIN (SELECT TableId, RowId, ColumnId, Quadrant "
+         "FROM AllTables WHERE RowId < " +
+         h + " AND Quadrant IS NOT NULL" +
+         // A positive TableId IN (...) also prunes the numeric-cell scan (it
+         // turns into the clustered-index access path); a NOT IN would only
+         // add a per-record filter there, so it stays on the keys side.
+         (rewrite.rfind("AND TableId IN", 0) == 0 ? RewriteClause(rewrite) : "") +
+         ") AS nums "
+         "ON keys.TableId = nums.TableId AND keys.RowId = nums.RowId "
+         "AND keys.ColumnId <> nums.ColumnId "
+         "GROUP BY keys.TableId, keys.ColumnId, nums.ColumnId "
+         "ORDER BY score DESC" +
+         LimitClause(fetch_limit) + ";";
+}
+
+Result<TableList> CorrelationSeeker::Execute(const DiscoveryContext& ctx,
+                                             const std::string& rewrite) const {
+  return RunDedupTopK(
+      *ctx.engine,
+      [&](int64_t fetch) { return GenerateSql(rewrite, static_cast<int>(fetch)); }, k_,
+      /*table_col=*/0, /*score_col=*/3);
+}
+
+SeekerFeatures CorrelationSeeker::ComputeFeatures(const IndexStats& stats) const {
+  return {static_cast<double>(all_keys_.size()), 2.0, stats.AvgFrequency(all_keys_)};
+}
+
+}  // namespace blend::core

@@ -1,0 +1,54 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+namespace blend::eval {
+
+double PrecisionAtK(const std::vector<int32_t>& ranked,
+                    const std::unordered_set<int32_t>& relevant, size_t k,
+                    bool penalize_missing) {
+  size_t n = std::min(k, ranked.size());
+  if (n == 0) return 0;
+  size_t hits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (relevant.count(ranked[i]) > 0) ++hits;
+  }
+  double denom = penalize_missing ? static_cast<double>(k) : static_cast<double>(n);
+  return static_cast<double>(hits) / denom;
+}
+
+double RecallAtK(const std::vector<int32_t>& ranked,
+                 const std::unordered_set<int32_t>& relevant, size_t k) {
+  if (relevant.empty()) return 0;
+  size_t n = std::min(k, ranked.size());
+  size_t hits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (relevant.count(ranked[i]) > 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(relevant.size());
+}
+
+double AveragePrecisionAtK(const std::vector<int32_t>& ranked,
+                           const std::unordered_set<int32_t>& relevant, size_t k) {
+  size_t n = std::min(k, ranked.size());
+  if (n == 0 || relevant.empty()) return 0;
+  double sum = 0;
+  size_t hits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (relevant.count(ranked[i]) > 0) {
+      ++hits;
+      sum += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  size_t denom = std::min(k, relevant.size());
+  return denom == 0 ? 0 : sum / static_cast<double>(denom);
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  double s = 0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+}  // namespace blend::eval

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace blend::eval {
+
+/// Retrieval metrics used throughout the evaluation (precision@k, recall@k,
+/// MAP@k), matching the definitions of the union-search literature the paper
+/// follows (§VIII-F).
+
+/// Fraction of the top-k results that are relevant. When fewer than k results
+/// were returned, the denominator is min(k, results.size()) if
+/// `penalize_missing` is false, else k.
+double PrecisionAtK(const std::vector<int32_t>& ranked,
+                    const std::unordered_set<int32_t>& relevant, size_t k,
+                    bool penalize_missing = false);
+
+/// Fraction of the relevant set found in the top-k.
+double RecallAtK(const std::vector<int32_t>& ranked,
+                 const std::unordered_set<int32_t>& relevant, size_t k);
+
+/// Mean average precision at k for a single query.
+double AveragePrecisionAtK(const std::vector<int32_t>& ranked,
+                           const std::unordered_set<int32_t>& relevant, size_t k);
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+}  // namespace blend::eval

@@ -1,0 +1,210 @@
+#include "eval/survey.h"
+
+#include "common/table_printer.h"
+
+namespace blend::eval {
+
+namespace {
+
+SurveyResponse Make(bool industry, double q1, bool q2, bool rows, bool corr,
+                    bool join, bool kw, bool mc, bool scripts, bool sql4, bool ask,
+                    bool oss, bool comm, bool py, bool java, bool sql5, bool cpp,
+                    SurveyResponse::Storage storage, SurveyResponse::SimpleApi q8,
+                    SurveyResponse::ComplexApi q9) {
+  SurveyResponse r;
+  r.industry = industry;
+  r.q1_single_search_pct = q1;
+  r.q2_single_table_sufficient = q2;
+  r.q3_rows = rows;
+  r.q3_correlation = corr;
+  r.q3_join = join;
+  r.q3_keyword = kw;
+  r.q3_mc_join = mc;
+  r.q4_custom_scripts = scripts;
+  r.q4_sql = sql4;
+  r.q4_ask_people = ask;
+  r.q4_open_source = oss;
+  r.q4_commercial = comm;
+  r.q5_python = py;
+  r.q5_java = java;
+  r.q5_sql = sql5;
+  r.q5_cpp = cpp;
+  r.q6_storage = storage;
+  r.q7_would_use_dbms = true;  // unanimous in the study
+  r.q8_simple = q8;
+  r.q9_complex = q9;
+  return r;
+}
+
+}  // namespace
+
+const std::vector<SurveyResponse>& SurveyResponses() {
+  using St = SurveyResponse::Storage;
+  using S8 = SurveyResponse::SimpleApi;
+  using C9 = SurveyResponse::ComplexApi;
+  static const std::vector<SurveyResponse> kResponses = {
+      // --- research participants (R1..R9) ---
+      Make(false, 10.0, true, 1, 1, 1, 1, 0, 1, 1, 1, 1, 1, 1, 1, 1, 1, St::kDbms,
+           S8::kBlend, C9::kBlend),
+      Make(false, 15.0, false, 1, 1, 1, 1, 0, 1, 1, 1, 1, 1, 1, 1, 1, 1, St::kDbms,
+           S8::kBlend, C9::kBlend),
+      Make(false, 20.0, false, 1, 1, 1, 1, 0, 1, 1, 1, 1, 0, 1, 1, 1, 1, St::kDbms,
+           S8::kBlend, C9::kBlend),
+      Make(false, 25.0, false, 0, 1, 1, 1, 1, 1, 1, 0, 1, 0, 1, 1, 1, 1,
+           St::kFileSystem, S8::kPython, C9::kBlend),
+      Make(false, 30.0, false, 0, 0, 0, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 1,
+           St::kFileSystem, S8::kPython, C9::kBlend),
+      Make(false, 35.0, false, 0, 0, 0, 0, 1, 1, 0, 0, 0, 0, 1, 1, 1, 0,
+           St::kFileSystem, S8::kSql, C9::kBlend),
+      Make(false, 40.0, false, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 1, 1, 0,
+           St::kFileSystem, S8::kSql, C9::kBlend),
+      Make(false, 45.0, false, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, St::kBoth,
+           S8::kSql, C9::kBlend),
+      Make(false, 27.5, false, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, St::kBoth,
+           S8::kSql, C9::kPython),
+      // --- industry participants (I1..I9) ---
+      Make(true, 20.0, false, 1, 1, 1, 1, 0, 1, 1, 1, 1, 1, 1, 1, 1, 1, St::kDbms,
+           S8::kBlend, C9::kBlend),
+      Make(true, 25.0, false, 1, 1, 1, 1, 0, 1, 1, 1, 1, 1, 1, 1, 1, 1, St::kDbms,
+           S8::kBlend, C9::kBlend),
+      Make(true, 30.0, false, 1, 1, 1, 1, 0, 1, 1, 1, 1, 0, 1, 1, 1, 1, St::kDbms,
+           S8::kBlend, C9::kBlend),
+      Make(true, 35.0, false, 1, 1, 0, 0, 1, 1, 1, 1, 0, 0, 1, 1, 1, 1, St::kDbms,
+           S8::kBlend, C9::kBlend),
+      Make(true, 40.0, false, 1, 1, 0, 0, 0, 1, 1, 1, 0, 0, 1, 1, 1, 1, St::kBoth,
+           S8::kBlend, C9::kBlend),
+      Make(true, 45.0, false, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 1, 1, 1, 1, St::kBoth,
+           S8::kPython, C9::kBlend),
+      Make(true, 50.0, false, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, St::kBoth,
+           S8::kSql, C9::kBlend),
+      Make(true, 55.0, false, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 0, 0, St::kBoth,
+           S8::kSql, C9::kBlend),
+      Make(true, 49.2, false, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, St::kBoth,
+           S8::kSql, C9::kPython),
+  };
+  return kResponses;
+}
+
+SurveyAggregate Aggregate(const std::vector<SurveyResponse>& responses,
+                          int industry_filter) {
+  SurveyAggregate a;
+  auto pct = [&](size_t count) {
+    return a.n == 0 ? 0.0 : 100.0 * static_cast<double>(count) /
+                                static_cast<double>(a.n);
+  };
+  size_t q2y = 0, rows = 0, corr = 0, join = 0, kw = 0, mc = 0;
+  size_t scripts = 0, sql4 = 0, ask = 0, oss = 0, comm = 0;
+  size_t py = 0, java = 0, sql5 = 0, cpp = 0;
+  size_t dbms = 0, fs = 0, both = 0, q7 = 0;
+  size_t b8 = 0, p8 = 0, s8 = 0, b9 = 0, p9 = 0;
+  double q1_sum = 0;
+
+  for (const auto& r : responses) {
+    if (industry_filter == 0 && r.industry) continue;
+    if (industry_filter == 1 && !r.industry) continue;
+    ++a.n;
+    q1_sum += r.q1_single_search_pct;
+    q2y += r.q2_single_table_sufficient;
+    rows += r.q3_rows;
+    corr += r.q3_correlation;
+    join += r.q3_join;
+    kw += r.q3_keyword;
+    mc += r.q3_mc_join;
+    scripts += r.q4_custom_scripts;
+    sql4 += r.q4_sql;
+    ask += r.q4_ask_people;
+    oss += r.q4_open_source;
+    comm += r.q4_commercial;
+    py += r.q5_python;
+    java += r.q5_java;
+    sql5 += r.q5_sql;
+    cpp += r.q5_cpp;
+    dbms += r.q6_storage == SurveyResponse::Storage::kDbms;
+    fs += r.q6_storage == SurveyResponse::Storage::kFileSystem;
+    both += r.q6_storage == SurveyResponse::Storage::kBoth;
+    q7 += r.q7_would_use_dbms;
+    b8 += r.q8_simple == SurveyResponse::SimpleApi::kBlend;
+    p8 += r.q8_simple == SurveyResponse::SimpleApi::kPython;
+    s8 += r.q8_simple == SurveyResponse::SimpleApi::kSql;
+    b9 += r.q9_complex == SurveyResponse::ComplexApi::kBlend;
+    p9 += r.q9_complex == SurveyResponse::ComplexApi::kPython;
+  }
+  if (a.n == 0) return a;
+  a.q1_mean = q1_sum / static_cast<double>(a.n);
+  a.q2_yes = pct(q2y);
+  a.q2_no = pct(a.n - q2y);
+  a.q3_rows = pct(rows);
+  a.q3_correlation = pct(corr);
+  a.q3_join = pct(join);
+  a.q3_keyword = pct(kw);
+  a.q3_mc = pct(mc);
+  a.q4_scripts = pct(scripts);
+  a.q4_sql = pct(sql4);
+  a.q4_ask = pct(ask);
+  a.q4_oss = pct(oss);
+  a.q4_commercial = pct(comm);
+  a.q5_python = pct(py);
+  a.q5_java = pct(java);
+  a.q5_sql = pct(sql5);
+  a.q5_cpp = pct(cpp);
+  a.q6_dbms = pct(dbms);
+  a.q6_fs = pct(fs);
+  a.q6_both = pct(both);
+  a.q7_yes = pct(q7);
+  a.q8_blend = pct(b8);
+  a.q8_python = pct(p8);
+  a.q8_sql = pct(s8);
+  a.q9_blend = pct(b9);
+  a.q9_python = pct(p9);
+  return a;
+}
+
+std::string RenderUserStudyTable() {
+  const auto& rs = SurveyResponses();
+  SurveyAggregate res = Aggregate(rs, 0);
+  SurveyAggregate ind = Aggregate(rs, 1);
+  SurveyAggregate all = Aggregate(rs, -1);
+
+  TablePrinter tp({"Question", "Research", "Industry", "All"});
+  auto p = [](double v) { return TablePrinter::Fmt(v, 1) + "%"; };
+  tp.AddRow({"Participants", std::to_string(res.n), std::to_string(ind.n),
+             std::to_string(all.n)});
+  tp.AddRow({"Q1 single-search success", p(res.q1_mean), p(ind.q1_mean),
+             p(all.q1_mean)});
+  tp.AddRow({"Q2 single table sufficient (Yes|No)",
+             p(res.q2_yes) + "|" + p(res.q2_no), p(ind.q2_yes) + "|" + p(ind.q2_no),
+             p(all.q2_yes) + "|" + p(all.q2_no)});
+  tp.AddRow({"Q3 discovery for rows", p(res.q3_rows), p(ind.q3_rows), p(all.q3_rows)});
+  tp.AddRow({"Q3 correlation discovery", p(res.q3_correlation),
+             p(ind.q3_correlation), p(all.q3_correlation)});
+  tp.AddRow({"Q3 join discovery", p(res.q3_join), p(ind.q3_join), p(all.q3_join)});
+  tp.AddRow({"Q3 keyword search", p(res.q3_keyword), p(ind.q3_keyword),
+             p(all.q3_keyword)});
+  tp.AddRow({"Q3 multi-column join", p(res.q3_mc), p(ind.q3_mc), p(all.q3_mc)});
+  tp.AddRow({"Q4 custom scripts", p(res.q4_scripts), p(ind.q4_scripts),
+             p(all.q4_scripts)});
+  tp.AddRow({"Q4 SQL queries", p(res.q4_sql), p(ind.q4_sql), p(all.q4_sql)});
+  tp.AddRow({"Q4 asking people", p(res.q4_ask), p(ind.q4_ask), p(all.q4_ask)});
+  tp.AddRow({"Q4 open source tools", p(res.q4_oss), p(ind.q4_oss), p(all.q4_oss)});
+  tp.AddRow({"Q4 commercial tools", p(res.q4_commercial), p(ind.q4_commercial),
+             p(all.q4_commercial)});
+  tp.AddRow({"Q5 Python", p(res.q5_python), p(ind.q5_python), p(all.q5_python)});
+  tp.AddRow({"Q5 Java", p(res.q5_java), p(ind.q5_java), p(all.q5_java)});
+  tp.AddRow({"Q5 SQL", p(res.q5_sql), p(ind.q5_sql), p(all.q5_sql)});
+  tp.AddRow({"Q5 C++", p(res.q5_cpp), p(ind.q5_cpp), p(all.q5_cpp)});
+  tp.AddRow({"Q6 DBMS | Files | Both",
+             p(res.q6_dbms) + "|" + p(res.q6_fs) + "|" + p(res.q6_both),
+             p(ind.q6_dbms) + "|" + p(ind.q6_fs) + "|" + p(ind.q6_both),
+             p(all.q6_dbms) + "|" + p(all.q6_fs) + "|" + p(all.q6_both)});
+  tp.AddRow({"Q7 would use DBMS", p(res.q7_yes), p(ind.q7_yes), p(all.q7_yes)});
+  tp.AddRow({"Q8 simple: BLEND|Python|SQL",
+             p(res.q8_blend) + "|" + p(res.q8_python) + "|" + p(res.q8_sql),
+             p(ind.q8_blend) + "|" + p(ind.q8_python) + "|" + p(ind.q8_sql),
+             p(all.q8_blend) + "|" + p(all.q8_python) + "|" + p(all.q8_sql)});
+  tp.AddRow({"Q9 complex: BLEND|Python", p(res.q9_blend) + "|" + p(res.q9_python),
+             p(ind.q9_blend) + "|" + p(ind.q9_python),
+             p(all.q9_blend) + "|" + p(all.q9_python)});
+  return tp.Render("Table IX: user study (replayed response dataset)");
+}
+
+}  // namespace blend::eval

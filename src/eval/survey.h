@@ -1,0 +1,62 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace blend::eval {
+
+/// One anonymised response of the paper's user study (§VIII-I, Table IX).
+/// A human-subject study cannot be re-run by a library; the repository ships
+/// the response dataset (reconstructed from the statistics the paper reports,
+/// see DESIGN.md §2) together with the aggregation pipeline that regenerates
+/// Table IX from raw responses.
+struct SurveyResponse {
+  bool industry = false;  // false = research
+
+  // Q1: How often do you find data within a single search? (0..100)
+  double q1_single_search_pct = 0;
+  // Q2: Is a single discovered table sufficient?
+  bool q2_single_table_sufficient = false;
+  // Q3: Most frequent discovery tasks (multi-select).
+  bool q3_rows = false, q3_correlation = false, q3_join = false, q3_keyword = false,
+       q3_mc_join = false;
+  // Q4: How do you solve discovery tasks? (multi-select)
+  bool q4_custom_scripts = false, q4_sql = false, q4_ask_people = false,
+       q4_open_source = false, q4_commercial = false;
+  // Q5: Preferred programming languages (multi-select).
+  bool q5_python = false, q5_java = false, q5_sql = false, q5_cpp = false;
+  // Q6: Where is your data lake stored?
+  enum class Storage { kDbms, kFileSystem, kBoth } q6_storage = Storage::kDbms;
+  // Q7: Would you use a DBMS with indexing/optimization for discovery?
+  bool q7_would_use_dbms = false;
+  // Q8: Preferred API for simple tasks.
+  enum class SimpleApi { kBlend, kPython, kSql } q8_simple = SimpleApi::kBlend;
+  // Q9: Preferred API for complex tasks.
+  enum class ComplexApi { kBlend, kPython } q9_complex = ComplexApi::kBlend;
+};
+
+/// The 18-respondent dataset (9 research, 9 industry).
+const std::vector<SurveyResponse>& SurveyResponses();
+
+/// Aggregated percentages for one respondent group.
+struct SurveyAggregate {
+  size_t n = 0;
+  double q1_mean = 0;
+  double q2_yes = 0, q2_no = 0;
+  double q3_rows = 0, q3_correlation = 0, q3_join = 0, q3_keyword = 0, q3_mc = 0;
+  double q4_scripts = 0, q4_sql = 0, q4_ask = 0, q4_oss = 0, q4_commercial = 0;
+  double q5_python = 0, q5_java = 0, q5_sql = 0, q5_cpp = 0;
+  double q6_dbms = 0, q6_fs = 0, q6_both = 0;
+  double q7_yes = 0;
+  double q8_blend = 0, q8_python = 0, q8_sql = 0;
+  double q9_blend = 0, q9_python = 0;
+};
+
+/// Aggregates a group (industry / research / all).
+SurveyAggregate Aggregate(const std::vector<SurveyResponse>& responses,
+                          int industry_filter /* -1 all, 0 research, 1 industry */);
+
+/// Renders the full Table IX from the dataset.
+std::string RenderUserStudyTable();
+
+}  // namespace blend::eval

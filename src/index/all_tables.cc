@@ -1,0 +1,42 @@
+#include "index/all_tables.h"
+
+namespace blend {
+
+void SecondaryIndexes::Build(const std::vector<IndexRecord>& records,
+                             size_t num_cells, size_t num_tables) {
+  postings.assign(num_cells, {});
+  // Two passes: count then fill, to avoid vector regrowth on large lakes.
+  std::vector<uint32_t> counts(num_cells, 0);
+  for (const auto& r : records) ++counts[r.cell];
+  for (size_t c = 0; c < num_cells; ++c) postings[c].reserve(counts[c]);
+  for (RecordPos i = 0; i < records.size(); ++i) {
+    postings[records[i].cell].push_back(i);
+  }
+
+  quadrant_positions.clear();
+  for (RecordPos i = 0; i < records.size(); ++i) {
+    if (records[i].quadrant != kQuadrantNull) quadrant_positions.push_back(i);
+  }
+
+  table_ranges.assign(num_tables, {0, 0});
+  size_t i = 0;
+  while (i < records.size()) {
+    TableId t = records[i].table;
+    size_t j = i;
+    while (j < records.size() && records[j].table == t) ++j;
+    table_ranges[static_cast<size_t>(t)] = {static_cast<RecordPos>(i),
+                                            static_cast<RecordPos>(j)};
+    i = j;
+  }
+}
+
+size_t SecondaryIndexes::ApproxBytes() const {
+  size_t bytes = table_ranges.size() * sizeof(std::pair<RecordPos, RecordPos>) +
+                 quadrant_positions.size() * sizeof(RecordPos);
+  for (const auto& p : postings) {
+    bytes += sizeof(std::vector<RecordPos>) + p.size() * sizeof(RecordPos);
+  }
+  return bytes;
+}
+
+}  // namespace blend

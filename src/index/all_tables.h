@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "storage/data_lake.h"
+#include "storage/dictionary.h"
+
+namespace blend {
+
+/// Quadrant value for non-numeric cells (SQL NULL in the paper's Fig. 3).
+constexpr int8_t kQuadrantNull = -1;
+
+/// One row of the unified AllTables relation (paper Fig. 3):
+///   CellValue (interned), TableId, ColumnId, RowId, SuperKey, Quadrant.
+/// CellValue carries the DataXFormer inverted index, SuperKey the XASH/MATE
+/// multi-column signature, Quadrant the QCR correlation bit.
+struct IndexRecord {
+  CellId cell;
+  TableId table;
+  int32_t column;
+  int32_t row;
+  uint64_t super_key;
+  int8_t quadrant;
+};
+
+/// Physical position of a record within a store.
+using RecordPos = uint32_t;
+
+/// Secondary structures both physical layouts share: the in-database hash
+/// index on CellValue (postings of physical positions) and the clustered
+/// index on TableId (contiguous ranges, since records are emitted
+/// table-ordered).
+struct SecondaryIndexes {
+  /// postings[cell_id] = positions of records with that cell, ascending.
+  std::vector<std::vector<RecordPos>> postings;
+  /// table_ranges[table_id] = [begin, end) physical range.
+  std::vector<std::pair<RecordPos, RecordPos>> table_ranges;
+  /// Positions of records with a non-NULL Quadrant, ascending: the partial
+  /// index on the Quadrant column that serves the correlation seeker's
+  /// `Quadrant IS NOT NULL` scan.
+  std::vector<RecordPos> quadrant_positions;
+
+  void Build(const std::vector<IndexRecord>& records, size_t num_cells,
+             size_t num_tables);
+  size_t ApproxBytes() const;
+};
+
+/// AoS physical layout: PostgreSQL-style row store. Every field access pulls
+/// the whole 24-byte record through the cache.
+class RowStore {
+ public:
+  static constexpr bool kIsColumnStore = false;
+
+  void Build(std::vector<IndexRecord> records, size_t num_cells, size_t num_tables);
+
+  size_t NumRecords() const { return records_.size(); }
+  CellId cell(RecordPos i) const { return records_[i].cell; }
+  TableId table(RecordPos i) const { return records_[i].table; }
+  int32_t column(RecordPos i) const { return records_[i].column; }
+  int32_t row(RecordPos i) const { return records_[i].row; }
+  uint64_t super_key(RecordPos i) const { return records_[i].super_key; }
+  int8_t quadrant(RecordPos i) const { return records_[i].quadrant; }
+
+  const std::vector<RecordPos>& Postings(CellId id) const {
+    return id < secondary_.postings.size() ? secondary_.postings[id] : empty_;
+  }
+  std::pair<RecordPos, RecordPos> TableRange(TableId id) const {
+    return secondary_.table_ranges[static_cast<size_t>(id)];
+  }
+  const std::vector<RecordPos>& QuadrantPositions() const {
+    return secondary_.quadrant_positions;
+  }
+  size_t NumTables() const { return secondary_.table_ranges.size(); }
+
+  size_t ApproxBytes() const {
+    return records_.size() * sizeof(IndexRecord) + secondary_.ApproxBytes();
+  }
+
+ private:
+  std::vector<IndexRecord> records_;
+  SecondaryIndexes secondary_;
+  std::vector<RecordPos> empty_;
+};
+
+/// SoA physical layout: column store. A scan that needs only TableId and
+/// RowId touches two tightly packed arrays.
+class ColumnStore {
+ public:
+  static constexpr bool kIsColumnStore = true;
+
+  void Build(std::vector<IndexRecord> records, size_t num_cells, size_t num_tables);
+
+  size_t NumRecords() const { return cells_.size(); }
+  CellId cell(RecordPos i) const { return cells_[i]; }
+  TableId table(RecordPos i) const { return tables_[i]; }
+  int32_t column(RecordPos i) const { return columns_[i]; }
+  int32_t row(RecordPos i) const { return rows_[i]; }
+  uint64_t super_key(RecordPos i) const { return super_keys_[i]; }
+  int8_t quadrant(RecordPos i) const { return quadrants_[i]; }
+
+  const std::vector<RecordPos>& Postings(CellId id) const {
+    return id < secondary_.postings.size() ? secondary_.postings[id] : empty_;
+  }
+  std::pair<RecordPos, RecordPos> TableRange(TableId id) const {
+    return secondary_.table_ranges[static_cast<size_t>(id)];
+  }
+  const std::vector<RecordPos>& QuadrantPositions() const {
+    return secondary_.quadrant_positions;
+  }
+  size_t NumTables() const { return secondary_.table_ranges.size(); }
+
+  size_t ApproxBytes() const {
+    return cells_.size() * (sizeof(CellId) + sizeof(TableId) + 2 * sizeof(int32_t) +
+                            sizeof(uint64_t) + sizeof(int8_t)) +
+           secondary_.ApproxBytes();
+  }
+
+ private:
+  std::vector<CellId> cells_;
+  std::vector<TableId> tables_;
+  std::vector<int32_t> columns_;
+  std::vector<int32_t> rows_;
+  std::vector<uint64_t> super_keys_;
+  std::vector<int8_t> quadrants_;
+  SecondaryIndexes secondary_;
+  std::vector<RecordPos> empty_;
+};
+
+}  // namespace blend

@@ -1,0 +1,89 @@
+#include "index/builder.h"
+
+#include <optional>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "common/xash.h"
+
+namespace blend {
+
+size_t IndexBundle::ApproxBytes() const {
+  size_t store = layout_ == StoreLayout::kRow ? row_store_.ApproxBytes()
+                                              : column_store_.ApproxBytes();
+  size_t maps = 0;
+  for (const auto& m : row_maps_) maps += m.size() * sizeof(int32_t);
+  return store + dict_.ApproxBytes() + maps;
+}
+
+IndexBundle IndexBuilder::Build(const DataLake& lake) const {
+  IndexBundle bundle;
+  bundle.layout_ = options_.layout;
+  Rng rng(options_.shuffle_seed);
+
+  std::vector<IndexRecord> records;
+  records.reserve(lake.TotalCells());
+  if (options_.shuffle_rows) bundle.row_maps_.resize(lake.NumTables());
+
+  for (TableId tid = 0; tid < static_cast<TableId>(lake.NumTables()); ++tid) {
+    const Table& t = lake.table(tid);
+    const size_t rows = t.NumRows();
+    const size_t cols = t.NumColumns();
+
+    // Per-column numeric means for the quadrant bit.
+    std::vector<std::optional<double>> means(cols);
+    std::vector<bool> numeric(cols, false);
+    for (size_t c = 0; c < cols; ++c) {
+      if (t.column(c).IsNumeric()) {
+        numeric[c] = true;
+        means[c] = t.column(c).NumericMean();
+      }
+    }
+
+    // RowId assignment order: identity or shuffled (BLEND(rand)).
+    std::vector<int32_t> order(rows);
+    for (size_t r = 0; r < rows; ++r) order[r] = static_cast<int32_t>(r);
+    if (options_.shuffle_rows) {
+      rng.Shuffle(&order);
+      bundle.row_maps_[static_cast<size_t>(tid)] = order;
+    }
+
+    std::vector<std::string> normalized(cols);
+    std::vector<std::string_view> row_views;
+    for (size_t out_row = 0; out_row < rows; ++out_row) {
+      const size_t src_row = static_cast<size_t>(order[out_row]);
+      row_views.clear();
+      for (size_t c = 0; c < cols; ++c) {
+        normalized[c] = NormalizeCell(t.At(src_row, c));
+        if (!normalized[c].empty()) row_views.push_back(normalized[c]);
+      }
+      const uint64_t super_key = Xash::SuperKey(row_views);
+
+      for (size_t c = 0; c < cols; ++c) {
+        if (normalized[c].empty()) continue;
+        IndexRecord rec;
+        rec.cell = bundle.dict_.Intern(normalized[c]);
+        rec.table = tid;
+        rec.column = static_cast<int32_t>(c);
+        rec.row = static_cast<int32_t>(out_row);
+        rec.super_key = super_key;
+        rec.quadrant = kQuadrantNull;
+        if (numeric[c] && means[c].has_value()) {
+          auto v = ParseNumeric(t.At(src_row, c));
+          if (v.has_value()) rec.quadrant = (*v >= *means[c]) ? 1 : 0;
+        }
+        records.push_back(rec);
+      }
+    }
+  }
+
+  const size_t num_cells = bundle.dict_.Size();
+  if (options_.layout == StoreLayout::kRow) {
+    bundle.row_store_.Build(std::move(records), num_cells, lake.NumTables());
+  } else {
+    bundle.column_store_.Build(std::move(records), num_cells, lake.NumTables());
+  }
+  return bundle;
+}
+
+}  // namespace blend

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <memory>
+#include <variant>
+
+#include "index/all_tables.h"
+#include "storage/data_lake.h"
+#include "storage/dictionary.h"
+
+namespace blend {
+
+/// Physical layout of the AllTables relation.
+enum class StoreLayout { kRow, kColumn };
+
+/// Offline indexing options (paper Fig. 2e).
+struct IndexBuildOptions {
+  StoreLayout layout = StoreLayout::kColumn;
+  /// When true, each table's rows are permuted before RowId assignment. The
+  /// paper's BLEND(rand) correlation variant indexes "apriori shuffled" rows
+  /// so that the correlation seeker's `RowId < h` convenience sample becomes a
+  /// random sample (§VIII-G).
+  bool shuffle_rows = false;
+  uint64_t shuffle_seed = 17;
+};
+
+/// The built unified index: dictionary + one physical store + the per-table
+/// map from indexed RowId back to the lake table's original row (identity
+/// unless shuffle_rows).
+class IndexBundle {
+ public:
+  const Dictionary& dictionary() const { return dict_; }
+  Dictionary& dictionary() { return dict_; }
+
+  StoreLayout layout() const { return layout_; }
+  const RowStore& row_store() const { return row_store_; }
+  const ColumnStore& column_store() const { return column_store_; }
+
+  /// Original lake row for (table, indexed row id).
+  int32_t OriginalRow(TableId t, int32_t indexed_row) const {
+    if (row_maps_.empty()) return indexed_row;
+    return row_maps_[static_cast<size_t>(t)][static_cast<size_t>(indexed_row)];
+  }
+
+  size_t NumRecords() const {
+    return layout_ == StoreLayout::kRow ? row_store_.NumRecords()
+                                        : column_store_.NumRecords();
+  }
+  size_t NumTables() const {
+    return layout_ == StoreLayout::kRow ? row_store_.NumTables()
+                                        : column_store_.NumTables();
+  }
+
+  /// Index storage footprint (records + secondary indexes + dictionary).
+  size_t ApproxBytes() const;
+
+  friend class IndexBuilder;
+
+ private:
+  Dictionary dict_;
+  StoreLayout layout_ = StoreLayout::kColumn;
+  RowStore row_store_;
+  ColumnStore column_store_;
+  std::vector<std::vector<int32_t>> row_maps_;  // empty => identity
+};
+
+/// Builds the AllTables index from a data lake: inverted-index rows, XASH
+/// super keys per row and QCR quadrant bits per numeric cell, in one pass.
+class IndexBuilder {
+ public:
+  explicit IndexBuilder(IndexBuildOptions options = {}) : options_(options) {}
+
+  /// Indexes every table of the lake. Empty cells are not indexed.
+  IndexBundle Build(const DataLake& lake) const;
+
+ private:
+  IndexBuildOptions options_;
+};
+
+}  // namespace blend

@@ -1,0 +1,26 @@
+#include "index/all_tables.h"
+
+namespace blend {
+
+void ColumnStore::Build(std::vector<IndexRecord> records, size_t num_cells,
+                        size_t num_tables) {
+  const size_t n = records.size();
+  cells_.resize(n);
+  tables_.resize(n);
+  columns_.resize(n);
+  rows_.resize(n);
+  super_keys_.resize(n);
+  quadrants_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const IndexRecord& r = records[i];
+    cells_[i] = r.cell;
+    tables_[i] = r.table;
+    columns_[i] = r.column;
+    rows_[i] = r.row;
+    super_keys_[i] = r.super_key;
+    quadrants_[i] = r.quadrant;
+  }
+  secondary_.Build(records, num_cells, num_tables);
+}
+
+}  // namespace blend

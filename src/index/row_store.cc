@@ -1,0 +1,11 @@
+#include "index/all_tables.h"
+
+namespace blend {
+
+void RowStore::Build(std::vector<IndexRecord> records, size_t num_cells,
+                     size_t num_tables) {
+  records_ = std::move(records);
+  secondary_.Build(records_, num_cells, num_tables);
+}
+
+}  // namespace blend

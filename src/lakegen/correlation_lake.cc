@@ -1,0 +1,93 @@
+#include "lakegen/correlation_lake.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lakegen/vocab.h"
+
+namespace blend::lakegen {
+
+namespace {
+
+/// Standardized latent signal of a key (mean ~0 under uniform key draws).
+double Z(int domain, size_t key_index) {
+  return (Vocab::Signal(domain, key_index) - 0.5) * 3.4641;  // unit-ish variance
+}
+
+}  // namespace
+
+CorrLake MakeCorrLake(const CorrLakeSpec& spec) {
+  CorrLake out;
+  out.lake = DataLake(spec.name);
+  Rng rng(spec.seed);
+
+  const double rho_levels[] = {0.95, 0.8, 0.6, 0.4, 0.2, 0.05};
+
+  for (size_t ti = 0; ti < spec.num_tables; ++ti) {
+    int domain = static_cast<int>(rng.Uniform(spec.num_key_domains));
+    bool numeric_key = rng.UniformDouble() < spec.numeric_key_frac;
+
+    size_t num_keys = spec.keys_per_table_min +
+                      rng.Uniform(spec.keys_per_table_max - spec.keys_per_table_min + 1);
+    auto key_indices = rng.SampleIndices(spec.keys_per_domain, num_keys);
+    std::sort(key_indices.begin(), key_indices.end());  // sorted layout => runs
+
+    size_t num_cols =
+        spec.num_cols_min + rng.Uniform(spec.num_cols_max - spec.num_cols_min + 1);
+
+    Table t(spec.name + "_t" + std::to_string(ti));
+    t.AddColumn("key", numeric_key ? -1 : domain);
+    const size_t key_cols = spec.composite_key ? 2 : 1;
+    if (spec.composite_key) {
+      t.AddColumn("key2", domain + 100000);
+    }
+    std::vector<double> rho(num_cols);
+    for (size_t c = 0; c < num_cols; ++c) {
+      rho[c] = rho_levels[rng.Uniform(6)] * (rng.UniformDouble() < 0.5 ? -1.0 : 1.0);
+      t.AddColumn("num" + std::to_string(c), -1);
+    }
+
+    std::vector<std::string> row(key_cols + num_cols);
+    for (size_t ki = 0; ki < key_indices.size(); ++ki) {
+      size_t key_idx = key_indices[ki];
+      size_t run = spec.run_min + rng.Uniform(spec.run_max - spec.run_min + 1);
+      for (size_t r = 0; r < run; ++r) {
+        row[0] = numeric_key ? Vocab::NumericToken(domain, key_idx)
+                             : Vocab::Token(domain, key_idx);
+        if (spec.composite_key) row[1] = CompositePartner(domain, key_idx);
+        double z = Z(domain, key_idx);
+        for (size_t c = 0; c < num_cols; ++c) {
+          double v = rho[c] * z +
+                     std::sqrt(std::max(0.0, 1.0 - rho[c] * rho[c])) * rng.Normal() +
+                     spec.noise * rng.Normal();
+          row[key_cols + c] = std::to_string(v);
+        }
+        (void)t.AppendRow(row);
+      }
+    }
+    out.lake.AddTable(std::move(t));
+    out.table_domain.push_back(domain);
+    out.numeric_key.push_back(numeric_key);
+  }
+  return out;
+}
+
+std::string CompositePartner(int domain, size_t index) {
+  return "p" + std::to_string(domain) + "_" + std::to_string(index % 64);
+}
+
+CorrQuery MakeCorrQuery(const CorrLakeSpec& spec, int domain, bool numeric_key,
+                        size_t num_keys, Rng* rng) {
+  CorrQuery q;
+  q.domain = domain;
+  q.numeric_key = numeric_key;
+  auto idx = rng->SampleIndices(spec.keys_per_domain, num_keys);
+  for (size_t key_idx : idx) {
+    q.keys.push_back(numeric_key ? Vocab::NumericToken(domain, key_idx)
+                                 : Vocab::Token(domain, key_idx));
+    q.targets.push_back(Z(domain, key_idx) + 0.05 * rng->Normal());
+  }
+  return q;
+}
+
+}  // namespace blend::lakegen

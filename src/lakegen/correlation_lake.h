@@ -1,0 +1,66 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/data_lake.h"
+
+namespace blend::lakegen {
+
+/// Parameters of a correlation-discovery lake (stands in for NYC Open Data).
+/// Each key domain has a latent signal f(key); numeric columns realize a
+/// controlled Pearson correlation with that signal, so exact ground truth is
+/// computable. Keys can be categorical or numeric (the paper's NYC (Cat.) vs
+/// NYC (All) distinction). Rows are laid out sorted by key, giving duplicate
+/// runs — the layout that makes the `RowId < h` convenience sample
+/// non-representative (§VIII-G sampling ablation).
+struct CorrLakeSpec {
+  std::string name = "corr-lake";
+  size_t num_tables = 300;
+  size_t keys_per_table_min = 30;
+  size_t keys_per_table_max = 90;
+  /// Rows per key (duplicate run length).
+  size_t run_min = 1;
+  size_t run_max = 4;
+  size_t num_key_domains = 12;
+  size_t keys_per_domain = 500;
+  /// Fraction of tables whose join key column is numeric.
+  double numeric_key_frac = 0.4;
+  /// When true, a second categorical key column ("key2", the deterministic
+  /// partner of the key) is added so composite-key (MC) joinability holds —
+  /// used by the multicollinearity-aware feature-discovery task (Table III).
+  bool composite_key = false;
+  size_t num_cols_min = 2;
+  size_t num_cols_max = 5;
+  /// Observation noise on numeric values.
+  double noise = 0.15;
+  uint64_t seed = 3;
+};
+
+struct CorrLake {
+  DataLake lake;
+  /// Key domain of every table's join key column (column 0).
+  std::vector<int> table_domain;
+  /// Whether the table's key column is numeric.
+  std::vector<bool> numeric_key;
+};
+
+CorrLake MakeCorrLake(const CorrLakeSpec& spec);
+
+/// A correlation query: join keys plus target values, drawn from one domain.
+struct CorrQuery {
+  std::vector<std::string> keys;
+  std::vector<double> targets;
+  int domain = 0;
+  bool numeric_key = false;
+};
+
+/// Builds a query whose target follows the domain's latent signal.
+CorrQuery MakeCorrQuery(const CorrLakeSpec& spec, int domain, bool numeric_key,
+                        size_t num_keys, Rng* rng);
+
+/// Deterministic second key paired with key `index` of `domain` (the value of
+/// the "key2" column when `composite_key` is set).
+std::string CompositePartner(int domain, size_t index);
+
+}  // namespace blend::lakegen

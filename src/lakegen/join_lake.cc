@@ -1,0 +1,46 @@
+#include "lakegen/join_lake.h"
+
+#include "lakegen/vocab.h"
+
+namespace blend::lakegen {
+
+DataLake MakeJoinLake(const JoinLakeSpec& spec) {
+  DataLake lake(spec.name);
+  Rng rng(spec.seed);
+  ZipfVocabSampler sampler(spec.domain_vocab, spec.zipf_s);
+
+  for (size_t ti = 0; ti < spec.num_tables; ++ti) {
+    Table t(spec.name + "_t" + std::to_string(ti));
+    size_t cols =
+        spec.min_cols + rng.Uniform(spec.max_cols - spec.min_cols + 1);
+    size_t rows =
+        spec.min_rows + rng.Uniform(spec.max_rows - spec.min_rows + 1);
+
+    std::vector<int> col_domain(cols);
+    std::vector<bool> numeric(cols);
+    for (size_t c = 0; c < cols; ++c) {
+      numeric[c] = rng.UniformDouble() < spec.numeric_col_prob;
+      col_domain[c] = static_cast<int>(rng.Uniform(
+          static_cast<uint64_t>(spec.num_domains)));
+      t.AddColumn("c" + std::to_string(c), numeric[c] ? -1 : col_domain[c]);
+    }
+
+    std::vector<std::string> row(cols);
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < cols; ++c) {
+        if (numeric[c]) {
+          // Values around a per-column center so means/quadrants vary.
+          double center = static_cast<double>(col_domain[c]) * 10.0;
+          row[c] = std::to_string(center + rng.Normal() * 5.0);
+        } else {
+          row[c] = Vocab::Token(col_domain[c], sampler.SampleIndex(&rng));
+        }
+      }
+      (void)t.AppendRow(row);
+    }
+    lake.AddTable(std::move(t));
+  }
+  return lake;
+}
+
+}  // namespace blend::lakegen

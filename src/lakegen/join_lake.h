@@ -1,0 +1,33 @@
+#pragma once
+
+#include "common/rng.h"
+#include "storage/data_lake.h"
+
+namespace blend::lakegen {
+
+/// Parameters of a general-purpose "web tables" lake used by the join-search
+/// experiments (Fig. 5, Fig. 6, Table IV). Stands in for Gittables / WDC /
+/// Open Data; see DESIGN.md §2.
+struct JoinLakeSpec {
+  std::string name = "join-lake";
+  size_t num_tables = 1000;
+  size_t min_rows = 20;
+  size_t max_rows = 120;
+  size_t min_cols = 2;
+  size_t max_cols = 6;
+  /// Number of categorical domains tokens are drawn from.
+  int num_domains = 40;
+  /// Tokens per domain.
+  size_t domain_vocab = 4000;
+  /// Zipf skew of token popularity.
+  double zipf_s = 1.05;
+  /// Probability that a column is numeric (random values, quadrant fodder).
+  double numeric_col_prob = 0.3;
+  uint64_t seed = 1;
+};
+
+/// Generates the lake. Every categorical column is tagged with its domain
+/// (consumed only by the simulated semantic baselines).
+DataLake MakeJoinLake(const JoinLakeSpec& spec);
+
+}  // namespace blend::lakegen

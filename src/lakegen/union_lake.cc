@@ -1,0 +1,85 @@
+#include "lakegen/union_lake.h"
+
+#include "lakegen/vocab.h"
+
+namespace blend::lakegen {
+
+UnionLake MakeUnionLake(const UnionLakeSpec& spec) {
+  UnionLake out;
+  out.lake = DataLake(spec.name);
+  Rng rng(spec.seed);
+  // Popular half of each domain's vocabulary: the syntactic pool.
+  const size_t common_pool = spec.domain_vocab / 2;
+  ZipfVocabSampler sampler(common_pool, spec.zipf_s);
+
+  int next_domain = 0;
+  int table_counter = 0;
+
+  auto add_member = [&](int group, const std::vector<int>& schema, bool semantic,
+                        size_t member_idx) {
+    Table t(spec.name + "_g" + std::to_string(group) + "_m" +
+            std::to_string(table_counter++));
+    size_t rows = spec.rows_min + rng.Uniform(spec.rows_max - spec.rows_min + 1);
+    for (size_t c = 0; c < schema.size(); ++c) {
+      int tag = schema[c];
+      // Simulated model noise: occasionally the oracle sees the wrong domain.
+      if (rng.UniformDouble() < spec.tag_noise) {
+        tag = static_cast<int>(rng.Uniform(static_cast<uint64_t>(next_domain + 1)));
+      }
+      t.AddColumn("c" + std::to_string(c), tag);
+    }
+    std::vector<std::string> row(schema.size());
+    // Semantic members draw from a member-private slice of the rare pool.
+    const size_t slice = 40;
+    const size_t rare_base = common_pool + (member_idx * slice) % common_pool;
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < schema.size(); ++c) {
+        size_t idx = semantic ? rare_base + rng.Uniform(slice)
+                              : sampler.SampleIndex(&rng);
+        row[c] = Vocab::Token(schema[c], idx);
+      }
+      (void)t.AppendRow(row);
+    }
+    return out.lake.AddTable(std::move(t));
+  };
+
+  for (size_t g = 0; g < spec.num_groups; ++g) {
+    size_t cols = spec.cols_min + rng.Uniform(spec.cols_max - spec.cols_min + 1);
+    std::vector<int> schema(cols);
+    for (size_t c = 0; c < cols; ++c) schema[c] = next_domain++;
+
+    size_t size =
+        spec.group_size_min + rng.Uniform(spec.group_size_max - spec.group_size_min + 1);
+    double frac = spec.semantic_frac;
+    if (spec.semantic_frac_alt >= 0 && rng.UniformDouble() < spec.alt_group_frac) {
+      frac = spec.semantic_frac_alt;
+    }
+    size_t num_semantic =
+        static_cast<size_t>(static_cast<double>(size) * frac + 0.5);
+
+    std::vector<TableId> members;
+    for (size_t m = 0; m < size; ++m) {
+      bool semantic = m > 0 && m <= num_semantic;  // member 0 is the query
+      members.push_back(add_member(static_cast<int>(g), schema, semantic, m));
+    }
+    out.query_tables.push_back(members[0]);
+    out.groups.push_back(std::move(members));
+  }
+
+  // Noise tables with private domains.
+  for (size_t n = 0; n < spec.noise_tables; ++n) {
+    size_t cols = spec.cols_min + rng.Uniform(spec.cols_max - spec.cols_min + 1);
+    std::vector<int> schema(cols);
+    for (size_t c = 0; c < cols; ++c) schema[c] = next_domain++;
+    add_member(-1, schema, /*semantic=*/false, n);
+  }
+
+  out.group_of.assign(out.lake.NumTables(), -1);
+  for (size_t g = 0; g < out.groups.size(); ++g) {
+    for (TableId t : out.groups[g]) out.group_of[static_cast<size_t>(t)] =
+        static_cast<int>(g);
+  }
+  return out;
+}
+
+}  // namespace blend::lakegen

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/data_lake.h"
+
+namespace blend::lakegen {
+
+/// Parameters of a union-search lake with ground truth (stands in for TUS /
+/// SANTOS; see DESIGN.md §2). Tables belong to union groups that share a
+/// schema of domains. Members are either *syntactic* (values drawn from the
+/// domain's common token pool, so they overlap heavily) or *semantic* (values
+/// drawn from a member-private slice of the rare pool: same domain, almost no
+/// token overlap). Semantic members are what embedding baselines find and
+/// overlap-based search misses — the crossover mechanism of §VIII-F.
+struct UnionLakeSpec {
+  std::string name = "union-lake";
+  size_t num_groups = 40;
+  size_t group_size_min = 6;
+  size_t group_size_max = 16;
+  size_t cols_min = 3;
+  size_t cols_max = 5;
+  size_t rows_min = 30;
+  size_t rows_max = 80;
+  size_t domain_vocab = 3000;
+  double zipf_s = 1.02;
+  /// Fraction of group members that are semantic (low-overlap).
+  double semantic_frac = 0.25;
+  /// When >= 0, a random `alt_group_frac` share of groups uses this semantic
+  /// fraction instead (models topic areas where tables rarely share surface
+  /// tokens — the regime where embedding search shines at small k).
+  double semantic_frac_alt = -1;
+  double alt_group_frac = 0;
+  /// Tables not unionable with anything.
+  size_t noise_tables = 80;
+  /// Probability that the embedding oracle mis-tags a column (model noise).
+  double tag_noise = 0.12;
+  uint64_t seed = 2;
+};
+
+struct UnionLake {
+  DataLake lake;
+  /// groups[g] = member table ids.
+  std::vector<std::vector<TableId>> groups;
+  /// group_of[table] = group id or -1 for noise tables.
+  std::vector<int> group_of;
+  /// One designated query table per group (a syntactic member).
+  std::vector<TableId> query_tables;
+};
+
+UnionLake MakeUnionLake(const UnionLakeSpec& spec);
+
+}  // namespace blend::lakegen

@@ -1,0 +1,27 @@
+#include "lakegen/vocab.h"
+
+#include "common/hashing.h"
+
+namespace blend::lakegen {
+
+std::string Vocab::Token(int domain, size_t index) {
+  return "d" + std::to_string(domain) + "_v" + std::to_string(index);
+}
+
+std::string Vocab::NumericToken(int domain, size_t index) {
+  // Distinct numeric ranges per domain keep numeric keys domain-scoped.
+  uint64_t base = static_cast<uint64_t>(domain) * 1000003ULL;
+  return std::to_string(base + index);
+}
+
+double Vocab::Signal(int domain, size_t index) {
+  uint64_t h = Mix64((static_cast<uint64_t>(domain) << 32) ^ (index * 2 + 1));
+  return static_cast<double>(h >> 11) / 9007199254740992.0;
+}
+
+ZipfVocabSampler::ZipfVocabSampler(size_t vocab_size, double s)
+    : table_(Rng::MakeZipf(vocab_size, s)) {}
+
+size_t ZipfVocabSampler::SampleIndex(Rng* rng) const { return rng->Zipf(table_); }
+
+}  // namespace blend::lakegen

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace blend::lakegen {
+
+/// Synthetic token vocabularies. Every generated lake draws its cell values
+/// from per-domain vocabularies: tokens of the same domain represent values
+/// from the same semantic space (department names, city names, ...), which is
+/// what drives joinability, unionability and the semantic oracle of the
+/// simulated embedding baselines.
+class Vocab {
+ public:
+  /// Categorical token `index` of `domain`, e.g. "d3_v17".
+  static std::string Token(int domain, size_t index);
+
+  /// Numeric-looking token (stringified integer) unique to (domain, index);
+  /// used for numeric join keys (paper §VIII-G NYC (All)).
+  static std::string NumericToken(int domain, size_t index);
+
+  /// Deterministic latent signal of a key token in [0, 1]: the "ground-truth
+  /// generating function" per domain used by correlation lakes.
+  static double Signal(int domain, size_t index);
+};
+
+/// Samples token indices with Zipfian popularity (popular tokens recur across
+/// tables, producing realistic overlap distributions).
+class ZipfVocabSampler {
+ public:
+  ZipfVocabSampler(size_t vocab_size, double s);
+
+  size_t SampleIndex(Rng* rng) const;
+
+ private:
+  Rng::ZipfTable table_;
+};
+
+}  // namespace blend::lakegen

@@ -1,0 +1,15 @@
+#include "sql/engine.h"
+
+#include "sql/parser.h"
+
+namespace blend::sql {
+
+Result<QueryResult> Engine::Query(const std::string& sql) const {
+  BLEND_ASSIGN_OR_RETURN(auto stmt, Parse(sql));
+  if (bundle_->layout() == StoreLayout::kRow) {
+    return ExecuteSelect(*stmt, bundle_->row_store(), bundle_->dictionary());
+  }
+  return ExecuteSelect(*stmt, bundle_->column_store(), bundle_->dictionary());
+}
+
+}  // namespace blend::sql

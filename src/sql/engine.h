@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+
+#include "index/builder.h"
+#include "sql/executor.h"
+
+namespace blend::sql {
+
+/// The embedded database engine hosting the AllTables relation. Seekers are
+/// compiled to SQL text, sent here, and executed against the bundle's
+/// physical store (row or column layout) — BLEND's "push the operators down
+/// to the database" design.
+class Engine {
+ public:
+  explicit Engine(const IndexBundle* bundle) : bundle_(bundle) {}
+
+  /// Parses and executes one SELECT statement.
+  Result<QueryResult> Query(const std::string& sql) const;
+
+  const IndexBundle& bundle() const { return *bundle_; }
+  const Dictionary& dictionary() const { return bundle_->dictionary(); }
+
+ private:
+  const IndexBundle* bundle_;
+};
+
+}  // namespace blend::sql

@@ -1,0 +1,812 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/str_util.h"
+#include "sql/planner.h"
+
+namespace blend::sql {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Helpers shared by the pipeline stages.
+// ---------------------------------------------------------------------------
+
+Binder::RelColumns AllFields(const std::string& alias) {
+  Binder::RelColumns rc;
+  rc.alias = ToLower(alias);
+  for (int i = 0; i < kNumFields; ++i) {
+    Field f = static_cast<Field>(i);
+    rc.cols.emplace(ToLower(FieldName(f)), f);
+  }
+  return rc;
+}
+
+/// Three-way SqlValue comparison; NULL sorts first.
+int Cmp(const SqlValue& a, const SqlValue& b) {
+  if (a.is_null() || b.is_null()) {
+    if (a.is_null() && b.is_null()) return 0;
+    return a.is_null() ? -1 : 1;
+  }
+  if (a.kind == SqlValue::Kind::kInt && b.kind == SqlValue::Kind::kInt) {
+    return a.i < b.i ? -1 : (a.i > b.i ? 1 : 0);
+  }
+  double x = a.AsDouble(), y = b.AsDouble();
+  return x < y ? -1 : (x > y ? 1 : 0);
+}
+
+/// True when the conjunct is `<Field> [NOT]IN (...)` on the given field
+/// (unqualified or any qualifier; scans see a single relation).
+bool IsFieldInList(const Expr& e, Field field, bool want_strings) {
+  if (e.kind != ExprKind::kInList || e.negated) return false;
+  if (e.lhs == nullptr || e.lhs->kind != ExprKind::kColumnRef) return false;
+  Field f;
+  if (!LookupField(e.lhs->column, &f) || f != field) return false;
+  return want_strings ? !e.in_strings.empty() : !e.in_ints.empty();
+}
+
+/// Detects `RowId < N` (returns N) for the tight-loop scan fast path.
+bool IsRowIdLess(const Expr& e, int64_t* bound) {
+  if (e.kind != ExprKind::kBinary || e.op != BinOp::kLt) return false;
+  if (e.lhs == nullptr || e.lhs->kind != ExprKind::kColumnRef) return false;
+  Field f;
+  if (!LookupField(e.lhs->column, &f) || f != Field::kRow) return false;
+  if (e.rhs == nullptr || e.rhs->kind != ExprKind::kIntLiteral) return false;
+  *bound = e.rhs->int_val;
+  return true;
+}
+
+/// Detects `Quadrant IS NOT NULL`.
+bool IsQuadrantNotNull(const Expr& e) {
+  if (e.kind != ExprKind::kIsNull || !e.negated) return false;
+  if (e.lhs == nullptr || e.lhs->kind != ExprKind::kColumnRef) return false;
+  Field f;
+  return LookupField(e.lhs->column, &f) && f == Field::kQuadrant;
+}
+
+struct AggState {
+  int64_t count = 0;
+  double dsum = 0;
+  int64_t isum = 0;
+  bool int_only = true;
+  SqlValue minv = SqlValue::Null();
+  SqlValue maxv = SqlValue::Null();
+  std::unordered_set<int64_t> seen_ints;
+  std::unordered_set<uint64_t> seen_doubles;
+};
+
+void UpdateAgg(const AggSpec& spec, AggState* st, const SqlValue& v) {
+  switch (spec.kind) {
+    case AggSpec::Kind::kCountStar:
+      ++st->count;
+      return;
+    case AggSpec::Kind::kCount:
+      if (v.is_null()) return;
+      if (spec.distinct) {
+        if (v.kind == SqlValue::Kind::kInt) {
+          st->seen_ints.insert(v.i);
+        } else {
+          uint64_t bits;
+          std::memcpy(&bits, &v.d, sizeof(bits));
+          st->seen_doubles.insert(bits);
+        }
+      } else {
+        ++st->count;
+      }
+      return;
+    case AggSpec::Kind::kSum:
+    case AggSpec::Kind::kAvg:
+      if (v.is_null()) return;
+      ++st->count;
+      if (v.kind == SqlValue::Kind::kInt && st->int_only) {
+        st->isum += v.i;
+      } else {
+        st->int_only = false;
+      }
+      st->dsum += v.AsDouble();
+      return;
+    case AggSpec::Kind::kMin:
+      if (v.is_null()) return;
+      if (st->minv.is_null() || Cmp(v, st->minv) < 0) st->minv = v;
+      return;
+    case AggSpec::Kind::kMax:
+      if (v.is_null()) return;
+      if (st->maxv.is_null() || Cmp(v, st->maxv) > 0) st->maxv = v;
+      return;
+  }
+}
+
+SqlValue FinalizeAgg(const AggSpec& spec, const AggState& st) {
+  switch (spec.kind) {
+    case AggSpec::Kind::kCountStar:
+      return SqlValue::Int(st.count);
+    case AggSpec::Kind::kCount:
+      if (spec.distinct) {
+        return SqlValue::Int(static_cast<int64_t>(st.seen_ints.size()) +
+                             static_cast<int64_t>(st.seen_doubles.size()));
+      }
+      return SqlValue::Int(st.count);
+    case AggSpec::Kind::kSum:
+      if (st.count == 0) return SqlValue::Null();
+      return st.int_only ? SqlValue::Int(st.isum) : SqlValue::Double(st.dsum);
+    case AggSpec::Kind::kAvg:
+      if (st.count == 0) return SqlValue::Null();
+      return SqlValue::Double(st.dsum / static_cast<double>(st.count));
+    case AggSpec::Kind::kMin:
+      return st.minv;
+    case AggSpec::Kind::kMax:
+      return st.maxv;
+  }
+  return SqlValue::Null();
+}
+
+std::string ItemName(const SelectItem& item) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr->kind == ExprKind::kColumnRef) return item.expr->column;
+  if (item.expr->kind == ExprKind::kFuncCall) return item.expr->func;
+  return "expr";
+}
+
+// ---------------------------------------------------------------------------
+// Scan: one relation -> physical record positions.
+// ---------------------------------------------------------------------------
+
+template <typename Store>
+Result<std::vector<RecordPos>> ScanRel(const AnalyzedRel& rel, const Store& store,
+                                       const Dictionary& dict) {
+  std::vector<const Expr*> conjuncts;
+  SplitConjuncts(rel.scan_pred, &conjuncts);
+
+  const Expr* cell_in = nullptr;
+  const Expr* table_in = nullptr;
+  int64_t row_lt = -1;
+  bool need_quadrant = false;
+  std::vector<const Expr*> residual;
+  for (const Expr* c : conjuncts) {
+    if (cell_in == nullptr && IsFieldInList(*c, Field::kCell, /*want_strings=*/true)) {
+      cell_in = c;
+      continue;
+    }
+    if (table_in == nullptr && IsFieldInList(*c, Field::kTable, /*want_strings=*/false)) {
+      table_in = c;
+      continue;
+    }
+    int64_t bound;
+    if (row_lt < 0 && IsRowIdLess(*c, &bound)) {
+      row_lt = bound;
+      continue;
+    }
+    if (!need_quadrant && IsQuadrantNotNull(*c)) {
+      need_quadrant = true;
+      continue;
+    }
+    residual.push_back(c);
+  }
+
+  // Bind residual predicates once.
+  Binder binder(&dict, {AllFields("")});
+  std::vector<BoundExprPtr> preds;
+  for (const Expr* c : residual) {
+    BLEND_ASSIGN_OR_RETURN(auto b, binder.BindRowExpr(*c));
+    preds.push_back(std::move(b));
+  }
+  // When the IN-lists were not used as the access path they act as filters.
+  const Expr* filter_table_in = nullptr;
+
+  auto passes = [&](RecordPos p) {
+    if (row_lt >= 0 && store.row(p) >= row_lt) return false;
+    if (need_quadrant && store.quadrant(p) == kQuadrantNull) return false;
+    for (const auto& pred : preds) {
+      RowCtx ctx;
+      ctx.pos[0] = p;
+      SqlValue v = EvalExpr(*pred, [&](const BoundExpr& b) {
+        return FieldValue(store, b.field, ctx.pos[b.side]);
+      });
+      if (!v.IsTruthy()) return false;
+    }
+    return true;
+  };
+
+  std::vector<RecordPos> out;
+
+  if (cell_in != nullptr) {
+    // Access path 1: the in-database hash index on CellValue.
+    std::unordered_set<int64_t> table_filter;
+    if (table_in != nullptr) {
+      table_filter.insert(table_in->in_ints.begin(), table_in->in_ints.end());
+    }
+    std::unordered_set<CellId> ids;
+    ids.reserve(cell_in->in_strings.size());
+    for (const auto& s : cell_in->in_strings) {
+      CellId id = dict.Find(NormalizeCell(s));
+      if (id != kInvalidCellId) ids.insert(id);
+    }
+    for (CellId id : ids) {
+      for (RecordPos p : store.Postings(id)) {
+        if (table_in != nullptr && table_filter.count(store.table(p)) == 0) continue;
+        if (passes(p)) out.push_back(p);
+      }
+    }
+    return out;
+  }
+
+  if (table_in != nullptr) {
+    // Access path 2: the clustered index on TableId.
+    std::vector<int64_t> ids(table_in->in_ints.begin(), table_in->in_ints.end());
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    for (int64_t id : ids) {
+      if (id < 0 || static_cast<size_t>(id) >= store.NumTables()) continue;
+      auto [b, e] = store.TableRange(static_cast<TableId>(id));
+      for (RecordPos p = b; p < e; ++p) {
+        if (passes(p)) out.push_back(p);
+      }
+    }
+    return out;
+  }
+
+  (void)filter_table_in;
+
+  if (need_quadrant) {
+    // Access path 3: the partial index on Quadrant (correlation seeker's
+    // numeric-cell scan).
+    for (RecordPos p : store.QuadrantPositions()) {
+      if (row_lt >= 0 && store.row(p) >= row_lt) continue;
+      if (passes(p)) out.push_back(p);
+    }
+    return out;
+  }
+
+  // Access path 4: full scan.
+  const size_t n = store.NumRecords();
+  for (RecordPos p = 0; p < n; ++p) {
+    if (passes(p)) out.push_back(p);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Join.
+// ---------------------------------------------------------------------------
+
+/// Keys of one join step: fields on the already-joined prefix (qualified by
+/// side) matched against fields of the newly joined relation.
+struct StepKeys {
+  std::vector<std::pair<uint8_t, Field>> left;  // (side < step, field)
+  std::vector<Field> right;                     // field on relation `step`
+  std::vector<BoundExprPtr> residual;           // non-equi ON conditions
+};
+
+Result<StepKeys> ExtractStepKeys(const Expr* join_on, const Binder& binder,
+                                 uint8_t step_side) {
+  StepKeys keys;
+  std::vector<const Expr*> conjuncts;
+  SplitConjuncts(join_on, &conjuncts);
+  for (const Expr* c : conjuncts) {
+    BLEND_ASSIGN_OR_RETURN(auto b, binder.BindRowExpr(*c));
+    if (b->kind == BKind::kBinary && b->op == BinOp::kEq &&
+        b->lhs->kind == BKind::kField && b->rhs->kind == BKind::kField &&
+        (b->lhs->side == step_side) != (b->rhs->side == step_side)) {
+      const BoundExpr& l = b->lhs->side == step_side ? *b->rhs : *b->lhs;
+      const BoundExpr& r = b->lhs->side == step_side ? *b->lhs : *b->rhs;
+      keys.left.emplace_back(l.side, l.field);
+      keys.right.push_back(r.field);
+      continue;
+    }
+    keys.residual.push_back(std::move(b));
+  }
+  if (keys.left.empty()) {
+    return Status::PlanError("join requires at least one equality key");
+  }
+  return keys;
+}
+
+/// One binary hash-join step: extends the joined prefix `rows` with matches
+/// from `scan` (relation index `step_side`). Builds on the smaller input.
+template <typename Store>
+Result<std::vector<RowCtx>> HashJoinStep(const Store& store,
+                                         const std::vector<RowCtx>& rows,
+                                         const std::vector<RecordPos>& scan,
+                                         const StepKeys& keys, uint8_t step_side) {
+  auto left_hash = [&](const RowCtx& ctx, bool* has_null) {
+    uint64_t h = 0x243F6A8885A308D3ULL;
+    *has_null = false;
+    for (const auto& [side, f] : keys.left) {
+      SqlValue v = FieldValue(store, f, ctx.pos[side]);
+      if (v.is_null()) {
+        *has_null = true;
+        return h;
+      }
+      h = HashCombine(h, v.Hash());
+    }
+    return h;
+  };
+  auto right_hash = [&](RecordPos p, bool* has_null) {
+    uint64_t h = 0x243F6A8885A308D3ULL;
+    *has_null = false;
+    for (Field f : keys.right) {
+      SqlValue v = FieldValue(store, f, p);
+      if (v.is_null()) {
+        *has_null = true;
+        return h;
+      }
+      h = HashCombine(h, v.Hash());
+    }
+    return h;
+  };
+  auto keys_equal = [&](const RowCtx& ctx, RecordPos p) {
+    for (size_t i = 0; i < keys.left.size(); ++i) {
+      SqlValue a = FieldValue(store, keys.left[i].second, ctx.pos[keys.left[i].first]);
+      SqlValue b = FieldValue(store, keys.right[i], p);
+      if (a.is_null() || b.is_null() || !(a == b)) return false;
+    }
+    return true;
+  };
+
+  std::vector<RowCtx> out;
+  auto emit = [&](const RowCtx& ctx, RecordPos p) {
+    RowCtx extended = ctx;
+    extended.pos[step_side] = p;
+    for (const auto& pred : keys.residual) {
+      SqlValue v = EvalExpr(*pred, [&](const BoundExpr& b) {
+        return FieldValue(store, b.field, extended.pos[b.side]);
+      });
+      if (!v.IsTruthy()) return;
+    }
+    out.push_back(extended);
+  };
+
+  if (scan.size() <= rows.size()) {
+    // Build on the new relation, probe with the prefix.
+    std::unordered_map<uint64_t, std::vector<RecordPos>> ht;
+    ht.reserve(scan.size() * 2);
+    for (RecordPos p : scan) {
+      bool has_null;
+      uint64_t h = right_hash(p, &has_null);
+      if (!has_null) ht[h].push_back(p);
+    }
+    for (const RowCtx& ctx : rows) {
+      bool has_null;
+      uint64_t h = left_hash(ctx, &has_null);
+      if (has_null) continue;
+      auto it = ht.find(h);
+      if (it == ht.end()) continue;
+      for (RecordPos p : it->second) {
+        if (keys_equal(ctx, p)) emit(ctx, p);
+      }
+    }
+  } else {
+    // Build on the prefix, probe with the new relation's scan.
+    std::unordered_map<uint64_t, std::vector<uint32_t>> ht;
+    ht.reserve(rows.size() * 2);
+    for (uint32_t i = 0; i < rows.size(); ++i) {
+      bool has_null;
+      uint64_t h = left_hash(rows[i], &has_null);
+      if (!has_null) ht[h].push_back(i);
+    }
+    for (RecordPos p : scan) {
+      bool has_null;
+      uint64_t h = right_hash(p, &has_null);
+      if (has_null) continue;
+      auto it = ht.find(h);
+      if (it == ht.end()) continue;
+      for (uint32_t i : it->second) {
+        if (keys_equal(rows[i], p)) emit(rows[i], p);
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Output assembly (projection, aggregation, ordering).
+// ---------------------------------------------------------------------------
+
+struct OutputSpec {
+  std::vector<std::string> names;
+  std::vector<BoundExprPtr> items;      // value exprs (row- or agg-context)
+  std::vector<BoundExprPtr> sort_keys;  // same context as items
+  std::vector<bool> sort_desc;
+  // Sort keys that are simply references to output columns.
+  std::vector<int> sort_item_ref;  // -1 when sort_keys[i] used
+};
+
+/// Sorts rows (pairs of output values + sort key values) and applies LIMIT.
+void SortAndLimit(std::vector<std::vector<SqlValue>>* rows,
+                  std::vector<std::vector<SqlValue>>* sort_vals,
+                  const std::vector<bool>& desc, int64_t limit) {
+  if (!sort_vals->empty() && !desc.empty()) {
+    std::vector<size_t> idx(rows->size());
+    for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    auto cmp = [&](size_t a, size_t b) {
+      const auto& ka = (*sort_vals)[a];
+      const auto& kb = (*sort_vals)[b];
+      for (size_t i = 0; i < ka.size(); ++i) {
+        int c = Cmp(ka[i], kb[i]);
+        if (desc[i]) c = -c;
+        if (c != 0) return c < 0;
+      }
+      // Deterministic tie-break: compare output values, then original index.
+      const auto& ra = (*rows)[a];
+      const auto& rb = (*rows)[b];
+      for (size_t i = 0; i < ra.size(); ++i) {
+        int c = Cmp(ra[i], rb[i]);
+        if (c != 0) return c < 0;
+      }
+      return a < b;
+    };
+    if (limit >= 0 && static_cast<size_t>(limit) < idx.size()) {
+      std::partial_sort(idx.begin(), idx.begin() + limit, idx.end(), cmp);
+      idx.resize(static_cast<size_t>(limit));
+    } else {
+      std::sort(idx.begin(), idx.end(), cmp);
+    }
+    std::vector<std::vector<SqlValue>> out;
+    out.reserve(idx.size());
+    for (size_t i : idx) out.push_back(std::move((*rows)[i]));
+    *rows = std::move(out);
+    return;
+  }
+  if (limit >= 0 && static_cast<size_t>(limit) < rows->size()) {
+    rows->resize(static_cast<size_t>(limit));
+  }
+}
+
+}  // namespace
+
+template <typename Store>
+Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
+                                  const Dictionary& dict) {
+  BLEND_ASSIGN_OR_RETURN(AnalyzedQuery q, Analyze(stmt));
+
+  // 1. Scans.
+  std::vector<std::vector<RecordPos>> scans;
+  for (const auto& rel : q.rels) {
+    BLEND_ASSIGN_OR_RETURN(auto positions, ScanRel(rel, store, dict));
+    scans.push_back(std::move(positions));
+  }
+
+  // Binder over the visible (outer) schema.
+  std::vector<Binder::RelColumns> rel_cols;
+  for (const auto& rel : q.rels) rel_cols.push_back(rel.visible);
+  Binder binder(&dict, rel_cols);
+
+  // 2. Join chain (or single-relation row stream).
+  std::vector<RowCtx> rows;
+  rows.reserve(scans[0].size());
+  for (RecordPos p : scans[0]) {
+    RowCtx ctx;
+    ctx.pos[0] = p;
+    rows.push_back(ctx);
+  }
+  for (size_t j = 0; j < q.join_ons.size(); ++j) {
+    const uint8_t step_side = static_cast<uint8_t>(j + 1);
+    BLEND_ASSIGN_OR_RETURN(StepKeys keys,
+                           ExtractStepKeys(q.join_ons[j], binder, step_side));
+    BLEND_ASSIGN_OR_RETURN(
+        rows, HashJoinStep(store, rows, scans[step_side], keys, step_side));
+  }
+
+  // 3. Residual WHERE.
+  if (q.residual_where != nullptr) {
+    BLEND_ASSIGN_OR_RETURN(auto pred, binder.BindRowExpr(*q.residual_where));
+    std::vector<RowCtx> kept;
+    kept.reserve(rows.size());
+    for (const RowCtx& ctx : rows) {
+      SqlValue v = EvalExpr(*pred, [&](const BoundExpr& b) {
+        return FieldValue(store, b.field, ctx.pos[b.side]);
+      });
+      if (v.IsTruthy()) kept.push_back(ctx);
+    }
+    rows = std::move(kept);
+  }
+
+  // 4. Select list preparation.
+  QueryResult result;
+  bool has_agg = !stmt.group_by.empty();
+  for (const auto& item : stmt.items) {
+    if (Binder::ContainsAggregate(*item.expr)) has_agg = true;
+  }
+
+  // SELECT * expansion (non-aggregate only).
+  std::vector<std::pair<std::string, BoundExprPtr>> star_items;
+  if (stmt.select_star) {
+    if (has_agg) return Status::PlanError("SELECT * with GROUP BY is not supported");
+    for (size_t s = 0; s < q.rels.size(); ++s) {
+      // Expose canonical fields; prefix with the alias in a join.
+      for (int fi = 0; fi < kNumFields; ++fi) {
+        Field f = static_cast<Field>(fi);
+        auto b = std::make_unique<BoundExpr>();
+        b->kind = BKind::kField;
+        b->side = static_cast<uint8_t>(s);
+        b->field = f;
+        std::string name = FieldName(f);
+        if (q.rels.size() == 2) {
+          std::string prefix =
+              q.rels[s].visible.alias.empty() ? ("t" + std::to_string(s))
+                                              : q.rels[s].visible.alias;
+          name = prefix + "." + name;
+        }
+        star_items.emplace_back(std::move(name), std::move(b));
+      }
+    }
+  }
+
+  auto row_leaf = [&](const RowCtx& ctx) {
+    return [&store, ctx](const BoundExpr& b) {
+      return FieldValue(store, b.field, ctx.pos[b.side]);
+    };
+  };
+
+  if (!has_agg) {
+    // ---- Non-aggregate projection ----
+    std::vector<BoundExprPtr> items;
+    if (stmt.select_star) {
+      for (auto& [name, b] : star_items) {
+        result.columns.push_back(name);
+        items.push_back(std::move(b));
+      }
+    } else {
+      for (const auto& item : stmt.items) {
+        BLEND_ASSIGN_OR_RETURN(auto b, binder.BindRowExpr(*item.expr));
+        result.columns.push_back(ItemName(item));
+        items.push_back(std::move(b));
+      }
+    }
+
+    // Order-by: alias references resolve to output columns; otherwise bind.
+    std::vector<int> sort_ref;
+    std::vector<BoundExprPtr> sort_exprs;
+    std::vector<bool> desc;
+    for (const auto& oi : stmt.order_by) {
+      int ref = -1;
+      if (oi.expr->kind == ExprKind::kColumnRef && oi.expr->table_alias.empty()) {
+        for (size_t i = 0; i < result.columns.size(); ++i) {
+          if (ToLower(result.columns[i]) == ToLower(oi.expr->column)) {
+            ref = static_cast<int>(i);
+            break;
+          }
+        }
+      }
+      sort_ref.push_back(ref);
+      if (ref < 0) {
+        BLEND_ASSIGN_OR_RETURN(auto b, binder.BindRowExpr(*oi.expr));
+        sort_exprs.push_back(std::move(b));
+      } else {
+        sort_exprs.push_back(nullptr);
+      }
+      desc.push_back(oi.desc);
+    }
+
+    std::vector<std::vector<SqlValue>> out_rows;
+    std::vector<std::vector<SqlValue>> sort_vals;
+    out_rows.reserve(rows.size());
+    for (const RowCtx& ctx : rows) {
+      auto leaf = row_leaf(ctx);
+      std::vector<SqlValue> vals;
+      vals.reserve(items.size());
+      for (const auto& it : items) vals.push_back(EvalExpr(*it, leaf));
+      if (!stmt.order_by.empty()) {
+        std::vector<SqlValue> sk;
+        for (size_t i = 0; i < sort_exprs.size(); ++i) {
+          sk.push_back(sort_ref[i] >= 0 ? vals[static_cast<size_t>(sort_ref[i])]
+                                        : EvalExpr(*sort_exprs[i], leaf));
+        }
+        sort_vals.push_back(std::move(sk));
+      }
+      out_rows.push_back(std::move(vals));
+    }
+    SortAndLimit(&out_rows, &sort_vals, desc, stmt.limit);
+    result.rows = std::move(out_rows);
+    return result;
+  }
+
+  // ---- Aggregation ----
+  std::vector<BoundExprPtr> key_exprs;
+  for (const auto& g : stmt.group_by) {
+    BLEND_ASSIGN_OR_RETURN(auto b, binder.BindRowExpr(*g));
+    key_exprs.push_back(std::move(b));
+  }
+
+  std::vector<AggSpec> aggs;
+  std::vector<BoundExprPtr> items;
+  for (const auto& item : stmt.items) {
+    BLEND_ASSIGN_OR_RETURN(auto b, binder.BindAggExpr(*item.expr, key_exprs, &aggs));
+    result.columns.push_back(ItemName(item));
+    items.push_back(std::move(b));
+  }
+
+  // Order-by in aggregate context.
+  std::vector<int> sort_ref;
+  std::vector<BoundExprPtr> sort_exprs;
+  std::vector<bool> desc;
+  for (const auto& oi : stmt.order_by) {
+    int ref = -1;
+    if (oi.expr->kind == ExprKind::kColumnRef && oi.expr->table_alias.empty()) {
+      for (size_t i = 0; i < result.columns.size(); ++i) {
+        if (ToLower(result.columns[i]) == ToLower(oi.expr->column)) {
+          ref = static_cast<int>(i);
+          break;
+        }
+      }
+    }
+    sort_ref.push_back(ref);
+    if (ref < 0) {
+      BLEND_ASSIGN_OR_RETURN(auto b, binder.BindAggExpr(*oi.expr, key_exprs, &aggs));
+      sort_exprs.push_back(std::move(b));
+    } else {
+      sort_exprs.push_back(nullptr);
+    }
+    desc.push_back(oi.desc);
+  }
+
+  struct Group {
+    std::vector<SqlValue> keys;
+    std::vector<AggState> states;
+  };
+  std::vector<Group> groups;
+
+  auto update_group = [&](Group& g, const RowCtx& ctx) {
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      SqlValue v = SqlValue::Null();
+      if (aggs[a].arg != nullptr) {
+        if (aggs[a].arg->kind == BKind::kField) {
+          v = FieldValue(store, aggs[a].arg->field, ctx.pos[aggs[a].arg->side]);
+        } else {
+          v = EvalExpr(*aggs[a].arg, row_leaf(ctx));
+        }
+      }
+      UpdateAgg(aggs[a], &g.states[a], v);
+    }
+  };
+
+  // Fast path: when every group key is a narrow integer field (the common
+  // seeker shapes: (TableId, ColumnId), (TableId), (TableId, ColumnId,
+  // ColumnId)), keys pack into one uint64 and the per-row work avoids any
+  // allocation.
+  struct PackedField {
+    uint8_t side;
+    Field field;
+    int shift;
+    int width;
+  };
+  std::vector<PackedField> packed;
+  bool packable = !key_exprs.empty();
+  {
+    int shift = 0;
+    for (const auto& ke : key_exprs) {
+      int width = 0;
+      if (ke->kind == BKind::kField) {
+        switch (ke->field) {
+          case Field::kColumn: width = 16; break;
+          case Field::kTable:
+          case Field::kRow:
+          case Field::kCell: width = 32; break;
+          default: width = 0;  // SuperKey too wide, Quadrant nullable
+        }
+      }
+      if (width == 0 || shift + width > 64) {
+        packable = false;
+        break;
+      }
+      packed.push_back({ke->side, ke->field, shift, width});
+      shift += width;
+    }
+  }
+
+  bool fast_done = false;
+  if (packable) {
+    fast_done = true;
+    std::unordered_map<uint64_t, uint32_t> index;
+    index.reserve(rows.size() / 4 + 16);
+    for (const RowCtx& ctx : rows) {
+      uint64_t key = 0;
+      bool fits = true;
+      for (const auto& pf : packed) {
+        SqlValue v = FieldValue(store, pf.field, ctx.pos[pf.side]);
+        uint64_t raw = static_cast<uint64_t>(v.i);
+        if (pf.width < 64 && (raw >> pf.width) != 0) {
+          fits = false;
+          break;
+        }
+        key |= raw << pf.shift;
+      }
+      if (!fits) {  // a value overflowed its packed width: redo generically
+        fast_done = false;
+        groups.clear();
+        break;
+      }
+      auto [it, inserted] = index.try_emplace(key, static_cast<uint32_t>(groups.size()));
+      if (inserted) {
+        Group g;
+        g.keys.reserve(packed.size());
+        for (const auto& pf : packed) {
+          g.keys.push_back(FieldValue(store, pf.field, ctx.pos[pf.side]));
+        }
+        g.states.resize(aggs.size());
+        groups.push_back(std::move(g));
+      }
+      update_group(groups[it->second], ctx);
+    }
+  }
+
+  if (!fast_done) {
+    std::unordered_map<uint64_t, std::vector<uint32_t>> group_index;
+    for (const RowCtx& ctx : rows) {
+      auto leaf = row_leaf(ctx);
+      std::vector<SqlValue> key;
+      key.reserve(key_exprs.size());
+      uint64_t h = 0x13198A2E03707344ULL;
+      for (const auto& ke : key_exprs) {
+        key.push_back(EvalExpr(*ke, leaf));
+        h = HashCombine(h, key.back().Hash());
+      }
+      uint32_t gi = UINT32_MAX;
+      auto& bucket = group_index[h];
+      for (uint32_t cand : bucket) {
+        if (groups[cand].keys == key) {
+          gi = cand;
+          break;
+        }
+      }
+      if (gi == UINT32_MAX) {
+        gi = static_cast<uint32_t>(groups.size());
+        Group g;
+        g.keys = std::move(key);
+        g.states.resize(aggs.size());
+        groups.push_back(std::move(g));
+        bucket.push_back(gi);
+      }
+      update_group(groups[gi], ctx);
+    }
+  }
+
+  // Global aggregate over zero rows still yields one group.
+  if (stmt.group_by.empty() && groups.empty()) {
+    Group g;
+    g.states.resize(aggs.size());
+    groups.push_back(std::move(g));
+  }
+
+  std::vector<std::vector<SqlValue>> out_rows;
+  std::vector<std::vector<SqlValue>> sort_vals;
+  out_rows.reserve(groups.size());
+  for (const Group& g : groups) {
+    std::vector<SqlValue> agg_vals(aggs.size());
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      agg_vals[a] = FinalizeAgg(aggs[a], g.states[a]);
+    }
+    auto leaf = [&](const BoundExpr& b) -> SqlValue {
+      if (b.kind == BKind::kAggRef) return agg_vals[b.ref];
+      if (b.kind == BKind::kKeyRef) return g.keys[b.ref];
+      return SqlValue::Null();  // unreachable: fields were rejected at bind
+    };
+    std::vector<SqlValue> vals;
+    vals.reserve(items.size());
+    for (const auto& it : items) vals.push_back(EvalExpr(*it, leaf));
+    if (!stmt.order_by.empty()) {
+      std::vector<SqlValue> sk;
+      for (size_t i = 0; i < sort_exprs.size(); ++i) {
+        sk.push_back(sort_ref[i] >= 0 ? vals[static_cast<size_t>(sort_ref[i])]
+                                      : EvalExpr(*sort_exprs[i], leaf));
+      }
+      sort_vals.push_back(std::move(sk));
+    }
+    out_rows.push_back(std::move(vals));
+  }
+  SortAndLimit(&out_rows, &sort_vals, desc, stmt.limit);
+  result.rows = std::move(out_rows);
+  return result;
+}
+
+template Result<QueryResult> ExecuteSelect<RowStore>(const SelectStmt&,
+                                                     const RowStore&,
+                                                     const Dictionary&);
+template Result<QueryResult> ExecuteSelect<ColumnStore>(const SelectStmt&,
+                                                        const ColumnStore&,
+                                                        const Dictionary&);
+
+}  // namespace blend::sql

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/expr_eval.h"
+#include "storage/dictionary.h"
+
+namespace blend::sql {
+
+/// Materialized query output. Cells are NULL / int64 / double; CellValue
+/// columns surface their dictionary ids.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<SqlValue>> rows;
+
+  size_t NumRows() const { return rows.size(); }
+  int64_t Int(size_t r, size_t c) const { return rows[r][c].AsInt(); }
+  double Double(size_t r, size_t c) const { return rows[r][c].AsDouble(); }
+  bool IsNull(size_t r, size_t c) const { return rows[r][c].is_null(); }
+};
+
+/// Executes an analyzed-and-parseable statement against a physical store.
+/// Instantiated for RowStore and ColumnStore (the (Row)/(Column) deployments
+/// of the paper's experiments).
+template <typename Store>
+Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
+                                  const Dictionary& dict);
+
+}  // namespace blend::sql

@@ -1,0 +1,264 @@
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hashing.h"
+#include "common/status.h"
+#include "index/all_tables.h"
+#include "sql/ast.h"
+#include "storage/dictionary.h"
+
+namespace blend::sql {
+
+/// Runtime value: NULL, 64-bit integer, or double. CellValue evaluates to its
+/// dictionary id (string literals and IN-lists are resolved to ids at bind
+/// time, so string comparisons are integer comparisons at runtime).
+struct SqlValue {
+  enum class Kind : uint8_t { kNull, kInt, kDouble };
+  Kind kind = Kind::kNull;
+  int64_t i = 0;
+  double d = 0;
+
+  static SqlValue Null() { return SqlValue{}; }
+  static SqlValue Int(int64_t v) { return SqlValue{Kind::kInt, v, 0}; }
+  static SqlValue Double(double v) { return SqlValue{Kind::kDouble, 0, v}; }
+  static SqlValue Bool(bool b) { return Int(b ? 1 : 0); }
+
+  bool is_null() const { return kind == Kind::kNull; }
+  double AsDouble() const { return kind == Kind::kInt ? static_cast<double>(i) : d; }
+  int64_t AsInt() const { return kind == Kind::kInt ? i : static_cast<int64_t>(d); }
+  bool IsTruthy() const { return !is_null() && AsDouble() != 0.0; }
+
+  uint64_t Hash() const {
+    switch (kind) {
+      case Kind::kNull: return 0x9E3779B97f4A7C15ULL;
+      case Kind::kInt: return Mix64(static_cast<uint64_t>(i));
+      case Kind::kDouble: {
+        uint64_t bits;
+        std::memcpy(&bits, &d, sizeof(bits));
+        return Mix64(bits);
+      }
+    }
+    return 0;
+  }
+
+  bool operator==(const SqlValue& o) const {
+    if (kind != o.kind) {
+      if (is_null() || o.is_null()) return false;
+      return AsDouble() == o.AsDouble();
+    }
+    switch (kind) {
+      case Kind::kNull: return true;
+      case Kind::kInt: return i == o.i;
+      case Kind::kDouble: return d == o.d;
+    }
+    return false;
+  }
+};
+
+/// Physical field of the AllTables relation.
+enum class Field : uint8_t { kCell, kTable, kColumn, kRow, kSuperKey, kQuadrant };
+constexpr int kNumFields = 6;
+
+/// Canonical field names (paper Fig. 3).
+const char* FieldName(Field f);
+/// Case-insensitive lookup; returns false when unknown.
+bool LookupField(const std::string& name, Field* out);
+
+/// Bound (analyzed) expression node kinds.
+enum class BKind : uint8_t {
+  kField,    // side + field
+  kConst,
+  kBinary,
+  kNot,
+  kAbs,
+  kInSet,    // child value in an int64 set
+  kIsNull,
+  kAggRef,   // value of aggregate #ref (aggregate-context only)
+  kKeyRef,   // value of group-by key #ref (aggregate-context only)
+};
+
+struct BoundExpr {
+  BKind kind;
+  uint8_t side = 0;  // 0 = left relation, 1 = right relation
+  Field field = Field::kCell;
+  SqlValue constant;
+  BinOp op = BinOp::kEq;
+  std::unique_ptr<BoundExpr> lhs;
+  std::unique_ptr<BoundExpr> rhs;
+  bool negated = false;
+  std::shared_ptr<std::unordered_set<int64_t>> set;
+  uint32_t ref = 0;
+};
+using BoundExprPtr = std::unique_ptr<BoundExpr>;
+
+/// Aggregate function instance collected during aggregate-context binding.
+struct AggSpec {
+  enum class Kind : uint8_t { kCountStar, kCount, kSum, kMin, kMax, kAvg };
+  Kind kind;
+  bool distinct = false;
+  BoundExprPtr arg;  // null for COUNT(*)
+};
+
+/// Resolves column references against the visible relations and folds string
+/// literals/IN-lists into dictionary-id form.
+class Binder {
+ public:
+  /// Visible columns of one FROM item: exposed name (lower-cased) -> field.
+  struct RelColumns {
+    std::string alias;  // lower-cased; may be empty
+    std::unordered_map<std::string, Field> cols;
+  };
+
+  Binder(const Dictionary* dict, std::vector<RelColumns> rels)
+      : dict_(dict), rels_(std::move(rels)) {}
+
+  /// Binds a row-level expression (no aggregates).
+  Result<BoundExprPtr> BindRowExpr(const Expr& e) const;
+
+  /// Binds an expression in aggregate context: aggregate calls are appended
+  /// to *aggs and replaced by kAggRef; bare column refs must match one of the
+  /// bound group-by keys in `keys` and become kKeyRef.
+  Result<BoundExprPtr> BindAggExpr(const Expr& e,
+                                   const std::vector<BoundExprPtr>& keys,
+                                   std::vector<AggSpec>* aggs) const;
+
+  /// True if the expression tree contains an aggregate function call.
+  static bool ContainsAggregate(const Expr& e);
+
+ private:
+  Result<BoundExprPtr> BindColumnRef(const Expr& e) const;
+  Result<BoundExprPtr> BindImpl(const Expr& e, bool agg_context,
+                                const std::vector<BoundExprPtr>& keys,
+                                std::vector<AggSpec>* aggs) const;
+
+  const Dictionary* dict_;
+  std::vector<RelColumns> rels_;
+};
+
+/// Maximum number of relations in a join chain (an MC seeker over x query
+/// columns joins x subqueries).
+constexpr int kMaxRels = 6;
+
+/// Positions of the current row in the joined relations.
+struct RowCtx {
+  RecordPos pos[kMaxRels] = {0, 0, 0, 0, 0, 0};
+};
+
+/// Generic evaluator; `leaf` resolves kField / kAggRef / kKeyRef nodes.
+template <typename LeafFn>
+SqlValue EvalExpr(const BoundExpr& e, const LeafFn& leaf) {
+  switch (e.kind) {
+    case BKind::kField:
+    case BKind::kAggRef:
+    case BKind::kKeyRef:
+      return leaf(e);
+    case BKind::kConst:
+      return e.constant;
+    case BKind::kNot: {
+      SqlValue v = EvalExpr(*e.lhs, leaf);
+      if (v.is_null()) return SqlValue::Null();
+      return SqlValue::Bool(!v.IsTruthy());
+    }
+    case BKind::kAbs: {
+      SqlValue v = EvalExpr(*e.lhs, leaf);
+      if (v.is_null()) return v;
+      if (v.kind == SqlValue::Kind::kInt) return SqlValue::Int(v.i < 0 ? -v.i : v.i);
+      return SqlValue::Double(v.d < 0 ? -v.d : v.d);
+    }
+    case BKind::kIsNull: {
+      SqlValue v = EvalExpr(*e.lhs, leaf);
+      return SqlValue::Bool(e.negated ? !v.is_null() : v.is_null());
+    }
+    case BKind::kInSet: {
+      SqlValue v = EvalExpr(*e.lhs, leaf);
+      if (v.is_null()) return SqlValue::Bool(e.negated);
+      bool in = e.set && e.set->count(v.AsInt()) > 0;
+      return SqlValue::Bool(e.negated ? !in : in);
+    }
+    case BKind::kBinary: {
+      // Short-circuit logical operators; NULL acts as false.
+      if (e.op == BinOp::kAnd) {
+        SqlValue l = EvalExpr(*e.lhs, leaf);
+        if (!l.IsTruthy()) return SqlValue::Bool(false);
+        SqlValue r = EvalExpr(*e.rhs, leaf);
+        return SqlValue::Bool(r.IsTruthy());
+      }
+      if (e.op == BinOp::kOr) {
+        SqlValue l = EvalExpr(*e.lhs, leaf);
+        if (l.IsTruthy()) return SqlValue::Bool(true);
+        SqlValue r = EvalExpr(*e.rhs, leaf);
+        return SqlValue::Bool(r.IsTruthy());
+      }
+      SqlValue l = EvalExpr(*e.lhs, leaf);
+      SqlValue r = EvalExpr(*e.rhs, leaf);
+      if (l.is_null() || r.is_null()) {
+        // Comparisons with NULL are false; arithmetic propagates NULL.
+        switch (e.op) {
+          case BinOp::kAdd: case BinOp::kSub: case BinOp::kMul: case BinOp::kDiv:
+            return SqlValue::Null();
+          default:
+            return SqlValue::Bool(false);
+        }
+      }
+      const bool both_int =
+          l.kind == SqlValue::Kind::kInt && r.kind == SqlValue::Kind::kInt;
+      switch (e.op) {
+        case BinOp::kEq: return SqlValue::Bool(l == r);
+        case BinOp::kNe: return SqlValue::Bool(!(l == r));
+        case BinOp::kLt:
+          return SqlValue::Bool(both_int ? l.i < r.i : l.AsDouble() < r.AsDouble());
+        case BinOp::kLe:
+          return SqlValue::Bool(both_int ? l.i <= r.i : l.AsDouble() <= r.AsDouble());
+        case BinOp::kGt:
+          return SqlValue::Bool(both_int ? l.i > r.i : l.AsDouble() > r.AsDouble());
+        case BinOp::kGe:
+          return SqlValue::Bool(both_int ? l.i >= r.i : l.AsDouble() >= r.AsDouble());
+        case BinOp::kAdd:
+          return both_int ? SqlValue::Int(l.i + r.i)
+                          : SqlValue::Double(l.AsDouble() + r.AsDouble());
+        case BinOp::kSub:
+          return both_int ? SqlValue::Int(l.i - r.i)
+                          : SqlValue::Double(l.AsDouble() - r.AsDouble());
+        case BinOp::kMul:
+          return both_int ? SqlValue::Int(l.i * r.i)
+                          : SqlValue::Double(l.AsDouble() * r.AsDouble());
+        case BinOp::kDiv: {
+          // Division is always floating point (the QCR score needs it).
+          double denom = r.AsDouble();
+          if (denom == 0) return SqlValue::Null();
+          return SqlValue::Double(l.AsDouble() / denom);
+        }
+        default:
+          return SqlValue::Bool(false);
+      }
+    }
+  }
+  return SqlValue::Null();
+}
+
+/// Field accessor for a store type; used by the executor's leaf functions.
+template <typename Store>
+inline SqlValue FieldValue(const Store& store, Field f, RecordPos pos) {
+  switch (f) {
+    case Field::kCell: return SqlValue::Int(static_cast<int64_t>(store.cell(pos)));
+    case Field::kTable: return SqlValue::Int(store.table(pos));
+    case Field::kColumn: return SqlValue::Int(store.column(pos));
+    case Field::kRow: return SqlValue::Int(store.row(pos));
+    case Field::kSuperKey:
+      return SqlValue::Int(static_cast<int64_t>(store.super_key(pos)));
+    case Field::kQuadrant: {
+      int8_t q = store.quadrant(pos);
+      if (q == kQuadrantNull) return SqlValue::Null();
+      return SqlValue::Int(q);
+    }
+  }
+  return SqlValue::Null();
+}
+
+}  // namespace blend::sql

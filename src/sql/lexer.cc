@@ -1,0 +1,123 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+namespace blend::sql {
+
+Result<std::vector<Token>> Lex(const std::string& sql) {
+  std::vector<Token> out;
+  out.reserve(sql.size() / 4 + 8);
+  size_t i = 0;
+  const size_t n = sql.size();
+
+  auto push = [&](TokKind k, std::string text, size_t off) {
+    out.push_back(Token{k, std::move(text), off});
+  };
+
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$') {
+      size_t j = i + 1;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '_' || sql[j] == '$')) {
+        ++j;
+      }
+      push(TokKind::kIdent, sql.substr(i, j - i), start);
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i;
+      bool saw_dot = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+                       (sql[j] == '.' && !saw_dot))) {
+        if (sql[j] == '.') saw_dot = true;
+        ++j;
+      }
+      push(TokKind::kNumber, sql.substr(i, j - i), start);
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      std::string val;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {
+            val += '\'';
+            j += 2;
+          } else {
+            closed = true;
+            ++j;
+            break;
+          }
+        } else {
+          val += sql[j];
+          ++j;
+        }
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      push(TokKind::kString, std::move(val), start);
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case ',': push(TokKind::kComma, ",", start); ++i; break;
+      case '(': push(TokKind::kLParen, "(", start); ++i; break;
+      case ')': push(TokKind::kRParen, ")", start); ++i; break;
+      case '.': push(TokKind::kDot, ".", start); ++i; break;
+      case '*': push(TokKind::kStar, "*", start); ++i; break;
+      case '+': push(TokKind::kPlus, "+", start); ++i; break;
+      case '-': push(TokKind::kMinus, "-", start); ++i; break;
+      case '/': push(TokKind::kSlash, "/", start); ++i; break;
+      case ';': push(TokKind::kSemicolon, ";", start); ++i; break;
+      case '=': push(TokKind::kEq, "=", start); ++i; break;
+      case '!':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokKind::kNe, "!=", start);
+          i += 2;
+        } else {
+          return Status::ParseError("unexpected '!' at offset " + std::to_string(start));
+        }
+        break;
+      case '<':
+        if (i + 1 < n && sql[i + 1] == '>') {
+          push(TokKind::kNe, "<>", start);
+          i += 2;
+        } else if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokKind::kLe, "<=", start);
+          i += 2;
+        } else {
+          push(TokKind::kLt, "<", start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokKind::kGe, ">=", start);
+          i += 2;
+        } else {
+          push(TokKind::kGt, ">", start);
+          ++i;
+        }
+        break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(start));
+    }
+  }
+  push(TokKind::kEnd, "", n);
+  return out;
+}
+
+}  // namespace blend::sql

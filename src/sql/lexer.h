@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace blend::sql {
+
+/// Token kinds of the SQL dialect BLEND's seekers emit.
+enum class TokKind {
+  kIdent,    // bare identifier or keyword (keywords resolved by the parser)
+  kString,   // 'single quoted', '' escapes a quote
+  kNumber,   // integer or decimal literal
+  kComma,
+  kLParen,
+  kRParen,
+  kDot,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kEq,
+  kNe,       // <> or !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kSemicolon,
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;   // identifier text / string value / number text
+  size_t offset = 0;  // byte offset for error messages
+};
+
+/// Tokenizes SQL text. Designed to stay fast on the multi-megabyte IN-lists
+/// the seekers generate for large query columns.
+Result<std::vector<Token>> Lex(const std::string& sql);
+
+}  // namespace blend::sql

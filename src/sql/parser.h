@@ -1,0 +1,14 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace blend::sql {
+
+/// Parses one SELECT statement (optionally ';'-terminated).
+Result<std::unique_ptr<SelectStmt>> Parse(const std::string& sql);
+
+}  // namespace blend::sql

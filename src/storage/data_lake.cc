@@ -1,0 +1,35 @@
+#include "storage/data_lake.h"
+
+namespace blend {
+
+TableId DataLake::AddTable(Table table) {
+  TableId id = static_cast<TableId>(tables_.size());
+  by_name_.emplace(table.name(), id);
+  tables_.push_back(std::move(table));
+  return id;
+}
+
+TableId DataLake::FindTable(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? -1 : it->second;
+}
+
+size_t DataLake::TotalCells() const {
+  size_t n = 0;
+  for (const auto& t : tables_) n += t.NumCells();
+  return n;
+}
+
+size_t DataLake::TotalRows() const {
+  size_t n = 0;
+  for (const auto& t : tables_) n += t.NumRows();
+  return n;
+}
+
+size_t DataLake::TotalColumns() const {
+  size_t n = 0;
+  for (const auto& t : tables_) n += t.NumColumns();
+  return n;
+}
+
+}  // namespace blend

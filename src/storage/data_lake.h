@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace blend {
+
+/// Integer identifier of a table within a lake (the TableId column of the
+/// AllTables index).
+using TableId = int32_t;
+
+/// A data lake: the catalog of tables over which discovery runs.
+class DataLake {
+ public:
+  DataLake() = default;
+  explicit DataLake(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Adds a table; the lake owns it. Returns its TableId.
+  TableId AddTable(Table table);
+
+  size_t NumTables() const { return tables_.size(); }
+  const Table& table(TableId id) const { return tables_[static_cast<size_t>(id)]; }
+  Table& table(TableId id) { return tables_[static_cast<size_t>(id)]; }
+  const std::vector<Table>& tables() const { return tables_; }
+
+  /// Looks a table up by name; -1 when absent.
+  TableId FindTable(const std::string& name) const;
+
+  /// Total number of cells across all tables.
+  size_t TotalCells() const;
+  /// Total number of rows across all tables.
+  size_t TotalRows() const;
+  /// Total number of columns across all tables.
+  size_t TotalColumns() const;
+
+ private:
+  std::string name_;
+  std::vector<Table> tables_;
+  std::unordered_map<std::string, TableId> by_name_;
+};
+
+}  // namespace blend

@@ -1,0 +1,27 @@
+#include "storage/dictionary.h"
+
+namespace blend {
+
+CellId Dictionary::Intern(std::string_view normalized) {
+  auto it = ids_.find(normalized);
+  if (it != ids_.end()) return it->second;
+  CellId id = static_cast<CellId>(values_.size());
+  values_.emplace_back(normalized);
+  ids_.emplace(std::string_view(values_.back()), id);
+  return id;
+}
+
+CellId Dictionary::Find(std::string_view normalized) const {
+  auto it = ids_.find(normalized);
+  return it == ids_.end() ? kInvalidCellId : it->second;
+}
+
+size_t Dictionary::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const auto& v : values_) bytes += v.size() + sizeof(std::string);
+  // Hash-map overhead: bucket + node per entry (approximation).
+  bytes += ids_.size() * (sizeof(void*) * 2 + sizeof(std::string_view) + sizeof(CellId));
+  return bytes;
+}
+
+}  // namespace blend

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace blend {
+
+/// Identifier of an interned (normalized) cell value.
+using CellId = uint32_t;
+
+/// Sentinel for "value not present in the lake".
+constexpr CellId kInvalidCellId = 0xFFFFFFFFu;
+
+/// Interns normalized cell strings into dense CellIds. The AllTables index
+/// stores CellIds instead of strings: this is both the dictionary encoding a
+/// column store would apply to a low-cardinality nvarchar column and the key
+/// space of the in-database hash index on CellValue.
+class Dictionary {
+ public:
+  /// Interns `normalized` (caller must have applied NormalizeCell).
+  CellId Intern(std::string_view normalized);
+
+  /// Looks up without interning; kInvalidCellId when absent.
+  CellId Find(std::string_view normalized) const;
+
+  /// The interned string for an id.
+  std::string_view Value(CellId id) const { return values_[id]; }
+
+  size_t Size() const { return values_.size(); }
+
+  /// Approximate footprint in bytes (strings + hash map).
+  size_t ApproxBytes() const;
+
+ private:
+  // deque keeps string addresses stable so the map's string_view keys can
+  // alias the stored strings.
+  std::deque<std::string> values_;
+  std::unordered_map<std::string_view, CellId> ids_;
+};
+
+}  // namespace blend

@@ -1,0 +1,79 @@
+#include "storage/table.h"
+
+#include "common/str_util.h"
+
+namespace blend {
+
+bool Column::IsNumeric() const {
+  bool saw_number = false;
+  for (const auto& c : cells) {
+    std::string_view t = Trim(c);
+    if (t.empty()) continue;
+    if (!ParseNumeric(t).has_value()) return false;
+    saw_number = true;
+  }
+  return saw_number;
+}
+
+std::optional<double> Column::NumericMean() const {
+  double sum = 0;
+  size_t n = 0;
+  for (const auto& c : cells) {
+    auto v = ParseNumeric(c);
+    if (!v.has_value()) {
+      if (!Trim(c).empty()) return std::nullopt;
+      continue;
+    }
+    sum += *v;
+    ++n;
+  }
+  if (n == 0) return std::nullopt;
+  return sum / static_cast<double>(n);
+}
+
+size_t Table::AddColumn(std::string name, int domain_tag) {
+  Column col;
+  col.name = std::move(name);
+  col.domain_tag = domain_tag;
+  col.cells.resize(NumColumns() == 0 ? 0 : NumRows());
+  columns_.push_back(std::move(col));
+  return columns_.size() - 1;
+}
+
+Status Table::AppendRow(const std::vector<std::string>& values) {
+  if (values.size() != NumColumns()) {
+    return Status::InvalidArgument("row arity " + std::to_string(values.size()) +
+                                   " != " + std::to_string(NumColumns()));
+  }
+  for (size_t c = 0; c < values.size(); ++c) columns_[c].cells.push_back(values[c]);
+  return Status::OK();
+}
+
+std::optional<size_t> Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Result<Table> Table::FromCsv(std::string name, const CsvData& csv) {
+  Table t(std::move(name));
+  for (const auto& h : csv.header) t.AddColumn(h);
+  for (const auto& row : csv.rows) {
+    std::vector<std::string> padded = row;
+    padded.resize(csv.header.size());
+    BLEND_RETURN_NOT_OK(t.AppendRow(padded));
+  }
+  return t;
+}
+
+size_t Table::ApproxBytes() const {
+  size_t bytes = sizeof(Table) + name_.size();
+  for (const auto& col : columns_) {
+    bytes += sizeof(Column) + col.name.size();
+    for (const auto& cell : col.cells) bytes += sizeof(std::string) + cell.size();
+  }
+  return bytes;
+}
+
+}  // namespace blend

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/status.h"
+
+namespace blend {
+
+/// A column of string cells. Cells are stored raw; normalization (trim +
+/// lowercase) happens at indexing time. Numeric typing is inferred: a column
+/// is numeric when every non-empty cell parses as a number.
+struct Column {
+  std::string name;
+  std::vector<std::string> cells;
+
+  /// Generator-provided latent semantic domain. -1 when unknown (real data).
+  /// Consumed only by the simulated semantic baselines (Starmie/DeepJoin);
+  /// BLEND itself never reads it. See DESIGN.md §2.
+  int domain_tag = -1;
+
+  /// True when all non-empty cells parse as numbers (and at least one does).
+  bool IsNumeric() const;
+
+  /// Mean over numeric cells; nullopt when not numeric or empty.
+  std::optional<double> NumericMean() const;
+};
+
+/// An in-memory relational table: the unit of discovery. Column-major.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  size_t NumColumns() const { return columns_.size(); }
+  size_t NumRows() const { return columns_.empty() ? 0 : columns_[0].cells.size(); }
+  size_t NumCells() const { return NumColumns() * NumRows(); }
+
+  const Column& column(size_t c) const { return columns_[c]; }
+  Column& column(size_t c) { return columns_[c]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Cell accessor; (row, col) must be in range.
+  const std::string& At(size_t row, size_t col) const {
+    return columns_[col].cells[row];
+  }
+
+  /// Adds an empty column; returns its index.
+  size_t AddColumn(std::string name, int domain_tag = -1);
+
+  /// Appends a row; `values` must match NumColumns().
+  Status AppendRow(const std::vector<std::string>& values);
+
+  /// Index of a column by name, or nullopt.
+  std::optional<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Builds a table from parsed CSV (header becomes column names).
+  static Result<Table> FromCsv(std::string name, const CsvData& csv);
+
+  /// Approximate in-memory footprint in bytes (cells + structure).
+  size_t ApproxBytes() const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace blend

@@ -1,0 +1,56 @@
+#include "baselines/deepjoin.h"
+
+#include <gtest/gtest.h>
+
+#include "lakegen/join_lake.h"
+#include "lakegen/union_lake.h"
+
+namespace blend::baselines {
+namespace {
+
+TEST(DeepJoinTest, RetrievesSameDomainTables) {
+  lakegen::UnionLakeSpec spec;
+  spec.num_groups = 8;
+  spec.tag_noise = 0.0;
+  spec.seed = 111;
+  auto ul = lakegen::MakeUnionLake(spec);
+  DeepJoin dj(&ul.lake);
+
+  TableId query_id = ul.query_tables[2];
+  const Table& q = ul.lake.table(query_id);
+  auto out = dj.TopK(q.column(0), 10);
+  ASSERT_FALSE(out.empty());
+  size_t in_group = 0;
+  for (const auto& e : out) {
+    if (ul.group_of[static_cast<size_t>(e.table)] == 2) ++in_group;
+  }
+  EXPECT_GT(in_group * 10, out.size() * 5);
+}
+
+TEST(DeepJoinTest, RawValueQueriesUseTokens) {
+  lakegen::JoinLakeSpec spec;
+  spec.num_tables = 30;
+  spec.numeric_col_prob = 0.0;
+  spec.seed = 113;
+  DataLake lake = lakegen::MakeJoinLake(spec);
+  DeepJoin dj(&lake, /*semantic_weight=*/0.0);  // pure token embedding
+
+  // Query with a column copied verbatim from a table: that table should rank
+  // near the top (its column embedding equals the query embedding).
+  const Table& t0 = lake.table(5);
+  auto out = dj.TopK(t0.column(0).cells, 5);
+  ASSERT_FALSE(out.empty());
+  EXPECT_TRUE(core::ContainsTable(out, 5));
+}
+
+TEST(DeepJoinTest, KRespected) {
+  lakegen::UnionLakeSpec spec;
+  spec.num_groups = 4;
+  auto ul = lakegen::MakeUnionLake(spec);
+  DeepJoin dj(&ul.lake);
+  auto out = dj.TopK(ul.lake.table(0).column(0), 3);
+  EXPECT_LE(out.size(), 3u);
+}
+
+}  // namespace
+}  // namespace blend::baselines

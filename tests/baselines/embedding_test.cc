@@ -1,0 +1,94 @@
+#include "baselines/embedding.h"
+
+#include <gtest/gtest.h>
+
+#include "lakegen/union_lake.h"
+
+namespace blend::baselines {
+namespace {
+
+Column MakeColumn(std::vector<std::string> cells, int tag) {
+  Column c;
+  c.name = "c";
+  c.cells = std::move(cells);
+  c.domain_tag = tag;
+  return c;
+}
+
+TEST(EmbeddingTest, UnitNorm) {
+  Column c = MakeColumn({"a", "b", "c"}, 3);
+  Embedding e = EmbedColumn(c);
+  double norm = 0;
+  for (float v : e) norm += static_cast<double>(v) * v;
+  EXPECT_NEAR(norm, 1.0, 1e-5);
+}
+
+TEST(EmbeddingTest, Deterministic) {
+  Column c = MakeColumn({"x", "y"}, 1);
+  Embedding a = EmbedColumn(c);
+  Embedding b = EmbedColumn(c);
+  EXPECT_EQ(a, b);
+}
+
+TEST(EmbeddingTest, SameDomainDisjointTokensStillSimilar) {
+  // The semantic property the oracle provides: same-domain columns with no
+  // token overlap are close.
+  Column a = MakeColumn({"a1", "a2", "a3"}, 7);
+  Column b = MakeColumn({"b1", "b2", "b3"}, 7);
+  Column other = MakeColumn({"c1", "c2"}, 8);
+  EXPECT_GT(Cosine(EmbedColumn(a), EmbedColumn(b)), 0.5);
+  EXPECT_LT(Cosine(EmbedColumn(a), EmbedColumn(other)), 0.5);
+}
+
+TEST(EmbeddingTest, UntaggedColumnsUseTokensOnly) {
+  Column a = MakeColumn({"tok1", "tok2", "tok3"}, -1);
+  Column same = MakeColumn({"tok1", "tok2", "tok3"}, -1);
+  Column diff = MakeColumn({"zzz1", "zzz2", "zzz3"}, -1);
+  EXPECT_NEAR(Cosine(EmbedColumn(a), EmbedColumn(same)), 1.0, 1e-5);
+  EXPECT_LT(Cosine(EmbedColumn(a), EmbedColumn(diff)), 0.6);
+}
+
+TEST(EmbeddingTest, SemanticWeightShiftsBalance) {
+  Column a = MakeColumn({"p1", "p2"}, 5);
+  Column b = MakeColumn({"q1", "q2"}, 5);  // same domain, different tokens
+  double high = Cosine(EmbedColumn(a, 0.95), EmbedColumn(b, 0.95));
+  double low = Cosine(EmbedColumn(a, 0.1), EmbedColumn(b, 0.1));
+  EXPECT_GT(high, low);
+}
+
+TEST(ColumnEmbeddingIndexTest, RetrievesExactColumn) {
+  lakegen::UnionLakeSpec spec;
+  spec.num_groups = 6;
+  spec.noise_tables = 5;
+  auto ul = lakegen::MakeUnionLake(spec);
+  ColumnEmbeddingIndex index(&ul.lake);
+
+  // Querying with an indexed column's own embedding must return it first
+  // (probing enough clusters).
+  const auto& entry = index.entries()[3];
+  auto nn = index.TopKColumns(entry.embedding, 5, /*nprobe=*/index.entries().size());
+  ASSERT_FALSE(nn.empty());
+  EXPECT_EQ(nn[0].entry->table, entry.table);
+  EXPECT_EQ(nn[0].entry->column, entry.column);
+  EXPECT_NEAR(nn[0].score, 1.0, 1e-5);
+}
+
+TEST(ColumnEmbeddingIndexTest, RespectsK) {
+  lakegen::UnionLakeSpec spec;
+  spec.num_groups = 4;
+  auto ul = lakegen::MakeUnionLake(spec);
+  ColumnEmbeddingIndex index(&ul.lake);
+  auto nn = index.TopKColumns(index.entries()[0].embedding, 7);
+  EXPECT_LE(nn.size(), 7u);
+}
+
+TEST(ColumnEmbeddingIndexTest, IndexBytesPositive) {
+  lakegen::UnionLakeSpec spec;
+  spec.num_groups = 3;
+  auto ul = lakegen::MakeUnionLake(spec);
+  ColumnEmbeddingIndex index(&ul.lake);
+  EXPECT_GT(index.IndexBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace blend::baselines

@@ -1,0 +1,86 @@
+#include "baselines/josie.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lakegen/join_lake.h"
+#include "lakegen/workloads.h"
+
+namespace blend::baselines {
+namespace {
+
+TEST(JosieTest, ExactTopKMatchesBruteForce) {
+  lakegen::JoinLakeSpec spec;
+  spec.num_tables = 80;
+  spec.seed = 13;
+  DataLake lake = lakegen::MakeJoinLake(spec);
+  Josie josie(&lake);
+  lakegen::BruteForceOverlap brute(&lake);
+
+  Rng rng(7);
+  for (int q = 0; q < 8; ++q) {
+    auto values = lakegen::SampleColumnQuery(lake, 10 + rng.Uniform(40), &rng);
+    auto got = josie.TopK(values, 10);
+    auto want = brute.TopKByColumnOverlap(values, 10);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_DOUBLE_EQ(got[i].score, want[i].score) << "rank " << i;
+      EXPECT_EQ(got[i].table, want[i].table) << "rank " << i;
+    }
+  }
+}
+
+TEST(JosieTest, EarlyTerminationStillExact) {
+  // Large query over a skewed lake triggers the prefix-filter stop; results
+  // must remain exact.
+  lakegen::JoinLakeSpec spec;
+  spec.num_tables = 120;
+  spec.num_domains = 3;  // heavy overlap => many candidates
+  spec.zipf_s = 1.3;
+  spec.seed = 17;
+  DataLake lake = lakegen::MakeJoinLake(spec);
+  Josie josie(&lake);
+  lakegen::BruteForceOverlap brute(&lake);
+
+  Rng rng(19);
+  bool saw_early_stop = false;
+  for (int q = 0; q < 6; ++q) {
+    auto values = lakegen::SampleColumnQuery(lake, 80, &rng);
+    auto got = josie.TopK(values, 5);
+    auto want = brute.TopKByColumnOverlap(values, 5);
+    saw_early_stop |= josie.last_stats().early_terminated;
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_DOUBLE_EQ(got[i].score, want[i].score);
+    }
+  }
+  EXPECT_TRUE(saw_early_stop) << "pruning never engaged; test is vacuous";
+}
+
+TEST(JosieTest, UnknownTokensIgnored) {
+  lakegen::JoinLakeSpec spec;
+  spec.num_tables = 10;
+  DataLake lake = lakegen::MakeJoinLake(spec);
+  Josie josie(&lake);
+  auto out = josie.TopK({"definitely-not-in-lake-1", "nope-2"}, 5);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(JosieTest, EmptyQuery) {
+  lakegen::JoinLakeSpec spec;
+  spec.num_tables = 5;
+  DataLake lake = lakegen::MakeJoinLake(spec);
+  Josie josie(&lake);
+  EXPECT_TRUE(josie.TopK({}, 5).empty());
+}
+
+TEST(JosieTest, IndexBytesPositive) {
+  lakegen::JoinLakeSpec spec;
+  spec.num_tables = 10;
+  DataLake lake = lakegen::MakeJoinLake(spec);
+  Josie josie(&lake);
+  EXPECT_GT(josie.IndexBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace blend::baselines

@@ -1,0 +1,84 @@
+#include "baselines/qcr_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/result.h"
+#include "lakegen/correlation_lake.h"
+#include "lakegen/workloads.h"
+
+namespace blend::baselines {
+namespace {
+
+TEST(QcrSketchTest, FindsCorrelatedTablesWithCategoricalKeys) {
+  lakegen::CorrLakeSpec spec;
+  spec.num_tables = 60;
+  spec.numeric_key_frac = 0.0;
+  spec.seed = 71;
+  auto corr = lakegen::MakeCorrLake(spec);
+  QcrSketchIndex index(&corr.lake, 256);
+
+  Rng rng(73);
+  auto q = lakegen::MakeCorrQuery(spec, 2, false, 60, &rng);
+  auto out = index.TopK(q.keys, q.targets, 10);
+  ASSERT_FALSE(out.empty());
+  // Top results should overlap the exact-Pearson ground truth.
+  auto gt = lakegen::ExactCorrelationTopK(corr.lake, q.keys, q.targets, 10);
+  auto gt_ids = core::IdSet(gt);
+  size_t hits = 0;
+  for (const auto& e : out) {
+    if (gt_ids.count(e.table)) ++hits;
+  }
+  EXPECT_GE(hits, out.size() / 3);
+}
+
+TEST(QcrSketchTest, CannotHandleNumericKeys) {
+  // The faithful limitation the paper exploits in the NYC (All) benchmark.
+  lakegen::CorrLakeSpec spec;
+  spec.num_tables = 30;
+  spec.numeric_key_frac = 1.0;
+  spec.seed = 79;
+  auto corr = lakegen::MakeCorrLake(spec);
+  QcrSketchIndex index(&corr.lake, 256);
+
+  Rng rng(83);
+  auto q = lakegen::MakeCorrQuery(spec, 1, true, 40, &rng);
+  auto out = index.TopK(q.keys, q.targets, 10);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(QcrSketchTest, SketchSizeBounded) {
+  lakegen::CorrLakeSpec spec;
+  spec.num_tables = 10;
+  spec.numeric_key_frac = 0.0;
+  auto corr = lakegen::MakeCorrLake(spec);
+  QcrSketchIndex small(&corr.lake, 16);
+  QcrSketchIndex large(&corr.lake, 512);
+  EXPECT_LT(small.IndexBytes(), large.IndexBytes());
+}
+
+TEST(QcrSketchTest, EmptyQuery) {
+  lakegen::CorrLakeSpec spec;
+  spec.num_tables = 5;
+  auto corr = lakegen::MakeCorrLake(spec);
+  QcrSketchIndex index(&corr.lake, 64);
+  EXPECT_TRUE(index.TopK({}, {}, 5).empty());
+}
+
+TEST(QcrSketchTest, ScoresWithinUnitRange) {
+  lakegen::CorrLakeSpec spec;
+  spec.num_tables = 30;
+  spec.numeric_key_frac = 0.0;
+  spec.seed = 89;
+  auto corr = lakegen::MakeCorrLake(spec);
+  QcrSketchIndex index(&corr.lake, 128);
+  Rng rng(97);
+  auto q = lakegen::MakeCorrQuery(spec, 0, false, 50, &rng);
+  for (const auto& e : index.TopK(q.keys, q.targets, 20)) {
+    EXPECT_GE(e.score, 0.0);
+    EXPECT_LE(e.score, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace blend::baselines

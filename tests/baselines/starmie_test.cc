@@ -1,0 +1,83 @@
+#include "baselines/starmie.h"
+
+#include <gtest/gtest.h>
+
+#include "lakegen/union_lake.h"
+
+namespace blend::baselines {
+namespace {
+
+TEST(StarmieTest, RetrievesUnionGroupMembers) {
+  lakegen::UnionLakeSpec spec;
+  spec.num_groups = 10;
+  spec.noise_tables = 20;
+  spec.tag_noise = 0.0;  // noiseless oracle for this test
+  spec.seed = 101;
+  auto ul = lakegen::MakeUnionLake(spec);
+  Starmie starmie(&ul.lake);
+
+  for (int g = 0; g < 3; ++g) {
+    TableId query_id = ul.query_tables[static_cast<size_t>(g)];
+    // k capped at the group size (minus the query itself): smaller groups
+    // cannot fill a larger top-k with relevant tables.
+    int k = static_cast<int>(
+        std::min<size_t>(10, ul.groups[static_cast<size_t>(g)].size() - 1));
+    auto out = starmie.TopK(ul.lake.table(query_id), k, query_id);
+    ASSERT_FALSE(out.empty());
+    size_t in_group = 0;
+    for (const auto& e : out) {
+      if (ul.group_of[static_cast<size_t>(e.table)] == g) ++in_group;
+    }
+    EXPECT_GT(in_group * 10, out.size() * 7) << "group " << g;
+  }
+}
+
+TEST(StarmieTest, FindsSemanticMembersOverlapSearchMisses) {
+  // Semantic members share domains but almost no tokens; the embedding
+  // retrieval must still surface them.
+  lakegen::UnionLakeSpec spec;
+  spec.num_groups = 6;
+  spec.semantic_frac = 0.4;
+  spec.tag_noise = 0.0;
+  spec.seed = 103;
+  auto ul = lakegen::MakeUnionLake(spec);
+  Starmie starmie(&ul.lake);
+
+  TableId query_id = ul.query_tables[0];
+  auto out = starmie.TopK(ul.lake.table(query_id),
+                          static_cast<int>(ul.groups[0].size()), query_id);
+  auto found = core::IdSet(out);
+  size_t semantic_found = 0, semantic_total = 0;
+  // Members 1..num_semantic are semantic by construction.
+  for (size_t m = 1; m < ul.groups[0].size(); ++m) {
+    TableId t = ul.groups[0][m];
+    // Heuristic: semantic members were added right after the query member.
+    if (m <= static_cast<size_t>(ul.groups[0].size() * spec.semantic_frac + 0.5)) {
+      ++semantic_total;
+      if (found.count(t)) ++semantic_found;
+    }
+  }
+  ASSERT_GT(semantic_total, 0u);
+  EXPECT_GT(semantic_found, 0u);
+}
+
+TEST(StarmieTest, ExcludesQueryTable) {
+  lakegen::UnionLakeSpec spec;
+  spec.num_groups = 4;
+  auto ul = lakegen::MakeUnionLake(spec);
+  Starmie starmie(&ul.lake);
+  TableId query_id = ul.query_tables[0];
+  auto out = starmie.TopK(ul.lake.table(query_id), 20, query_id);
+  EXPECT_FALSE(core::ContainsTable(out, query_id));
+}
+
+TEST(StarmieTest, IndexBytesPositive) {
+  lakegen::UnionLakeSpec spec;
+  spec.num_groups = 3;
+  auto ul = lakegen::MakeUnionLake(spec);
+  Starmie starmie(&ul.lake);
+  EXPECT_GT(starmie.IndexBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace blend::baselines

@@ -1,0 +1,75 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace blend {
+namespace {
+
+TEST(CsvTest, ParsesSimple) {
+  auto r = ParseCsv("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_TRUE(r.ok());
+  const CsvData& d = r.value();
+  ASSERT_EQ(d.header.size(), 3u);
+  EXPECT_EQ(d.header[0], "a");
+  ASSERT_EQ(d.rows.size(), 2u);
+  EXPECT_EQ(d.rows[1][2], "6");
+}
+
+TEST(CsvTest, HandlesQuotedFields) {
+  auto r = ParseCsv("name,notes\n\"Doe, Jane\",\"said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows[0][0], "Doe, Jane");
+  EXPECT_EQ(r.value().rows[0][1], "said \"hi\"");
+}
+
+TEST(CsvTest, HandlesNewlineInQuotes) {
+  auto r = ParseCsv("a,b\n\"line1\nline2\",x\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows[0][0], "line1\nline2");
+}
+
+TEST(CsvTest, HandlesCrLf) {
+  auto r = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().rows.size(), 1u);
+  EXPECT_EQ(r.value().rows[0][1], "2");
+}
+
+TEST(CsvTest, MissingFinalNewline) {
+  auto r = ParseCsv("a,b\n1,2");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().rows.size(), 1u);
+}
+
+TEST(CsvTest, UnterminatedQuoteIsError) {
+  auto r = ParseCsv("a\n\"oops");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CsvTest, EmptyFields) {
+  auto r = ParseCsv("a,b,c\n,,\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().rows.size(), 1u);
+  EXPECT_EQ(r.value().rows[0][0], "");
+  EXPECT_EQ(r.value().rows[0][2], "");
+}
+
+TEST(CsvTest, WriteRoundTrip) {
+  CsvData d;
+  d.header = {"x", "y"};
+  d.rows = {{"a,b", "plain"}, {"with \"q\"", "nl\nnl"}};
+  std::string text = WriteCsv(d);
+  auto r = ParseCsv(text);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().header, d.header);
+  EXPECT_EQ(r.value().rows, d.rows);
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  auto r = ReadCsvFile("/nonexistent/path.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace blend

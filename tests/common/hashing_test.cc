@@ -1,0 +1,46 @@
+#include "common/hashing.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace blend {
+namespace {
+
+TEST(HashingTest, Fnv1aDeterministic) {
+  EXPECT_EQ(Fnv1a64("hello"), Fnv1a64("hello"));
+  EXPECT_NE(Fnv1a64("hello"), Fnv1a64("hellp"));
+  EXPECT_NE(Fnv1a64(""), Fnv1a64("a"));
+}
+
+TEST(HashingTest, Mix64ChangesValue) {
+  EXPECT_NE(Mix64(0), 0u);
+  EXPECT_NE(Mix64(1), Mix64(2));
+}
+
+TEST(HashingTest, Mix64AvalanchesNearbyInputs) {
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 0; i < 1000; ++i) outputs.insert(Mix64(i));
+  EXPECT_EQ(outputs.size(), 1000u);
+}
+
+TEST(HashingTest, HashCombineOrderSensitive) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+TEST(HashingTest, SaltedHashFamiliesIndependent) {
+  EXPECT_NE(SaltedHash("key", 1), SaltedHash("key", 2));
+  EXPECT_EQ(SaltedHash("key", 1), SaltedHash("key", 1));
+}
+
+TEST(HashingTest, FewCollisionsOnTokenLikeInputs) {
+  std::set<uint64_t> hashes;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    hashes.insert(Fnv1a64("d3_v" + std::to_string(i)));
+  }
+  EXPECT_EQ(hashes.size(), static_cast<size_t>(n));
+}
+
+}  // namespace
+}  // namespace blend

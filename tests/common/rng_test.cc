@@ -1,0 +1,112 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace blend {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Uniform(10);
+    EXPECT_LT(v, 10u);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NormalMomentsRoughlyStandard) {
+  Rng rng(11);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal();
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(RngTest, ZipfSkewsTowardSmallRanks) {
+  Rng rng(13);
+  auto table = Rng::MakeZipf(1000, 1.2);
+  size_t low = 0, total = 20000;
+  for (size_t i = 0; i < total; ++i) {
+    if (rng.Zipf(table) < 10) ++low;
+  }
+  // With s=1.2 the top-10 ranks carry a large probability mass.
+  EXPECT_GT(low, total / 4);
+}
+
+TEST(RngTest, ZipfStaysInRange) {
+  Rng rng(17);
+  auto table = Rng::MakeZipf(50, 1.0);
+  for (int i = 0; i < 5000; ++i) EXPECT_LT(rng.Zipf(table), 50u);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(19);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, SampleIndicesDistinctAndInRange) {
+  Rng rng(23);
+  auto idx = rng.SampleIndices(100, 30);
+  ASSERT_EQ(idx.size(), 30u);
+  std::set<size_t> s(idx.begin(), idx.end());
+  EXPECT_EQ(s.size(), 30u);
+  for (size_t i : idx) EXPECT_LT(i, 100u);
+}
+
+TEST(RngTest, SampleIndicesClampsToN) {
+  Rng rng(29);
+  auto idx = rng.SampleIndices(5, 50);
+  EXPECT_EQ(idx.size(), 5u);
+}
+
+}  // namespace
+}  // namespace blend

@@ -1,0 +1,75 @@
+#include "common/str_util.h"
+
+#include <gtest/gtest.h>
+
+namespace blend {
+namespace {
+
+TEST(StrUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("HeLLo 123"), "hello 123");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StrUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\t\n a b \r"), "a b");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StrUtilTest, NormalizeCell) {
+  EXPECT_EQ(NormalizeCell("  Tom Riddle "), "tom riddle");
+  EXPECT_EQ(NormalizeCell("HR"), "hr");
+}
+
+TEST(StrUtilTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StrUtilTest, JoinRoundTrip) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StrUtilTest, ParseNumericAcceptsNumbers) {
+  EXPECT_DOUBLE_EQ(*ParseNumeric("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(*ParseNumeric(" -2 "), -2.0);
+  EXPECT_DOUBLE_EQ(*ParseNumeric("1e3"), 1000.0);
+}
+
+TEST(StrUtilTest, ParseNumericRejectsNonNumbers) {
+  EXPECT_FALSE(ParseNumeric("abc").has_value());
+  EXPECT_FALSE(ParseNumeric("12x").has_value());
+  EXPECT_FALSE(ParseNumeric("").has_value());
+  EXPECT_FALSE(ParseNumeric("  ").has_value());
+}
+
+TEST(StrUtilTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("a$X$b$X$", "$X$", "1"), "a1b1");
+  EXPECT_EQ(ReplaceAll("none", "$X$", "1"), "none");
+  EXPECT_EQ(ReplaceAll("aaa", "a", "aa"), "aaaaaa");
+}
+
+TEST(StrUtilTest, SqlQuoteEscapesQuotes) {
+  EXPECT_EQ(SqlQuote("it's"), "'it''s'");
+  EXPECT_EQ(SqlQuote("plain"), "'plain'");
+}
+
+TEST(StrUtilTest, SqlInList) {
+  EXPECT_EQ(SqlInList({"a", "b'c"}), "'a','b''c'");
+  EXPECT_EQ(SqlInList({}), "");
+}
+
+TEST(StrUtilTest, SqlInListInts) {
+  EXPECT_EQ(SqlInListInts({1, -2, 3}), "1,-2,3");
+  EXPECT_EQ(SqlInListInts({}), "");
+}
+
+}  // namespace
+}  // namespace blend

@@ -1,0 +1,52 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace blend {
+namespace {
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter tp({"col1", "c2"});
+  tp.AddRow({"a", "b"});
+  tp.AddRow({"longer", "x"});
+  std::string out = tp.Render("title");
+  EXPECT_NE(out.find("== title =="), std::string::npos);
+  EXPECT_NE(out.find("col1"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+}
+
+TEST(TablePrinterTest, PadsShortRows) {
+  TablePrinter tp({"a", "b", "c"});
+  tp.AddRow({"only"});
+  std::string out = tp.Render("");
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FmtPrecision) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(2.0, 0), "2");
+}
+
+TEST(TablePrinterTest, PctFormats) {
+  EXPECT_EQ(TablePrinter::Pct(0.423, 1), "42.3%");
+  EXPECT_EQ(TablePrinter::Pct(1.0, 0), "100%");
+}
+
+TEST(TablePrinterTest, ColumnsAlign) {
+  TablePrinter tp({"h"});
+  tp.AddRow({"wide-value"});
+  std::string out = tp.Render("");
+  // All lines between rules must be equally wide.
+  size_t first_nl = out.find('\n');
+  size_t width = first_nl;
+  size_t pos = 0;
+  while (pos < out.size()) {
+    size_t nl = out.find('\n', pos);
+    if (nl == std::string::npos) break;
+    EXPECT_EQ(nl - pos, width);
+    pos = nl + 1;
+  }
+}
+
+}  // namespace
+}  // namespace blend

@@ -1,0 +1,102 @@
+#include "common/xash.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace blend {
+namespace {
+
+TEST(XashTest, EmptyValueHashesToZero) { EXPECT_EQ(Xash::HashValue(""), 0u); }
+
+TEST(XashTest, Deterministic) {
+  EXPECT_EQ(Xash::HashValue("tom riddle"), Xash::HashValue("tom riddle"));
+}
+
+TEST(XashTest, SuperKeyIsOrOfValues) {
+  uint64_t a = Xash::HashValue("alpha");
+  uint64_t b = Xash::HashValue("beta");
+  std::vector<std::string_view> row = {"alpha", "beta"};
+  EXPECT_EQ(Xash::SuperKey(row), a | b);
+}
+
+TEST(XashTest, MayContainIsReflexive) {
+  uint64_t h = Xash::HashValue("value");
+  EXPECT_TRUE(Xash::MayContain(h, h));
+}
+
+TEST(XashTest, ContainedValueAlwaysPasses) {
+  std::vector<std::string_view> row = {"hr", "firenze", "2024"};
+  uint64_t super = Xash::SuperKey(row);
+  for (auto v : row) {
+    EXPECT_TRUE(Xash::MayContain(super, Xash::HashValue(v)));
+  }
+}
+
+// Property: zero false negatives. For any random row and any query tuple
+// drawn from the row, the tuple's super key is contained in the row's.
+class XashNoFalseNegativeTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(XashNoFalseNegativeTest, TupleFromRowPassesFilter) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t row_len = 2 + rng.Uniform(6);
+    std::vector<std::string> cells;
+    for (size_t i = 0; i < row_len; ++i) {
+      std::string s;
+      size_t len = 1 + rng.Uniform(14);
+      for (size_t j = 0; j < len; ++j) {
+        s += static_cast<char>('a' + rng.Uniform(26));
+      }
+      cells.push_back(s);
+    }
+    std::vector<std::string_view> row(cells.begin(), cells.end());
+    uint64_t super = Xash::SuperKey(row);
+
+    size_t tuple_len = 1 + rng.Uniform(row_len);
+    auto idx = rng.SampleIndices(row_len, tuple_len);
+    std::vector<std::string_view> tuple;
+    for (size_t i : idx) tuple.push_back(cells[i]);
+    EXPECT_TRUE(Xash::MayContain(super, Xash::SuperKey(tuple)))
+        << "false negative for tuple of size " << tuple_len;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XashNoFalseNegativeTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(XashTest, FilterHasSelectivity) {
+  // The filter must reject a decent share of random non-member tuples;
+  // otherwise it is useless as a pruning structure.
+  Rng rng(99);
+  int rejected = 0;
+  const int trials = 500;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<std::string> cells;
+    for (int i = 0; i < 3; ++i) {
+      cells.push_back("row" + std::to_string(rng.Uniform(1000)));
+    }
+    std::vector<std::string_view> row(cells.begin(), cells.end());
+    uint64_t super = Xash::SuperKey(row);
+    std::string foreign1 = "zq" + std::to_string(rng.Uniform(100000));
+    std::string foreign2 = "xk" + std::to_string(rng.Uniform(100000));
+    std::vector<std::string_view> probe = {foreign1, foreign2};
+    if (!Xash::MayContain(super, Xash::SuperKey(probe))) ++rejected;
+  }
+  EXPECT_GT(rejected, trials / 2);
+}
+
+TEST(XashTest, LengthBucketSeparatesLengths) {
+  // Values sharing rare characters but with very different lengths should
+  // differ in the length segment.
+  uint64_t short_v = Xash::HashValue("zq");
+  uint64_t long_v = Xash::HashValue("zqaaaaaaaaaaaaaaaaaa");
+  constexpr uint64_t kLenMask = ~((1ULL << (64 - Xash::kLengthBits)) - 1);
+  EXPECT_NE(short_v & kLenMask, long_v & kLenMask);
+}
+
+}  // namespace
+}  // namespace blend

@@ -1,0 +1,114 @@
+#include "core/combiner.h"
+
+#include <gtest/gtest.h>
+
+namespace blend::core {
+namespace {
+
+TEST(IntersectCombinerTest, KeepsCommonTablesOnly) {
+  IntersectCombiner c(10);
+  TableList a = {{1, 2.0}, {2, 1.0}, {3, 3.0}};
+  TableList b = {{2, 5.0}, {3, 1.0}, {4, 9.0}};
+  auto out = c.Combine({a, b});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_TRUE(ContainsTable(out, 2));
+  EXPECT_TRUE(ContainsTable(out, 3));
+  // Scores are summed: 2 -> 6.0, 3 -> 4.0.
+  EXPECT_EQ(out[0].table, 2);
+  EXPECT_DOUBLE_EQ(out[0].score, 6.0);
+}
+
+TEST(IntersectCombinerTest, ThreeWay) {
+  IntersectCombiner c(10);
+  TableList a = {{1, 1}, {2, 1}};
+  TableList b = {{2, 1}, {3, 1}};
+  TableList d = {{2, 1}, {1, 1}};
+  auto out = c.Combine({a, b, d});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].table, 2);
+}
+
+TEST(IntersectCombinerTest, DuplicateIdsInOneInputCountOnce) {
+  IntersectCombiner c(10);
+  TableList a = {{1, 1}, {1, 2}};
+  TableList b = {{1, 1}};
+  auto out = c.Combine({a, b});
+  ASSERT_EQ(out.size(), 1u);
+}
+
+TEST(IntersectCombinerTest, RespectsK) {
+  IntersectCombiner c(1);
+  TableList a = {{1, 1}, {2, 9}};
+  TableList b = {{1, 1}, {2, 1}};
+  auto out = c.Combine({a, b});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].table, 2);
+}
+
+TEST(UnionCombinerTest, MergesAndSumsScores) {
+  UnionCombiner c(10);
+  TableList a = {{1, 1.0}, {2, 2.0}};
+  TableList b = {{2, 3.0}, {3, 1.0}};
+  auto out = c.Combine({a, b});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].table, 2);
+  EXPECT_DOUBLE_EQ(out[0].score, 5.0);
+}
+
+TEST(UnionCombinerTest, EmptyInputs) {
+  UnionCombiner c(10);
+  auto out = c.Combine({TableList{}, TableList{}});
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(DifferenceCombinerTest, RemovesLaterInputs) {
+  DifferenceCombiner c(10);
+  TableList a = {{1, 3.0}, {2, 2.0}, {3, 1.0}};
+  TableList b = {{2, 99.0}};
+  TableList d = {{3, 99.0}};
+  auto out = c.Combine({a, b, d});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].table, 1);
+  EXPECT_DOUBLE_EQ(out[0].score, 3.0);  // keeps first input's score
+}
+
+TEST(DifferenceCombinerTest, NonCommutative) {
+  DifferenceCombiner c(10);
+  TableList a = {{1, 1.0}};
+  TableList b = {{2, 1.0}};
+  auto ab = c.Combine({a, b});
+  auto ba = c.Combine({b, a});
+  ASSERT_EQ(ab.size(), 1u);
+  ASSERT_EQ(ba.size(), 1u);
+  EXPECT_NE(ab[0].table, ba[0].table);
+}
+
+TEST(CounterCombinerTest, RanksByFrequency) {
+  CounterCombiner c(10);
+  TableList a = {{1, 1.0}, {2, 1.0}};
+  TableList b = {{1, 1.0}, {3, 1.0}};
+  TableList d = {{1, 1.0}, {3, 1.0}};
+  auto out = c.Combine({a, b, d});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].table, 1);  // 3 occurrences
+  EXPECT_EQ(out[1].table, 3);  // 2 occurrences
+  EXPECT_EQ(out[2].table, 2);
+}
+
+TEST(CounterCombinerTest, ScoreBreaksFrequencyTies) {
+  CounterCombiner c(10);
+  TableList a = {{1, 1.0}, {2, 50.0}};
+  auto out = c.Combine({a});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].table, 2);  // same frequency, larger summed score
+}
+
+TEST(CombinerTest, TypesAndNames) {
+  EXPECT_EQ(IntersectCombiner(1).type(), Combiner::Type::kIntersect);
+  EXPECT_EQ(UnionCombiner(1).name(), "Union");
+  EXPECT_EQ(DifferenceCombiner(1).type(), Combiner::Type::kDifference);
+  EXPECT_EQ(CounterCombiner(1).name(), "Counter");
+}
+
+}  // namespace
+}  // namespace blend::core

@@ -1,0 +1,88 @@
+#include "core/plan.h"
+
+#include <gtest/gtest.h>
+
+namespace blend::core {
+namespace {
+
+std::shared_ptr<Seeker> Sc(int k = 10) {
+  return std::make_shared<SCSeeker>(std::vector<std::string>{"a", "b"}, k);
+}
+
+TEST(PlanTest, AddSeekerAndCombiner) {
+  Plan plan;
+  ASSERT_TRUE(plan.Add("s1", Sc()).ok());
+  ASSERT_TRUE(plan.Add("s2", Sc()).ok());
+  ASSERT_TRUE(
+      plan.Add("c", std::make_shared<IntersectCombiner>(5), {"s1", "s2"}).ok());
+  EXPECT_EQ(plan.NumNodes(), 3u);
+  EXPECT_TRUE(plan.node("s1").is_seeker());
+  EXPECT_FALSE(plan.node("c").is_seeker());
+}
+
+TEST(PlanTest, DuplicateIdRejected) {
+  Plan plan;
+  ASSERT_TRUE(plan.Add("x", Sc()).ok());
+  EXPECT_FALSE(plan.Add("x", Sc()).ok());
+}
+
+TEST(PlanTest, UnknownInputRejected) {
+  Plan plan;
+  EXPECT_FALSE(
+      plan.Add("c", std::make_shared<UnionCombiner>(5), {"ghost"}).ok());
+}
+
+TEST(PlanTest, EmptyIdRejected) {
+  Plan plan;
+  EXPECT_FALSE(plan.Add("", Sc()).ok());
+}
+
+TEST(PlanTest, NullOperatorsRejected) {
+  Plan plan;
+  EXPECT_FALSE(plan.Add("s", std::shared_ptr<Seeker>()).ok());
+  EXPECT_FALSE(plan.Add("c", std::shared_ptr<Combiner>(), {}).ok());
+}
+
+TEST(PlanTest, DifferenceNeedsTwoInputs) {
+  Plan plan;
+  ASSERT_TRUE(plan.Add("s1", Sc()).ok());
+  EXPECT_FALSE(
+      plan.Add("d", std::make_shared<DifferenceCombiner>(5), {"s1"}).ok());
+}
+
+TEST(PlanTest, ConsumersOf) {
+  Plan plan;
+  ASSERT_TRUE(plan.Add("s1", Sc()).ok());
+  ASSERT_TRUE(plan.Add("s2", Sc()).ok());
+  ASSERT_TRUE(plan.Add("c1", std::make_shared<UnionCombiner>(5), {"s1", "s2"}).ok());
+  ASSERT_TRUE(plan.Add("c2", std::make_shared<UnionCombiner>(5), {"s1"}).ok());
+  auto consumers = plan.ConsumersOf("s1");
+  EXPECT_EQ(consumers.size(), 2u);
+  EXPECT_TRUE(plan.ConsumersOf("c2").empty());
+}
+
+TEST(PlanTest, SinkIsLastUnconsumedNode) {
+  Plan plan;
+  ASSERT_TRUE(plan.Add("s1", Sc()).ok());
+  ASSERT_TRUE(plan.Add("c1", std::make_shared<UnionCombiner>(5), {"s1"}).ok());
+  auto sink = plan.SinkId();
+  ASSERT_TRUE(sink.ok());
+  EXPECT_EQ(sink.value(), "c1");
+}
+
+TEST(PlanTest, EmptyPlanHasNoSink) {
+  Plan plan;
+  EXPECT_FALSE(plan.SinkId().ok());
+}
+
+TEST(PlanTest, InputsOf) {
+  Plan plan;
+  ASSERT_TRUE(plan.Add("s1", Sc()).ok());
+  ASSERT_TRUE(plan.Add("c1", std::make_shared<UnionCombiner>(5), {"s1"}).ok());
+  EXPECT_TRUE(plan.InputsOf("s1").empty());
+  ASSERT_EQ(plan.InputsOf("c1").size(), 1u);
+  EXPECT_EQ(plan.InputsOf("c1")[0], "s1");
+}
+
+}  // namespace
+}  // namespace blend::core

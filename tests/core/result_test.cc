@@ -1,0 +1,53 @@
+#include "core/result.h"
+
+#include <gtest/gtest.h>
+
+namespace blend::core {
+namespace {
+
+TEST(ResultHelpersTest, SortDescByScoreThenId) {
+  TableList l = {{3, 1.0}, {1, 2.0}, {2, 2.0}};
+  SortDesc(&l);
+  EXPECT_EQ(l[0].table, 1);  // score 2.0, smaller id first
+  EXPECT_EQ(l[1].table, 2);
+  EXPECT_EQ(l[2].table, 3);
+}
+
+TEST(ResultHelpersTest, TruncateK) {
+  TableList l = {{1, 3}, {2, 2}, {3, 1}};
+  TruncateK(&l, 2);
+  EXPECT_EQ(l.size(), 2u);
+  TruncateK(&l, -1);  // negative k = unlimited
+  EXPECT_EQ(l.size(), 2u);
+  TruncateK(&l, 0);
+  EXPECT_TRUE(l.empty());
+}
+
+TEST(ResultHelpersTest, IdSetAndIdsOf) {
+  TableList l = {{5, 2}, {7, 1}};
+  auto set = IdSet(l);
+  EXPECT_TRUE(set.count(5));
+  EXPECT_TRUE(set.count(7));
+  EXPECT_FALSE(set.count(6));
+  auto ids = IdsOf(l);
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], 5);
+}
+
+TEST(ResultHelpersTest, ContainsTable) {
+  TableList l = {{5, 2}};
+  EXPECT_TRUE(ContainsTable(l, 5));
+  EXPECT_FALSE(ContainsTable(l, 4));
+}
+
+TEST(ResultHelpersTest, ToStringWithAndWithoutLake) {
+  TableList l = {{0, 1.5}};
+  EXPECT_NE(ToString(l).find("T0"), std::string::npos);
+  DataLake lake;
+  Table t("MyTable");
+  lake.AddTable(std::move(t));
+  EXPECT_NE(ToString(l, &lake).find("MyTable"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace blend::core

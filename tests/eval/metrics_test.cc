@@ -1,0 +1,60 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace blend::eval {
+namespace {
+
+TEST(MetricsTest, PrecisionAtK) {
+  std::vector<int32_t> ranked = {1, 2, 3, 4};
+  std::unordered_set<int32_t> rel = {1, 3, 9};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, rel, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, rel, 4), 0.5);
+}
+
+TEST(MetricsTest, PrecisionShortResultList) {
+  std::vector<int32_t> ranked = {1};
+  std::unordered_set<int32_t> rel = {1};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, rel, 10), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, rel, 10, /*penalize_missing=*/true), 0.1);
+}
+
+TEST(MetricsTest, PrecisionEmptyInputs) {
+  EXPECT_DOUBLE_EQ(PrecisionAtK({}, {1}, 5), 0.0);
+}
+
+TEST(MetricsTest, RecallAtK) {
+  std::vector<int32_t> ranked = {1, 2, 3};
+  std::unordered_set<int32_t> rel = {1, 3, 5, 7};
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, rel, 3), 0.5);
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, rel, 1), 0.25);
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, {}, 3), 0.0);
+}
+
+TEST(MetricsTest, AveragePrecisionPerfectRanking) {
+  std::vector<int32_t> ranked = {1, 2};
+  std::unordered_set<int32_t> rel = {1, 2};
+  EXPECT_DOUBLE_EQ(AveragePrecisionAtK(ranked, rel, 2), 1.0);
+}
+
+TEST(MetricsTest, AveragePrecisionPenalizesLateHits) {
+  std::vector<int32_t> good = {1, 9, 9, 9};
+  std::vector<int32_t> bad = {9, 9, 9, 1};
+  std::unordered_set<int32_t> rel = {1};
+  EXPECT_GT(AveragePrecisionAtK(good, rel, 4), AveragePrecisionAtK(bad, rel, 4));
+}
+
+TEST(MetricsTest, AveragePrecisionDenominatorIsMinKRel) {
+  std::vector<int32_t> ranked = {1, 2, 3};
+  std::unordered_set<int32_t> rel = {1, 2, 3, 4, 5, 6};
+  // All top-3 relevant: AP@3 = (1 + 1 + 1)/3 = 1 with denominator min(3, 6).
+  EXPECT_DOUBLE_EQ(AveragePrecisionAtK(ranked, rel, 3), 1.0);
+}
+
+TEST(MetricsTest, Mean) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+}  // namespace
+}  // namespace blend::eval

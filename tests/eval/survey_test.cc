@@ -1,0 +1,59 @@
+#include "eval/survey.h"
+
+#include <gtest/gtest.h>
+
+namespace blend::eval {
+namespace {
+
+TEST(SurveyTest, EighteenRespondentsBalanced) {
+  const auto& rs = SurveyResponses();
+  EXPECT_EQ(rs.size(), 18u);
+  size_t industry = 0;
+  for (const auto& r : rs) industry += r.industry;
+  EXPECT_EQ(industry, 9u);
+}
+
+TEST(SurveyTest, AggregateMatchesPaperHeadlineNumbers) {
+  const auto& rs = SurveyResponses();
+  auto all = Aggregate(rs, -1);
+  ASSERT_EQ(all.n, 18u);
+  // Table IX headline statistics (paper §VIII-I).
+  EXPECT_NEAR(all.q1_mean, 33.3, 0.5);        // single-search success
+  EXPECT_NEAR(all.q3_rows, 50.0, 0.1);        // discovery for rows
+  EXPECT_NEAR(all.q3_correlation, 50.0, 0.1);
+  EXPECT_NEAR(all.q4_scripts, 77.8, 0.5);     // custom scripts
+  EXPECT_NEAR(all.q5_python, 94.4, 0.5);
+  EXPECT_NEAR(all.q7_yes, 100.0, 0.01);       // unanimous DBMS adoption
+  EXPECT_NEAR(all.q8_blend, 44.4, 0.5);       // simple task: BLEND preferred
+  EXPECT_NEAR(all.q9_blend, 88.9, 0.5);       // complex task: BLEND preferred
+}
+
+TEST(SurveyTest, GroupAggregates) {
+  const auto& rs = SurveyResponses();
+  auto res = Aggregate(rs, 0);
+  auto ind = Aggregate(rs, 1);
+  EXPECT_EQ(res.n, 9u);
+  EXPECT_EQ(ind.n, 9u);
+  EXPECT_NEAR(res.q1_mean, 27.5, 0.1);
+  EXPECT_NEAR(ind.q1_mean, 38.8, 0.1);
+  EXPECT_NEAR(res.q4_scripts, 100.0, 0.01);
+  EXPECT_NEAR(ind.q6_fs, 0.0, 0.01);  // no industry respondent is files-only
+}
+
+TEST(SurveyTest, RenderContainsAllQuestions) {
+  std::string table = RenderUserStudyTable();
+  for (const char* needle :
+       {"Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7", "Q8", "Q9", "Research",
+        "Industry"}) {
+    EXPECT_NE(table.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(SurveyTest, EmptyFilterGroupIsSafe) {
+  auto agg = Aggregate({}, -1);
+  EXPECT_EQ(agg.n, 0u);
+  EXPECT_DOUBLE_EQ(agg.q1_mean, 0.0);
+}
+
+}  // namespace
+}  // namespace blend::eval

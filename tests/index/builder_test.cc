@@ -1,0 +1,181 @@
+#include "index/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "common/str_util.h"
+#include "lakegen/join_lake.h"
+#include "lakegen/workloads.h"
+
+namespace blend {
+namespace {
+
+DataLake SmallLake() {
+  DataLake lake("small");
+  Table t("t0");
+  t.AddColumn("name");
+  t.AddColumn("score");
+  (void)t.AppendRow({"Alpha", "1"});
+  (void)t.AppendRow({"Beta", "3"});
+  (void)t.AppendRow({"alpha ", "5"});  // normalizes to same token as row 0
+  (void)t.AppendRow({"", "7"});        // empty cell not indexed
+  lake.AddTable(std::move(t));
+  return lake;
+}
+
+TEST(IndexBuilderTest, IndexesNormalizedCellsOnly) {
+  DataLake lake = SmallLake();
+  IndexBundle bundle = IndexBuilder().Build(lake);
+  // 7 non-empty cells (4 score values + 3 names).
+  EXPECT_EQ(bundle.NumRecords(), 7u);
+  // alpha appears twice but is one dictionary entry.
+  EXPECT_NE(bundle.dictionary().Find("alpha"), kInvalidCellId);
+  EXPECT_EQ(bundle.dictionary().Find("Alpha"), kInvalidCellId);  // not normalized
+}
+
+TEST(IndexBuilderTest, QuadrantBitsMatchColumnMean) {
+  DataLake lake = SmallLake();
+  IndexBundle bundle = IndexBuilder().Build(lake);
+  const auto& store = bundle.column_store();
+  // Mean of {1,3,5,7} = 4; quadrant = value >= 4.
+  for (size_t i = 0; i < store.NumRecords(); ++i) {
+    if (store.column(i) != 1) {
+      EXPECT_EQ(store.quadrant(i), kQuadrantNull);
+      continue;
+    }
+    std::string_view v = bundle.dictionary().Value(store.cell(i));
+    double num = *ParseNumeric(v);
+    EXPECT_EQ(store.quadrant(i), num >= 4.0 ? 1 : 0) << "value " << v;
+  }
+}
+
+TEST(IndexBuilderTest, PostingsAreComplete) {
+  DataLake lake = SmallLake();
+  IndexBundle bundle = IndexBuilder().Build(lake);
+  const auto& store = bundle.column_store();
+  CellId alpha = bundle.dictionary().Find("alpha");
+  ASSERT_NE(alpha, kInvalidCellId);
+  EXPECT_EQ(store.Postings(alpha).size(), 2u);
+  for (RecordPos p : store.Postings(alpha)) {
+    EXPECT_EQ(store.cell(p), alpha);
+  }
+}
+
+TEST(IndexBuilderTest, TableRangesCoverAllRecords) {
+  lakegen::JoinLakeSpec spec;
+  spec.num_tables = 20;
+  DataLake lake = lakegen::MakeJoinLake(spec);
+  IndexBundle bundle = IndexBuilder().Build(lake);
+  const auto& store = bundle.column_store();
+  size_t covered = 0;
+  for (TableId t = 0; t < static_cast<TableId>(store.NumTables()); ++t) {
+    auto [b, e] = store.TableRange(t);
+    for (RecordPos p = b; p < e; ++p) {
+      EXPECT_EQ(store.table(p), t);
+      ++covered;
+    }
+  }
+  EXPECT_EQ(covered, store.NumRecords());
+}
+
+TEST(IndexBuilderTest, RowAndColumnStoresHoldIdenticalRecords) {
+  lakegen::JoinLakeSpec spec;
+  spec.num_tables = 15;
+  DataLake lake = lakegen::MakeJoinLake(spec);
+
+  IndexBuildOptions row_opts;
+  row_opts.layout = StoreLayout::kRow;
+  IndexBundle row = IndexBuilder(row_opts).Build(lake);
+  IndexBundle col = IndexBuilder().Build(lake);
+
+  ASSERT_EQ(row.row_store().NumRecords(), col.column_store().NumRecords());
+  for (size_t i = 0; i < row.row_store().NumRecords(); ++i) {
+    EXPECT_EQ(row.row_store().cell(i), col.column_store().cell(i));
+    EXPECT_EQ(row.row_store().table(i), col.column_store().table(i));
+    EXPECT_EQ(row.row_store().column(i), col.column_store().column(i));
+    EXPECT_EQ(row.row_store().row(i), col.column_store().row(i));
+    EXPECT_EQ(row.row_store().super_key(i), col.column_store().super_key(i));
+    EXPECT_EQ(row.row_store().quadrant(i), col.column_store().quadrant(i));
+  }
+}
+
+TEST(IndexBuilderTest, SuperKeyConsistentWithinRow) {
+  DataLake lake = SmallLake();
+  IndexBundle bundle = IndexBuilder().Build(lake);
+  const auto& store = bundle.column_store();
+  // All records of the same (table, row) share one super key.
+  std::unordered_map<int64_t, uint64_t> seen;
+  for (size_t i = 0; i < store.NumRecords(); ++i) {
+    int64_t key = (static_cast<int64_t>(store.table(i)) << 32) | store.row(i);
+    auto it = seen.find(key);
+    if (it == seen.end()) {
+      seen.emplace(key, store.super_key(i));
+    } else {
+      EXPECT_EQ(it->second, store.super_key(i));
+    }
+  }
+}
+
+TEST(IndexBuilderTest, ShuffledRowsMapBackToOriginals) {
+  auto fig1 = lakegen::MakeFig1Lake();
+  IndexBuildOptions opts;
+  opts.shuffle_rows = true;
+  opts.shuffle_seed = 5;
+  IndexBundle bundle = IndexBuilder(opts).Build(fig1.lake);
+  const auto& store = bundle.column_store();
+  for (size_t i = 0; i < store.NumRecords(); ++i) {
+    TableId t = store.table(i);
+    int32_t orig = bundle.OriginalRow(t, store.row(i));
+    const Table& table = fig1.lake.table(t);
+    std::string_view indexed = bundle.dictionary().Value(store.cell(i));
+    // The indexed cell must equal the normalized original cell.
+    EXPECT_EQ(indexed, NormalizeCell(table.At(static_cast<size_t>(orig),
+                                              static_cast<size_t>(store.column(i)))));
+  }
+}
+
+TEST(IndexBuilderTest, IdentityRowMapWithoutShuffle) {
+  auto fig1 = lakegen::MakeFig1Lake();
+  IndexBundle bundle = IndexBuilder().Build(fig1.lake);
+  EXPECT_EQ(bundle.OriginalRow(0, 3), 3);
+}
+
+TEST(IndexBuilderTest, QuadrantPositionsIndexIsComplete) {
+  lakegen::JoinLakeSpec spec;
+  spec.num_tables = 25;
+  spec.numeric_col_prob = 0.5;
+  DataLake lake = lakegen::MakeJoinLake(spec);
+  IndexBundle bundle = IndexBuilder().Build(lake);
+  const auto& store = bundle.column_store();
+
+  std::unordered_set<RecordPos> indexed(store.QuadrantPositions().begin(),
+                                        store.QuadrantPositions().end());
+  size_t expected = 0;
+  for (RecordPos p = 0; p < store.NumRecords(); ++p) {
+    if (store.quadrant(p) != kQuadrantNull) {
+      ++expected;
+      EXPECT_TRUE(indexed.count(p) > 0) << "missing position " << p;
+    } else {
+      EXPECT_FALSE(indexed.count(p) > 0) << "spurious position " << p;
+    }
+  }
+  EXPECT_EQ(indexed.size(), expected);
+  // Ascending order (the builder emits in physical order).
+  for (size_t i = 1; i < store.QuadrantPositions().size(); ++i) {
+    EXPECT_LT(store.QuadrantPositions()[i - 1], store.QuadrantPositions()[i]);
+  }
+}
+
+TEST(IndexBuilderTest, ApproxBytesPositiveAndLayoutDependent) {
+  lakegen::JoinLakeSpec spec;
+  spec.num_tables = 10;
+  DataLake lake = lakegen::MakeJoinLake(spec);
+  IndexBuildOptions row_opts;
+  row_opts.layout = StoreLayout::kRow;
+  IndexBundle row = IndexBuilder(row_opts).Build(lake);
+  IndexBundle col = IndexBuilder().Build(lake);
+  EXPECT_GT(row.ApproxBytes(), 0u);
+  EXPECT_GT(col.ApproxBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace blend

@@ -1,0 +1,55 @@
+#include "index/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace blend {
+namespace {
+
+DataLake MakeLake() {
+  DataLake lake;
+  Table t("t");
+  t.AddColumn("c");
+  (void)t.AppendRow({"common"});
+  (void)t.AppendRow({"common"});
+  (void)t.AppendRow({"common"});
+  (void)t.AppendRow({"rare"});
+  lake.AddTable(std::move(t));
+  return lake;
+}
+
+TEST(IndexStatsTest, FrequencyCountsRecords) {
+  DataLake lake = MakeLake();
+  IndexBundle bundle = IndexBuilder().Build(lake);
+  IndexStats stats(&bundle);
+  EXPECT_EQ(stats.Frequency("common"), 3u);
+  EXPECT_EQ(stats.Frequency("COMMON "), 3u);  // normalization applied
+  EXPECT_EQ(stats.Frequency("rare"), 1u);
+  EXPECT_EQ(stats.Frequency("absent"), 0u);
+}
+
+TEST(IndexStatsTest, AvgFrequency) {
+  DataLake lake = MakeLake();
+  IndexBundle bundle = IndexBuilder().Build(lake);
+  IndexStats stats(&bundle);
+  EXPECT_DOUBLE_EQ(stats.AvgFrequency({"common", "rare"}), 2.0);
+  EXPECT_DOUBLE_EQ(stats.AvgFrequency({}), 0.0);
+}
+
+TEST(IndexStatsTest, WorksOnRowStore) {
+  DataLake lake = MakeLake();
+  IndexBuildOptions opts;
+  opts.layout = StoreLayout::kRow;
+  IndexBundle bundle = IndexBuilder(opts).Build(lake);
+  IndexStats stats(&bundle);
+  EXPECT_EQ(stats.Frequency("common"), 3u);
+}
+
+TEST(IndexStatsTest, NumRecords) {
+  DataLake lake = MakeLake();
+  IndexBundle bundle = IndexBuilder().Build(lake);
+  IndexStats stats(&bundle);
+  EXPECT_EQ(stats.NumRecords(), 4u);
+}
+
+}  // namespace
+}  // namespace blend

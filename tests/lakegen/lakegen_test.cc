@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "lakegen/correlation_lake.h"
+#include "lakegen/join_lake.h"
+#include "lakegen/mc_lake.h"
+#include "lakegen/union_lake.h"
+#include "lakegen/vocab.h"
+
+namespace blend::lakegen {
+namespace {
+
+TEST(VocabTest, TokensAreDomainScoped) {
+  EXPECT_EQ(Vocab::Token(3, 17), "d3_v17");
+  EXPECT_NE(Vocab::Token(1, 5), Vocab::Token(2, 5));
+}
+
+TEST(VocabTest, NumericTokensParseAsNumbers) {
+  std::string tok = Vocab::NumericToken(4, 10);
+  for (char c : tok) EXPECT_TRUE(c >= '0' && c <= '9');
+  EXPECT_NE(Vocab::NumericToken(4, 10), Vocab::NumericToken(5, 10));
+}
+
+TEST(VocabTest, SignalDeterministicInUnitInterval) {
+  for (int d = 0; d < 5; ++d) {
+    for (size_t i = 0; i < 50; ++i) {
+      double s = Vocab::Signal(d, i);
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0);
+      EXPECT_DOUBLE_EQ(s, Vocab::Signal(d, i));
+    }
+  }
+}
+
+TEST(JoinLakeTest, DeterministicForSeed) {
+  JoinLakeSpec spec;
+  spec.num_tables = 10;
+  DataLake a = MakeJoinLake(spec);
+  DataLake b = MakeJoinLake(spec);
+  ASSERT_EQ(a.NumTables(), b.NumTables());
+  for (TableId t = 0; t < static_cast<TableId>(a.NumTables()); ++t) {
+    ASSERT_EQ(a.table(t).NumRows(), b.table(t).NumRows());
+    for (size_t r = 0; r < a.table(t).NumRows(); ++r) {
+      for (size_t c = 0; c < a.table(t).NumColumns(); ++c) {
+        ASSERT_EQ(a.table(t).At(r, c), b.table(t).At(r, c));
+      }
+    }
+  }
+}
+
+TEST(JoinLakeTest, RespectsShapeBounds) {
+  JoinLakeSpec spec;
+  spec.num_tables = 25;
+  spec.min_rows = 10;
+  spec.max_rows = 20;
+  spec.min_cols = 2;
+  spec.max_cols = 4;
+  DataLake lake = MakeJoinLake(spec);
+  EXPECT_EQ(lake.NumTables(), 25u);
+  for (const auto& t : lake.tables()) {
+    EXPECT_GE(t.NumRows(), 10u);
+    EXPECT_LE(t.NumRows(), 20u);
+    EXPECT_GE(t.NumColumns(), 2u);
+    EXPECT_LE(t.NumColumns(), 4u);
+  }
+}
+
+TEST(JoinLakeTest, CategoricalColumnsCarryDomainTags) {
+  JoinLakeSpec spec;
+  spec.num_tables = 10;
+  spec.numeric_col_prob = 0.0;
+  DataLake lake = MakeJoinLake(spec);
+  for (const auto& t : lake.tables()) {
+    for (const auto& c : t.columns()) {
+      EXPECT_GE(c.domain_tag, 0);
+      EXPECT_LT(c.domain_tag, spec.num_domains);
+    }
+  }
+}
+
+TEST(UnionLakeTest, GroupsPartitionNonNoiseTables) {
+  UnionLakeSpec spec;
+  spec.num_groups = 6;
+  spec.noise_tables = 9;
+  auto ul = MakeUnionLake(spec);
+  size_t grouped = 0;
+  for (const auto& g : ul.groups) grouped += g.size();
+  EXPECT_EQ(grouped + spec.noise_tables, ul.lake.NumTables());
+  EXPECT_EQ(ul.group_of.size(), ul.lake.NumTables());
+  EXPECT_EQ(ul.query_tables.size(), spec.num_groups);
+}
+
+TEST(UnionLakeTest, GroupSizesWithinBounds) {
+  UnionLakeSpec spec;
+  spec.num_groups = 8;
+  spec.group_size_min = 5;
+  spec.group_size_max = 9;
+  auto ul = MakeUnionLake(spec);
+  for (const auto& g : ul.groups) {
+    EXPECT_GE(g.size(), 5u);
+    EXPECT_LE(g.size(), 9u);
+  }
+}
+
+TEST(UnionLakeTest, SyntacticMembersShareTokens) {
+  UnionLakeSpec spec;
+  spec.num_groups = 3;
+  spec.semantic_frac = 0.0;
+  spec.tag_noise = 0.0;
+  spec.seed = 7;
+  auto ul = MakeUnionLake(spec);
+  // Two members of group 0 should share a decent number of distinct tokens.
+  const Table& a = ul.lake.table(ul.groups[0][0]);
+  const Table& b = ul.lake.table(ul.groups[0][1]);
+  std::unordered_set<std::string> tokens_a;
+  for (const auto& cell : a.column(0).cells) tokens_a.insert(cell);
+  size_t shared = 0;
+  for (const auto& cell : b.column(0).cells) {
+    if (tokens_a.count(cell)) ++shared;
+  }
+  EXPECT_GT(shared, 0u);
+}
+
+TEST(UnionLakeTest, AltSemanticFractionStillPartitions) {
+  UnionLakeSpec spec;
+  spec.num_groups = 8;
+  spec.semantic_frac = 0.2;
+  spec.semantic_frac_alt = 0.85;
+  spec.alt_group_frac = 0.5;
+  spec.noise_tables = 5;
+  auto ul = MakeUnionLake(spec);
+  size_t grouped = 0;
+  for (const auto& g : ul.groups) grouped += g.size();
+  EXPECT_EQ(grouped + spec.noise_tables, ul.lake.NumTables());
+}
+
+TEST(CorrLakeTest, CompositeKeyAddsPartnerColumn) {
+  CorrLakeSpec spec;
+  spec.num_tables = 10;
+  spec.composite_key = true;
+  spec.numeric_key_frac = 0.0;
+  auto corr = MakeCorrLake(spec);
+  for (const auto& t : corr.lake.tables()) {
+    ASSERT_GE(t.NumColumns(), 2u);
+    EXPECT_EQ(t.column(1).name, "key2");
+    EXPECT_FALSE(t.column(1).IsNumeric());
+    // key2 is the deterministic partner of key.
+    for (size_t c = 2; c < t.NumColumns(); ++c) {
+      EXPECT_TRUE(t.column(c).IsNumeric());
+    }
+  }
+}
+
+TEST(CorrLakeTest, CompositePartnerDeterministic) {
+  EXPECT_EQ(CompositePartner(3, 10), CompositePartner(3, 10));
+  EXPECT_NE(CompositePartner(3, 10), CompositePartner(4, 10));
+}
+
+TEST(CorrLakeTest, ShapeAndMetadata) {
+  CorrLakeSpec spec;
+  spec.num_tables = 20;
+  auto corr = MakeCorrLake(spec);
+  EXPECT_EQ(corr.lake.NumTables(), 20u);
+  EXPECT_EQ(corr.table_domain.size(), 20u);
+  EXPECT_EQ(corr.numeric_key.size(), 20u);
+  for (const auto& t : corr.lake.tables()) {
+    EXPECT_GE(t.NumColumns(), 1 + spec.num_cols_min);
+    // Column 0 is the key; the rest are numeric.
+    for (size_t c = 1; c < t.NumColumns(); ++c) {
+      EXPECT_TRUE(t.column(c).IsNumeric());
+    }
+  }
+}
+
+TEST(CorrLakeTest, NumericKeyFlagMatchesContent) {
+  CorrLakeSpec spec;
+  spec.num_tables = 30;
+  spec.seed = 9;
+  auto corr = MakeCorrLake(spec);
+  for (TableId t = 0; t < static_cast<TableId>(corr.lake.NumTables()); ++t) {
+    bool numeric = corr.lake.table(t).column(0).IsNumeric();
+    EXPECT_EQ(numeric, corr.numeric_key[static_cast<size_t>(t)]) << "table " << t;
+  }
+}
+
+TEST(CorrLakeTest, SortedLayoutHasDuplicateRuns) {
+  CorrLakeSpec spec;
+  spec.num_tables = 5;
+  spec.run_min = 2;
+  spec.run_max = 3;
+  auto corr = MakeCorrLake(spec);
+  const Table& t = corr.lake.table(0);
+  size_t adjacent_dups = 0;
+  for (size_t r = 1; r < t.NumRows(); ++r) {
+    if (t.At(r, 0) == t.At(r - 1, 0)) ++adjacent_dups;
+  }
+  EXPECT_GT(adjacent_dups, t.NumRows() / 3);
+}
+
+TEST(CorrQueryTest, TargetsTrackDomainSignal) {
+  CorrLakeSpec spec;
+  Rng rng(17);
+  auto q = MakeCorrQuery(spec, 2, false, 40, &rng);
+  ASSERT_EQ(q.keys.size(), q.targets.size());
+  ASSERT_GE(q.keys.size(), 30u);
+  EXPECT_FALSE(q.numeric_key);
+  for (const auto& k : q.keys) EXPECT_EQ(k.rfind("d2_", 0), 0u);
+}
+
+TEST(McLakeTest, DomainsAssigned) {
+  McLakeSpec spec;
+  spec.num_tables = 15;
+  auto mc = MakeMcLake(spec);
+  EXPECT_EQ(mc.lake.NumTables(), 15u);
+  EXPECT_EQ(mc.table_domain.size(), 15u);
+  for (int d : mc.table_domain) {
+    EXPECT_GE(d, 0);
+    EXPECT_LT(d, static_cast<int>(spec.num_pair_domains));
+  }
+}
+
+TEST(McLakeTest, QueriesContainCatalogPairs) {
+  McLakeSpec spec;
+  Rng rng(23);
+  auto tuples = MakeMcQuery(spec, 3, 8, &rng);
+  ASSERT_EQ(tuples.size(), 8u);
+  for (const auto& t : tuples) {
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_EQ(t[0].rfind("a3_", 0), 0u);
+    EXPECT_EQ(t[1].rfind("b3_", 0), 0u);
+  }
+}
+
+TEST(McLakeTest, RowJoinsTuplesDetectsAlignment) {
+  Table t("x");
+  t.AddColumn("l");
+  t.AddColumn("r");
+  (void)t.AppendRow({"k1", "w1"});
+  (void)t.AppendRow({"k1", "w2"});
+  EXPECT_TRUE(RowJoinsTuples(t, 0, {{"k1", "w1"}}));
+  EXPECT_FALSE(RowJoinsTuples(t, 1, {{"k1", "w1"}}));
+  EXPECT_FALSE(RowJoinsTuples(t, 0, {{"w1", "w1"}}));  // needs distinct columns
+}
+
+}  // namespace
+}  // namespace blend::lakegen

@@ -1,0 +1,86 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace blend::sql {
+namespace {
+
+std::vector<Token> MustLex(const std::string& s) {
+  auto r = Lex(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.take();
+}
+
+TEST(LexerTest, BasicTokens) {
+  auto toks = MustLex("SELECT a, b FROM t;");
+  ASSERT_EQ(toks.size(), 8u);  // SELECT a , b FROM t ; END
+  EXPECT_EQ(toks[0].kind, TokKind::kIdent);
+  EXPECT_EQ(toks[0].text, "SELECT");
+  EXPECT_EQ(toks[2].kind, TokKind::kComma);
+  EXPECT_EQ(toks[6].kind, TokKind::kSemicolon);
+  EXPECT_EQ(toks.back().kind, TokKind::kEnd);
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  auto toks = MustLex("'it''s ok'");
+  ASSERT_GE(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokKind::kString);
+  EXPECT_EQ(toks[0].text, "it's ok");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Lex("'oops").ok());
+}
+
+TEST(LexerTest, Numbers) {
+  auto toks = MustLex("42 3.5 .25");
+  EXPECT_EQ(toks[0].text, "42");
+  EXPECT_EQ(toks[1].text, "3.5");
+  EXPECT_EQ(toks[2].text, ".25");
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(toks[static_cast<size_t>(i)].kind, TokKind::kNumber);
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  auto toks = MustLex("= <> != < <= > >=");
+  EXPECT_EQ(toks[0].kind, TokKind::kEq);
+  EXPECT_EQ(toks[1].kind, TokKind::kNe);
+  EXPECT_EQ(toks[2].kind, TokKind::kNe);
+  EXPECT_EQ(toks[3].kind, TokKind::kLt);
+  EXPECT_EQ(toks[4].kind, TokKind::kLe);
+  EXPECT_EQ(toks[5].kind, TokKind::kGt);
+  EXPECT_EQ(toks[6].kind, TokKind::kGe);
+}
+
+TEST(LexerTest, DotAndStar) {
+  auto toks = MustLex("t.col * 2");
+  EXPECT_EQ(toks[0].kind, TokKind::kIdent);
+  EXPECT_EQ(toks[1].kind, TokKind::kDot);
+  EXPECT_EQ(toks[2].kind, TokKind::kIdent);
+  EXPECT_EQ(toks[3].kind, TokKind::kStar);
+}
+
+TEST(LexerTest, PlaceholderIdentifiers) {
+  auto toks = MustLex("$REWRITE$ _name x1");
+  EXPECT_EQ(toks[0].text, "$REWRITE$");
+  EXPECT_EQ(toks[1].text, "_name");
+  EXPECT_EQ(toks[2].text, "x1");
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  EXPECT_FALSE(Lex("SELECT #").ok());
+}
+
+TEST(LexerTest, LargeInListIsFast) {
+  std::string sql = "IN (";
+  for (int i = 0; i < 20000; ++i) {
+    if (i) sql += ',';
+    sql += "'tok" + std::to_string(i) + "'";
+  }
+  sql += ")";
+  auto toks = MustLex(sql);
+  // 20000 strings + 19999 commas + IN + parens + END
+  EXPECT_EQ(toks.size(), 20000u + 19999u + 4u);
+}
+
+}  // namespace
+}  // namespace blend::sql

@@ -1,0 +1,161 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace blend::sql {
+namespace {
+
+std::unique_ptr<SelectStmt> MustParse(const std::string& s) {
+  auto r = Parse(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << " for: " << s;
+  return r.ok() ? r.take() : nullptr;
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto stmt = MustParse("SELECT TableId FROM AllTables");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_EQ(stmt->items.size(), 1u);
+  EXPECT_EQ(stmt->items[0].expr->kind, ExprKind::kColumnRef);
+  EXPECT_EQ(stmt->items[0].expr->column, "TableId");
+  ASSERT_EQ(stmt->from.size(), 1u);
+  EXPECT_EQ(stmt->from[0].base_name, "AllTables");
+}
+
+TEST(ParserTest, SelectStar) {
+  auto stmt = MustParse("SELECT * FROM AllTables;");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_TRUE(stmt->select_star);
+}
+
+TEST(ParserTest, TheScSeekerQuery) {
+  auto stmt = MustParse(
+      "SELECT TableId, ColumnId, COUNT(DISTINCT CellValue) AS score "
+      "FROM AllTables WHERE CellValue IN ('a','b','c') "
+      "GROUP BY TableId, ColumnId ORDER BY score DESC LIMIT 10;");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_EQ(stmt->items.size(), 3u);
+  EXPECT_EQ(stmt->items[2].alias, "score");
+  EXPECT_TRUE(stmt->items[2].expr->distinct);
+  ASSERT_NE(stmt->where, nullptr);
+  EXPECT_EQ(stmt->where->kind, ExprKind::kInList);
+  EXPECT_EQ(stmt->where->in_strings.size(), 3u);
+  EXPECT_EQ(stmt->group_by.size(), 2u);
+  ASSERT_EQ(stmt->order_by.size(), 1u);
+  EXPECT_TRUE(stmt->order_by[0].desc);
+  EXPECT_EQ(stmt->limit, 10);
+}
+
+TEST(ParserTest, JoinOfSubqueries) {
+  auto stmt = MustParse(
+      "SELECT T0.TableId FROM "
+      "(SELECT TableId, RowId FROM AllTables WHERE CellValue IN ('x')) AS T0 "
+      "INNER JOIN (SELECT TableId, RowId FROM AllTables WHERE CellValue IN ('y')) "
+      "AS T1 ON T0.TableId = T1.TableId AND T0.RowId = T1.RowId");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_EQ(stmt->from.size(), 2u);
+  EXPECT_TRUE(stmt->from[0].is_subquery);
+  EXPECT_EQ(stmt->from[0].alias, "T0");
+  ASSERT_EQ(stmt->join_ons.size(), 1u);
+  EXPECT_EQ(stmt->join_ons[0]->op, BinOp::kAnd);
+}
+
+TEST(ParserTest, MultiJoinChain) {
+  auto stmt = MustParse(
+      "SELECT T0.TableId FROM (SELECT * FROM AllTables) AS T0 "
+      "INNER JOIN (SELECT * FROM AllTables) AS T1 ON T0.RowId = T1.RowId "
+      "INNER JOIN (SELECT * FROM AllTables) AS T2 ON T0.RowId = T2.RowId");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_EQ(stmt->from.size(), 3u);
+  EXPECT_EQ(stmt->join_ons.size(), 2u);
+}
+
+TEST(ParserTest, IsNotNullAndComparisons) {
+  auto stmt = MustParse(
+      "SELECT RowId FROM AllTables WHERE Quadrant IS NOT NULL AND RowId < 256");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_NE(stmt->where, nullptr);
+  EXPECT_EQ(stmt->where->op, BinOp::kAnd);
+  EXPECT_EQ(stmt->where->lhs->kind, ExprKind::kIsNull);
+  EXPECT_TRUE(stmt->where->lhs->negated);
+  EXPECT_EQ(stmt->where->rhs->op, BinOp::kLt);
+}
+
+TEST(ParserTest, NotInList) {
+  auto stmt = MustParse("SELECT TableId FROM AllTables WHERE TableId NOT IN (1,2,3)");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_EQ(stmt->where->kind, ExprKind::kInList);
+  EXPECT_TRUE(stmt->where->negated);
+  EXPECT_EQ(stmt->where->in_ints.size(), 3u);
+}
+
+TEST(ParserTest, EmptyInList) {
+  auto stmt = MustParse("SELECT TableId FROM AllTables WHERE TableId IN ()");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_TRUE(stmt->where->in_ints.empty());
+  EXPECT_TRUE(stmt->where->in_strings.empty());
+}
+
+TEST(ParserTest, NegativeNumbersInList) {
+  auto stmt = MustParse("SELECT TableId FROM AllTables WHERE TableId IN (-1, 2)");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_EQ(stmt->where->in_ints.size(), 2u);
+  EXPECT_EQ(stmt->where->in_ints[0], -1);
+}
+
+TEST(ParserTest, CorrelationScoreExpression) {
+  auto stmt = MustParse(
+      "SELECT keys.TableId, ABS((2 * SUM((keys.CellValue IN ('a') AND "
+      "nums.Quadrant = 0) OR (keys.CellValue IN ('b') AND nums.Quadrant = 1)) "
+      "- COUNT(*)) / COUNT(*)) AS score "
+      "FROM (SELECT * FROM AllTables) AS keys INNER JOIN "
+      "(SELECT * FROM AllTables) AS nums ON keys.RowId = nums.RowId "
+      "GROUP BY keys.TableId ORDER BY score DESC LIMIT 5");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_EQ(stmt->items.size(), 2u);
+  EXPECT_EQ(stmt->items[1].expr->kind, ExprKind::kFuncCall);
+  EXPECT_EQ(stmt->items[1].expr->func, "ABS");
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  auto stmt = MustParse("SELECT 1 + 2 * 3 FROM AllTables");
+  ASSERT_NE(stmt, nullptr);
+  const Expr& e = *stmt->items[0].expr;
+  EXPECT_EQ(e.op, BinOp::kAdd);
+  EXPECT_EQ(e.rhs->op, BinOp::kMul);
+}
+
+TEST(ParserTest, UnaryMinus) {
+  auto stmt = MustParse("SELECT TableId FROM AllTables WHERE RowId > -5");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_EQ(stmt->where->rhs->op, BinOp::kSub);
+}
+
+TEST(ParserTest, KeywordsCaseInsensitive) {
+  auto stmt = MustParse("select TableId from AllTables where RowId < 3 limit 2");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_EQ(stmt->limit, 2);
+}
+
+TEST(ParserTest, TrailingTokensRejected) {
+  EXPECT_FALSE(Parse("SELECT TableId FROM AllTables extra garbage ,").ok());
+}
+
+TEST(ParserTest, MissingFromRejected) {
+  EXPECT_FALSE(Parse("SELECT TableId").ok());
+}
+
+TEST(ParserTest, JoinWithoutOnRejected) {
+  EXPECT_FALSE(
+      Parse("SELECT * FROM AllTables INNER JOIN (SELECT * FROM AllTables) AS x")
+          .ok());
+}
+
+TEST(ParserTest, BareAliasWithoutAs) {
+  auto stmt = MustParse("SELECT TableId t FROM AllTables a");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_EQ(stmt->items[0].alias, "t");
+  EXPECT_EQ(stmt->from[0].alias, "a");
+}
+
+}  // namespace
+}  // namespace blend::sql

@@ -1,0 +1,51 @@
+#include "storage/data_lake.h"
+
+#include <gtest/gtest.h>
+
+namespace blend {
+namespace {
+
+DataLake MakeLake() {
+  DataLake lake("test");
+  Table a("A");
+  a.AddColumn("x");
+  (void)a.AppendRow({"1"});
+  (void)a.AppendRow({"2"});
+  lake.AddTable(std::move(a));
+  Table b("B");
+  b.AddColumn("y");
+  b.AddColumn("z");
+  (void)b.AppendRow({"1", "2"});
+  lake.AddTable(std::move(b));
+  return lake;
+}
+
+TEST(DataLakeTest, AddAssignsSequentialIds) {
+  DataLake lake;
+  Table t1("t1"), t2("t2");
+  EXPECT_EQ(lake.AddTable(std::move(t1)), 0);
+  EXPECT_EQ(lake.AddTable(std::move(t2)), 1);
+  EXPECT_EQ(lake.NumTables(), 2u);
+}
+
+TEST(DataLakeTest, FindTableByName) {
+  DataLake lake = MakeLake();
+  EXPECT_EQ(lake.FindTable("B"), 1);
+  EXPECT_EQ(lake.FindTable("missing"), -1);
+}
+
+TEST(DataLakeTest, Totals) {
+  DataLake lake = MakeLake();
+  EXPECT_EQ(lake.TotalRows(), 3u);
+  EXPECT_EQ(lake.TotalColumns(), 3u);
+  EXPECT_EQ(lake.TotalCells(), 4u);
+}
+
+TEST(DataLakeTest, TableAccessor) {
+  DataLake lake = MakeLake();
+  EXPECT_EQ(lake.table(0).name(), "A");
+  EXPECT_EQ(lake.table(1).NumColumns(), 2u);
+}
+
+}  // namespace
+}  // namespace blend

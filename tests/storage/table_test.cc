@@ -1,0 +1,105 @@
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+namespace blend {
+namespace {
+
+Table MakeSample() {
+  Table t("sample");
+  t.AddColumn("name");
+  t.AddColumn("age");
+  (void)t.AppendRow({"alice", "30"});
+  (void)t.AppendRow({"bob", "25"});
+  return t;
+}
+
+TEST(TableTest, BasicShape) {
+  Table t = MakeSample();
+  EXPECT_EQ(t.name(), "sample");
+  EXPECT_EQ(t.NumColumns(), 2u);
+  EXPECT_EQ(t.NumRows(), 2u);
+  EXPECT_EQ(t.NumCells(), 4u);
+  EXPECT_EQ(t.At(1, 0), "bob");
+}
+
+TEST(TableTest, AppendRowArityMismatchFails) {
+  Table t = MakeSample();
+  EXPECT_FALSE(t.AppendRow({"only-one"}).ok());
+}
+
+TEST(TableTest, ColumnIndexLookup) {
+  Table t = MakeSample();
+  EXPECT_EQ(*t.ColumnIndex("age"), 1u);
+  EXPECT_FALSE(t.ColumnIndex("missing").has_value());
+}
+
+TEST(TableTest, AddColumnAfterRowsPadsCells) {
+  Table t = MakeSample();
+  size_t c = t.AddColumn("city");
+  EXPECT_EQ(t.column(c).cells.size(), t.NumRows());
+}
+
+TEST(ColumnTest, IsNumericTrueForNumbers) {
+  Column c;
+  c.cells = {"1", "2.5", " 3 "};
+  EXPECT_TRUE(c.IsNumeric());
+}
+
+TEST(ColumnTest, IsNumericIgnoresEmptyCells) {
+  Column c;
+  c.cells = {"1", "", "3"};
+  EXPECT_TRUE(c.IsNumeric());
+}
+
+TEST(ColumnTest, IsNumericFalseForMixed) {
+  Column c;
+  c.cells = {"1", "two"};
+  EXPECT_FALSE(c.IsNumeric());
+}
+
+TEST(ColumnTest, IsNumericFalseWhenAllEmpty) {
+  Column c;
+  c.cells = {"", ""};
+  EXPECT_FALSE(c.IsNumeric());
+}
+
+TEST(ColumnTest, NumericMean) {
+  Column c;
+  c.cells = {"1", "2", "3", ""};
+  EXPECT_DOUBLE_EQ(*c.NumericMean(), 2.0);
+}
+
+TEST(ColumnTest, NumericMeanNulloptForText) {
+  Column c;
+  c.cells = {"a"};
+  EXPECT_FALSE(c.NumericMean().has_value());
+}
+
+TEST(TableTest, FromCsv) {
+  CsvData csv;
+  csv.header = {"x", "y"};
+  csv.rows = {{"1", "2"}, {"3"}};  // short row gets padded
+  auto r = Table::FromCsv("t", csv);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().NumRows(), 2u);
+  EXPECT_EQ(r.value().At(1, 1), "");
+}
+
+TEST(TableTest, ApproxBytesGrowsWithData) {
+  Table small("s");
+  small.AddColumn("a");
+  Table big = MakeSample();
+  EXPECT_GT(big.ApproxBytes(), small.ApproxBytes());
+}
+
+TEST(TableTest, DomainTagDefaultsToUnknown) {
+  Table t("t");
+  size_t c0 = t.AddColumn("plain");
+  size_t c1 = t.AddColumn("tagged", 7);
+  EXPECT_EQ(t.column(c0).domain_tag, -1);
+  EXPECT_EQ(t.column(c1).domain_tag, 7);
+}
+
+}  // namespace
+}  // namespace blend
