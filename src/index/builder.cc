@@ -1,7 +1,11 @@
 #include "index/builder.h"
 
+#include <algorithm>
 #include <optional>
+#include <thread>
+#include <utility>
 
+#include "common/hashing.h"
 #include "common/rng.h"
 #include "common/str_util.h"
 #include "common/xash.h"
@@ -16,16 +20,33 @@ size_t IndexBundle::ApproxBytes() const {
   return store + dict_.ApproxBytes() + maps;
 }
 
-IndexBundle IndexBuilder::Build(const DataLake& lake) const {
-  IndexBundle bundle;
-  bundle.layout_ = options_.layout;
-  Rng rng(options_.shuffle_seed);
+namespace {
 
-  std::vector<IndexRecord> records;
-  records.reserve(lake.TotalCells());
-  if (options_.shuffle_rows) bundle.row_maps_.resize(lake.NumTables());
+/// Independent per-table shuffle seed. Seeding per table — instead of
+/// threading one generator through the whole lake — is what makes the
+/// shuffled build shard-independent: a worker can permute table 17 without
+/// knowing how many random draws tables 0..16 consumed.
+uint64_t TableShuffleSeed(uint64_t seed, TableId tid) {
+  return Mix64(seed + 0x9E3779B97F4A7C15ULL * (static_cast<uint64_t>(tid) + 1));
+}
 
-  for (TableId tid = 0; tid < static_cast<TableId>(lake.NumTables()); ++tid) {
+/// Indexes the contiguous table range [begin, end): interns normalized cells
+/// into `dict`, emits one IndexRecord per non-empty cell into `records`
+/// (table-major, row-major — the serial emission order), and fills
+/// `row_maps[t]` for shuffled builds. `dict` may be shard-local; the caller
+/// remaps cell ids afterwards. `row_maps` is shared across shards but each
+/// shard writes only its own disjoint table slots.
+void IndexTableRange(const DataLake& lake, TableId begin, TableId end,
+                     const IndexBuildOptions& options, Dictionary* dict,
+                     std::vector<IndexRecord>* records,
+                     std::vector<std::vector<int32_t>>* row_maps) {
+  size_t range_cells = 0;
+  for (TableId tid = begin; tid < end; ++tid) {
+    range_cells += lake.table(tid).NumCells();
+  }
+  records->reserve(records->size() + range_cells);
+
+  for (TableId tid = begin; tid < end; ++tid) {
     const Table& t = lake.table(tid);
     const size_t rows = t.NumRows();
     const size_t cols = t.NumColumns();
@@ -43,9 +64,10 @@ IndexBundle IndexBuilder::Build(const DataLake& lake) const {
     // RowId assignment order: identity or shuffled (BLEND(rand)).
     std::vector<int32_t> order(rows);
     for (size_t r = 0; r < rows; ++r) order[r] = static_cast<int32_t>(r);
-    if (options_.shuffle_rows) {
+    if (options.shuffle_rows) {
+      Rng rng(TableShuffleSeed(options.shuffle_seed, tid));
       rng.Shuffle(&order);
-      bundle.row_maps_[static_cast<size_t>(tid)] = order;
+      (*row_maps)[static_cast<size_t>(tid)] = order;
     }
 
     std::vector<std::string> normalized(cols);
@@ -62,7 +84,7 @@ IndexBundle IndexBuilder::Build(const DataLake& lake) const {
       for (size_t c = 0; c < cols; ++c) {
         if (normalized[c].empty()) continue;
         IndexRecord rec;
-        rec.cell = bundle.dict_.Intern(normalized[c]);
+        rec.cell = dict->Intern(normalized[c]);
         rec.table = tid;
         rec.column = static_cast<int32_t>(c);
         rec.row = static_cast<int32_t>(out_row);
@@ -72,8 +94,97 @@ IndexBundle IndexBuilder::Build(const DataLake& lake) const {
           auto v = ParseNumeric(t.At(src_row, c));
           if (v.has_value()) rec.quadrant = (*v >= *means[c]) ? 1 : 0;
         }
+        records->push_back(rec);
+      }
+    }
+  }
+}
+
+/// Contiguous [begin, end) table ranges, one per shard, balanced by cell
+/// count (tables vary widely in size; splitting by table count alone leaves
+/// the shard with the big tables as the critical path).
+std::vector<std::pair<TableId, TableId>> ShardRanges(const DataLake& lake,
+                                                     size_t num_shards) {
+  const auto num_tables = static_cast<TableId>(lake.NumTables());
+  const double total = static_cast<double>(lake.TotalCells());
+  std::vector<std::pair<TableId, TableId>> ranges;
+  ranges.reserve(num_shards);
+  TableId start = 0;
+  size_t cells_before = 0;
+  for (TableId tid = 0; tid < num_tables; ++tid) {
+    cells_before += lake.table(tid).NumCells();
+    const size_t shards_closed = ranges.size();
+    const TableId tables_left = num_tables - (tid + 1);
+    const auto shards_left =
+        static_cast<TableId>(num_shards - shards_closed - 1);
+    const double target =
+        total * static_cast<double>(shards_closed + 1) /
+        static_cast<double>(num_shards);
+    if (shards_left > 0 && tables_left >= shards_left &&
+        static_cast<double>(cells_before) >= target) {
+      ranges.emplace_back(start, tid + 1);
+      start = tid + 1;
+    }
+  }
+  ranges.emplace_back(start, num_tables);
+  return ranges;
+}
+
+}  // namespace
+
+IndexBundle IndexBuilder::Build(const DataLake& lake) const {
+  IndexBundle bundle;
+  bundle.layout_ = options_.layout;
+  const auto num_tables = static_cast<TableId>(lake.NumTables());
+  if (options_.shuffle_rows) bundle.row_maps_.resize(lake.NumTables());
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  // 0 = one per hardware thread; negative values clamp to serial rather than
+  // silently selecting maximum parallelism.
+  const size_t want = options_.num_threads > 0
+                          ? static_cast<size_t>(options_.num_threads)
+                          : (options_.num_threads < 0 ? 1 : (hw > 0 ? hw : 1));
+  const size_t num_shards =
+      std::max<size_t>(1, std::min(want, lake.NumTables()));
+
+  std::vector<IndexRecord> records;
+  if (num_shards <= 1) {
+    IndexTableRange(lake, 0, num_tables, options_, &bundle.dict_, &records,
+                    &bundle.row_maps_);
+  } else {
+    // Shard-local outputs: each worker interns into its own dictionary so the
+    // hot intern path stays lock-free.
+    const auto ranges = ShardRanges(lake, num_shards);
+    std::vector<Dictionary> dicts(ranges.size());
+    std::vector<std::vector<IndexRecord>> shard_records(ranges.size());
+    std::vector<std::thread> workers;
+    workers.reserve(ranges.size());
+    for (size_t s = 0; s < ranges.size(); ++s) {
+      workers.emplace_back([&, s] {
+        IndexTableRange(lake, ranges[s].first, ranges[s].second, options_,
+                        &dicts[s], &shard_records[s], &bundle.row_maps_);
+      });
+    }
+    for (auto& w : workers) w.join();
+
+    // Deterministic merge. Shards cover ascending table ranges and each local
+    // dictionary lists values in first-appearance order, so interning shard by
+    // shard reproduces exactly the CellId assignment of a serial scan.
+    records.reserve(lake.TotalCells());
+    std::vector<CellId> remap;
+    for (size_t s = 0; s < ranges.size(); ++s) {
+      remap.resize(dicts[s].Size());
+      for (CellId local = 0; local < static_cast<CellId>(dicts[s].Size());
+           ++local) {
+        remap[local] = bundle.dict_.Intern(dicts[s].Value(local));
+      }
+      for (IndexRecord rec : shard_records[s]) {
+        rec.cell = remap[rec.cell];
         records.push_back(rec);
       }
+      // Release each shard once merged: record storage dominates the build's
+      // footprint, and holding every shard until the end would double it.
+      std::vector<IndexRecord>().swap(shard_records[s]);
     }
   }
 

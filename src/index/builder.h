@@ -21,6 +21,12 @@ struct IndexBuildOptions {
   /// random sample (§VIII-G).
   bool shuffle_rows = false;
   uint64_t shuffle_seed = 17;
+  /// Worker threads for the offline build. 0 means "one per hardware thread";
+  /// 1 (and any negative value) forces the serial path. The built index is
+  /// byte-identical for every thread count: workers index disjoint contiguous
+  /// table ranges and a deterministic merge reproduces the serial
+  /// DictId/RowId assignment.
+  int num_threads = 0;
 };
 
 /// The built unified index: dictionary + one physical store + the per-table
@@ -35,11 +41,25 @@ class IndexBundle {
   const RowStore& row_store() const { return row_store_; }
   const ColumnStore& column_store() const { return column_store_; }
 
-  /// Original lake row for (table, indexed row id).
+  /// Original lake row for (table, indexed row id). Identity when the index
+  /// was built without shuffle_rows. Contract: an out-of-range table id or a
+  /// negative row id returns kInvalidRow instead of reading out of bounds
+  /// (callers combine ids from postings and user input; a bad id must surface
+  /// as "no such row", not undefined behavior). The row upper bound is only
+  /// checkable against the shuffle maps; identity bundles do not record
+  /// per-table row counts, so there a too-large row id maps to itself.
   int32_t OriginalRow(TableId t, int32_t indexed_row) const {
+    if (t < 0 || static_cast<size_t>(t) >= NumTables() || indexed_row < 0) {
+      return kInvalidRow;
+    }
     if (row_maps_.empty()) return indexed_row;
-    return row_maps_[static_cast<size_t>(t)][static_cast<size_t>(indexed_row)];
+    const std::vector<int32_t>& m = row_maps_[static_cast<size_t>(t)];
+    if (static_cast<size_t>(indexed_row) >= m.size()) return kInvalidRow;
+    return m[static_cast<size_t>(indexed_row)];
   }
+
+  /// Sentinel returned by OriginalRow for ids outside the indexed lake.
+  static constexpr int32_t kInvalidRow = -1;
 
   size_t NumRecords() const {
     return layout_ == StoreLayout::kRow ? row_store_.NumRecords()
@@ -65,6 +85,8 @@ class IndexBundle {
 
 /// Builds the AllTables index from a data lake: inverted-index rows, XASH
 /// super keys per row and QCR quadrant bits per numeric cell, in one pass.
+/// The pass is shard-parallel over tables (see IndexBuildOptions::num_threads)
+/// and its output does not depend on the thread count.
 class IndexBuilder {
  public:
   explicit IndexBuilder(IndexBuildOptions options = {}) : options_(options) {}

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
+
 namespace blend {
 namespace {
 
@@ -60,6 +62,59 @@ TEST(CsvTest, WriteRoundTrip) {
   d.rows = {{"a,b", "plain"}, {"with \"q\"", "nl\nnl"}};
   std::string text = WriteCsv(d);
   auto r = ParseCsv(text);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().header, d.header);
+  EXPECT_EQ(r.value().rows, d.rows);
+}
+
+// Property: WriteCsv output always parses back to the same data, across
+// quoted commas, embedded quotes, CR/LF characters inside fields, and with or
+// without the trailing newline.
+TEST(CsvTest, ParseWriteRoundTripProperty) {
+  // Alphabet biased toward the characters that exercise quoting and record
+  // splitting.
+  const std::string alphabet = "ab,\"\n\r xyz07;'";
+  Rng rng(99);
+  for (int iter = 0; iter < 60; ++iter) {
+    CsvData data;
+    const size_t cols = 2 + rng.Uniform(4);
+    const size_t rows = rng.Uniform(7);
+    auto random_field = [&] {
+      std::string f;
+      const size_t len = rng.Uniform(9);
+      for (size_t i = 0; i < len; ++i) {
+        f += alphabet[rng.Uniform(alphabet.size())];
+      }
+      return f;
+    };
+    for (size_t c = 0; c < cols; ++c) data.header.push_back(random_field());
+    for (size_t r = 0; r < rows; ++r) {
+      std::vector<std::string> row;
+      for (size_t c = 0; c < cols; ++c) row.push_back(random_field());
+      data.rows.push_back(row);
+    }
+
+    const std::string text = WriteCsv(data);
+    auto parsed = ParseCsv(text);
+    ASSERT_TRUE(parsed.ok()) << "iter " << iter << " text: " << text;
+    EXPECT_EQ(parsed.value().header, data.header) << "iter " << iter;
+    EXPECT_EQ(parsed.value().rows, data.rows) << "iter " << iter;
+
+    // The same text without its trailing newline parses identically.
+    ASSERT_FALSE(text.empty());
+    ASSERT_EQ(text.back(), '\n');
+    auto chopped = ParseCsv(text.substr(0, text.size() - 1));
+    ASSERT_TRUE(chopped.ok()) << "iter " << iter;
+    EXPECT_EQ(chopped.value().header, data.header) << "iter " << iter;
+    EXPECT_EQ(chopped.value().rows, data.rows) << "iter " << iter;
+  }
+}
+
+TEST(CsvTest, RoundTripsCrInsideQuotedField) {
+  CsvData d;
+  d.header = {"k", "v"};
+  d.rows = {{"a\r\nb", "plain"}, {"", "trailing\r"}};
+  auto r = ParseCsv(WriteCsv(d));
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r.value().header, d.header);
   EXPECT_EQ(r.value().rows, d.rows);

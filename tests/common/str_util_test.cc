@@ -50,6 +50,50 @@ TEST(StrUtilTest, ParseNumericRejectsNonNumbers) {
   EXPECT_FALSE(ParseNumeric("  ").has_value());
 }
 
+TEST(StrUtilTest, ParseNumericAcceptsDecimalEdgeForms) {
+  EXPECT_DOUBLE_EQ(*ParseNumeric(".5"), 0.5);
+  EXPECT_DOUBLE_EQ(*ParseNumeric("5."), 5.0);
+  EXPECT_DOUBLE_EQ(*ParseNumeric("+.25"), 0.25);
+  EXPECT_DOUBLE_EQ(*ParseNumeric("-0.5E-2"), -0.005);
+  EXPECT_DOUBLE_EQ(*ParseNumeric("007"), 7.0);
+}
+
+// strtod accepts "inf", "nan" and hex floats; cell typing must not. A lake
+// column of "NaN"/"Inf" markers is text, and hex-float strings are ids, not
+// quantities — treating either as numeric poisons the correlation and
+// aggregation seekers.
+TEST(StrUtilTest, ParseNumericRejectsStrtodExtensions) {
+  EXPECT_FALSE(ParseNumeric("inf").has_value());
+  EXPECT_FALSE(ParseNumeric("INF").has_value());
+  EXPECT_FALSE(ParseNumeric("-inf").has_value());
+  EXPECT_FALSE(ParseNumeric("infinity").has_value());
+  EXPECT_FALSE(ParseNumeric("nan").has_value());
+  EXPECT_FALSE(ParseNumeric("NaN").has_value());
+  EXPECT_FALSE(ParseNumeric("-nan").has_value());
+  EXPECT_FALSE(ParseNumeric("nan(0x1)").has_value());
+  EXPECT_FALSE(ParseNumeric("0x1p3").has_value());
+  EXPECT_FALSE(ParseNumeric("0X1A").has_value());
+  EXPECT_FALSE(ParseNumeric("0x.8p1").has_value());
+}
+
+TEST(StrUtilTest, ParseNumericRejectsOverflowToInfinity) {
+  EXPECT_FALSE(ParseNumeric("1e999").has_value());
+  EXPECT_FALSE(ParseNumeric("-1e999").has_value());
+  // Underflow to zero is fine — the value is finite.
+  EXPECT_DOUBLE_EQ(*ParseNumeric("1e-999"), 0.0);
+}
+
+TEST(StrUtilTest, ParseNumericRejectsMalformedDecimals) {
+  EXPECT_FALSE(ParseNumeric(".").has_value());
+  EXPECT_FALSE(ParseNumeric("+").has_value());
+  EXPECT_FALSE(ParseNumeric("-.").has_value());
+  EXPECT_FALSE(ParseNumeric("e5").has_value());
+  EXPECT_FALSE(ParseNumeric("1e").has_value());
+  EXPECT_FALSE(ParseNumeric("1e+").has_value());
+  EXPECT_FALSE(ParseNumeric("1.2.3").has_value());
+  EXPECT_FALSE(ParseNumeric("1 2").has_value());
+}
+
 TEST(StrUtilTest, ReplaceAll) {
   EXPECT_EQ(ReplaceAll("a$X$b$X$", "$X$", "1"), "a1b1");
   EXPECT_EQ(ReplaceAll("none", "$X$", "1"), "none");

@@ -2,12 +2,61 @@
 
 #include <gtest/gtest.h>
 
+#include <unordered_map>
+#include <unordered_set>
+
 #include "common/str_util.h"
 #include "lakegen/join_lake.h"
 #include "lakegen/workloads.h"
 
 namespace blend {
 namespace {
+
+template <typename Store>
+void ExpectStoresEqual(const Store& a, const Store& b, size_t num_cells) {
+  ASSERT_EQ(a.NumRecords(), b.NumRecords());
+  ASSERT_EQ(a.NumTables(), b.NumTables());
+  for (RecordPos i = 0; i < a.NumRecords(); ++i) {
+    ASSERT_EQ(a.cell(i), b.cell(i)) << "record " << i;
+    ASSERT_EQ(a.table(i), b.table(i)) << "record " << i;
+    ASSERT_EQ(a.column(i), b.column(i)) << "record " << i;
+    ASSERT_EQ(a.row(i), b.row(i)) << "record " << i;
+    ASSERT_EQ(a.super_key(i), b.super_key(i)) << "record " << i;
+    ASSERT_EQ(a.quadrant(i), b.quadrant(i)) << "record " << i;
+  }
+  for (CellId id = 0; id < static_cast<CellId>(num_cells); ++id) {
+    ASSERT_EQ(a.Postings(id), b.Postings(id)) << "cell " << id;
+  }
+  for (TableId t = 0; t < static_cast<TableId>(a.NumTables()); ++t) {
+    ASSERT_EQ(a.TableRange(t), b.TableRange(t)) << "table " << t;
+  }
+  ASSERT_EQ(a.QuadrantPositions(), b.QuadrantPositions());
+  ASSERT_EQ(a.ApproxBytes(), b.ApproxBytes());
+}
+
+/// Full bit-identity: same dictionary ids, records, secondary indexes, row
+/// maps and footprint.
+void ExpectBundlesIdentical(const IndexBundle& a, const IndexBundle& b) {
+  ASSERT_EQ(a.layout(), b.layout());
+  ASSERT_EQ(a.dictionary().Size(), b.dictionary().Size());
+  for (CellId id = 0; id < static_cast<CellId>(a.dictionary().Size()); ++id) {
+    ASSERT_EQ(a.dictionary().Value(id), b.dictionary().Value(id)) << "id " << id;
+  }
+  if (a.layout() == StoreLayout::kRow) {
+    ExpectStoresEqual(a.row_store(), b.row_store(), a.dictionary().Size());
+  } else {
+    ExpectStoresEqual(a.column_store(), b.column_store(), a.dictionary().Size());
+  }
+  for (RecordPos i = 0; i < a.NumRecords(); ++i) {
+    TableId t = a.layout() == StoreLayout::kRow ? a.row_store().table(i)
+                                                : a.column_store().table(i);
+    int32_t r = a.layout() == StoreLayout::kRow ? a.row_store().row(i)
+                                                : a.column_store().row(i);
+    ASSERT_EQ(a.OriginalRow(t, r), b.OriginalRow(t, r))
+        << "table " << t << " row " << r;
+  }
+  ASSERT_EQ(a.ApproxBytes(), b.ApproxBytes());
+}
 
 DataLake SmallLake() {
   DataLake lake("small");
@@ -163,6 +212,68 @@ TEST(IndexBuilderTest, QuadrantPositionsIndexIsComplete) {
   for (size_t i = 1; i < store.QuadrantPositions().size(); ++i) {
     EXPECT_LT(store.QuadrantPositions()[i - 1], store.QuadrantPositions()[i]);
   }
+}
+
+TEST(IndexBuilderTest, ParallelBuildIsBitIdentical) {
+  lakegen::JoinLakeSpec spec;
+  spec.num_tables = 40;
+  spec.numeric_col_prob = 0.5;
+  DataLake lake = lakegen::MakeJoinLake(spec);
+
+  for (StoreLayout layout : {StoreLayout::kColumn, StoreLayout::kRow}) {
+    for (bool shuffle : {false, true}) {
+      IndexBuildOptions opts;
+      opts.layout = layout;
+      opts.shuffle_rows = shuffle;
+      opts.num_threads = 1;
+      IndexBundle serial = IndexBuilder(opts).Build(lake);
+      for (int threads : {2, 3, 4}) {
+        opts.num_threads = threads;
+        IndexBundle parallel = IndexBuilder(opts).Build(lake);
+        SCOPED_TRACE("layout=" + std::to_string(static_cast<int>(layout)) +
+                     " shuffle=" + std::to_string(shuffle) +
+                     " threads=" + std::to_string(threads));
+        ExpectBundlesIdentical(serial, parallel);
+      }
+    }
+  }
+}
+
+TEST(IndexBuilderTest, ParallelBuildWithMoreThreadsThanTables) {
+  DataLake lake = SmallLake();  // one table
+  IndexBuildOptions opts;
+  opts.num_threads = 8;
+  IndexBundle parallel = IndexBuilder(opts).Build(lake);
+  opts.num_threads = 1;
+  IndexBundle serial = IndexBuilder(opts).Build(lake);
+  ExpectBundlesIdentical(serial, parallel);
+}
+
+TEST(IndexBuilderTest, OriginalRowRejectsOutOfRangeIds) {
+  auto fig1 = lakegen::MakeFig1Lake();
+  IndexBuildOptions opts;
+  opts.shuffle_rows = true;
+  IndexBundle bundle = IndexBuilder(opts).Build(fig1.lake);
+  const auto num_tables = static_cast<TableId>(bundle.NumTables());
+  const auto rows0 = static_cast<int32_t>(fig1.lake.table(0).NumRows());
+
+  // Out-of-range table ids.
+  EXPECT_EQ(bundle.OriginalRow(-1, 0), IndexBundle::kInvalidRow);
+  EXPECT_EQ(bundle.OriginalRow(num_tables, 0), IndexBundle::kInvalidRow);
+  // Out-of-range row ids.
+  EXPECT_EQ(bundle.OriginalRow(0, -1), IndexBundle::kInvalidRow);
+  EXPECT_EQ(bundle.OriginalRow(0, rows0), IndexBundle::kInvalidRow);
+  // In-range ids still resolve to a valid original row.
+  int32_t orig = bundle.OriginalRow(0, 0);
+  EXPECT_GE(orig, 0);
+  EXPECT_LT(orig, rows0);
+
+  // Identity (unshuffled) bundles validate the table id and row sign too.
+  IndexBundle identity = IndexBuilder().Build(fig1.lake);
+  EXPECT_EQ(identity.OriginalRow(-1, 0), IndexBundle::kInvalidRow);
+  EXPECT_EQ(identity.OriginalRow(num_tables, 0), IndexBundle::kInvalidRow);
+  EXPECT_EQ(identity.OriginalRow(0, -1), IndexBundle::kInvalidRow);
+  EXPECT_EQ(identity.OriginalRow(0, 2), 2);
 }
 
 TEST(IndexBuilderTest, ApproxBytesPositiveAndLayoutDependent) {
