@@ -1,0 +1,219 @@
+// Online query engine: seeker-shape QPS, serial vs morsel-parallel, and the
+// fused scan->aggregate fast path vs the generic pipeline. The SC/KW shape is
+// the hot path of every figure/table bench (union search alone fans out one
+// SC query per query-table column), so this harness tracks the single biggest
+// wall-clock lever in the repo — and doubles as a regression gate that
+// parallelism never changes a result.
+//
+// `--smoke` runs a 1-iteration pass on a small lake (wired into CI so the
+// parallel path is exercised on every PR); the summary and the
+// BENCH_query.json line are emitted either way.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/str_util.h"
+#include "common/table_printer.h"
+#include "index/builder.h"
+#include "sql/engine.h"
+
+using namespace blend;
+
+namespace {
+
+IndexBundle* g_col_bundle = nullptr;
+IndexBundle* g_row_bundle = nullptr;
+std::vector<std::string>* g_sc_values = nullptr;
+
+std::string ScSql(const std::vector<std::string>& values, int limit) {
+  return "SELECT TableId, ColumnId, COUNT(DISTINCT CellValue) AS score "
+         "FROM AllTables WHERE CellValue IN (" +
+         SqlInList(values) + ") GROUP BY TableId, ColumnId ORDER BY score DESC LIMIT " +
+         std::to_string(limit) + ";";
+}
+
+std::string KwSql(const std::vector<std::string>& values, int limit) {
+  return "SELECT TableId, COUNT(DISTINCT CellValue) AS score "
+         "FROM AllTables WHERE CellValue IN (" +
+         SqlInList(values) + ") GROUP BY TableId ORDER BY score DESC LIMIT " +
+         std::to_string(limit) + ";";
+}
+
+/// Canonical dump used to assert byte-identity across thread counts.
+std::string ResultToString(const sql::QueryResult& r) {
+  std::string out;
+  for (const auto& c : r.columns) out += c + "|";
+  out += "\n";
+  for (const auto& row : r.rows) {
+    for (const auto& v : row) {
+      if (v.is_null()) {
+        out += "NULL,";
+      } else if (v.kind == sql::SqlValue::Kind::kInt) {
+        out += std::to_string(v.i) + ",";
+      } else {
+        char buf[40];
+        snprintf(buf, sizeof(buf), "%.17g,", v.d);
+        out += buf;
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void BM_ScSeekerShape(benchmark::State& state) {
+  const IndexBundle* bundle = state.range(1) ? g_row_bundle : g_col_bundle;
+  sql::Engine engine(bundle);
+  sql::QueryOptions opts;
+  opts.num_threads = static_cast<int>(state.range(0));
+  opts.enable_fused_scan_agg = state.range(2) != 0;
+  const std::string sqltext = ScSql(*g_sc_values, 100);
+  for (auto _ : state) {
+    auto r = engine.Query(sqltext, opts);
+    benchmark::DoNotOptimize(r.ValueOrDie().NumRows());
+  }
+}
+BENCHMARK(BM_ScSeekerShape)
+    ->ArgsProduct({{1, 2, 4}, {0, 1}, {0, 1}})
+    ->ArgNames({"threads", "row_layout", "fused"})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int out_argc = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      argv[out_argc++] = argv[i];
+    }
+  }
+  argc = out_argc;
+
+  lakegen::JoinLakeSpec spec;
+  spec.num_tables = smoke ? 120 : 800;
+  spec.seed = 90;
+  DataLake lake = lakegen::MakeJoinLake(spec);
+
+  IndexBundle col_bundle = IndexBuilder().Build(lake);
+  IndexBuildOptions row_opts;
+  row_opts.layout = StoreLayout::kRow;
+  IndexBundle row_bundle = IndexBuilder(row_opts).Build(lake);
+  g_col_bundle = &col_bundle;
+  g_row_bundle = &row_bundle;
+
+  Rng rng(91);
+  std::vector<std::string> sc_values =
+      bench::SampleDomainQuery(lake, smoke ? 16 : 64, &rng);
+  std::vector<std::string> kw_values =
+      bench::SampleDomainQuery(lake, smoke ? 8 : 24, &rng);
+  g_sc_values = &sc_values;
+
+  if (!smoke) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int reps = smoke ? 1 : 5;
+  std::vector<int> thread_counts = {1, 2, 4};
+  if (hw > 4) thread_counts.push_back(static_cast<int>(hw));
+
+  const std::string sc_sql = ScSql(sc_values, 100);
+  const std::string kw_sql = KwSql(kw_values, 50);
+
+  double sc_serial_seconds = 0, sc_speedup_2t = 0, sc_speedup_4t = 0;
+  double kw_serial_seconds = 0;
+  double fused_vs_generic = 0;
+  bool identical = true;
+
+  TablePrinter tp({"Shape", "Layout", "Threads", "Fused", "Query", "QPS", "Speedup"});
+  for (StoreLayout layout : {StoreLayout::kColumn, StoreLayout::kRow}) {
+    const IndexBundle* bundle =
+        layout == StoreLayout::kColumn ? &col_bundle : &row_bundle;
+    sql::Engine engine(bundle);
+    const char* layout_name = layout == StoreLayout::kColumn ? "column" : "row";
+
+    for (const auto& [shape, sqltext] :
+         {std::pair<const char*, const std::string*>{"SC", &sc_sql},
+          std::pair<const char*, const std::string*>{"KW", &kw_sql}}) {
+      std::string reference;
+      double serial_seconds = 0;
+      for (int threads : thread_counts) {
+        sql::QueryOptions opts;
+        opts.num_threads = threads;
+        auto res = engine.Query(*sqltext, opts);
+        if (!res.ok()) {
+          std::fprintf(stderr, "query failed: %s\n", res.status().ToString().c_str());
+          return 1;
+        }
+        const std::string dump = ResultToString(res.value());
+        if (threads == 1) {
+          reference = dump;
+        } else if (dump != reference) {
+          identical = false;
+        }
+        double seconds = bench::MeasureSeconds(
+            [&] { (void)engine.Query(*sqltext, opts); }, reps);
+        if (threads == 1) serial_seconds = seconds;
+        tp.AddRow({shape, layout_name, std::to_string(threads), "on",
+                   bench::FmtSeconds(seconds),
+                   TablePrinter::Fmt(1.0 / seconds, 1),
+                   TablePrinter::Fmt(serial_seconds / seconds, 2) + "x"});
+        if (layout == StoreLayout::kColumn && std::strcmp(shape, "SC") == 0) {
+          if (threads == 1) sc_serial_seconds = seconds;
+          if (threads == 2) sc_speedup_2t = serial_seconds / seconds;
+          if (threads == 4) sc_speedup_4t = serial_seconds / seconds;
+        }
+        if (layout == StoreLayout::kColumn && std::strcmp(shape, "KW") == 0 &&
+            threads == 1) {
+          kw_serial_seconds = seconds;
+        }
+      }
+
+      // Generic (fused off) at 1 thread: isolates the operator fusion win
+      // from the parallelism win.
+      sql::QueryOptions generic;
+      generic.num_threads = 1;
+      generic.enable_fused_scan_agg = false;
+      auto res = engine.Query(*sqltext, generic);
+      if (res.ok() && ResultToString(res.value()) != reference) identical = false;
+      double generic_seconds = bench::MeasureSeconds(
+          [&] { (void)engine.Query(*sqltext, generic); }, reps);
+      tp.AddRow({shape, layout_name, "1", "off", bench::FmtSeconds(generic_seconds),
+                 TablePrinter::Fmt(1.0 / generic_seconds, 1),
+                 TablePrinter::Fmt(serial_seconds / generic_seconds, 2) + "x"});
+      if (layout == StoreLayout::kColumn && std::strcmp(shape, "SC") == 0 &&
+          sc_serial_seconds > 0) {
+        fused_vs_generic = generic_seconds / sc_serial_seconds;
+      }
+    }
+  }
+
+  std::printf("\n%s",
+              tp.Render("Seeker-shape query execution (lake cells: " +
+                        std::to_string(lake.TotalCells()) +
+                        ", hardware threads: " + std::to_string(hw) + ")")
+                  .c_str());
+  std::printf("Results are %s across thread counts and the fused/generic paths.\n",
+              identical ? "byte-identical" : "DIVERGENT (BUG)");
+  std::printf(
+      "BENCH_query.json {\"bench\":\"query_engine\",\"smoke\":%s,"
+      "\"lake_cells\":%zu,\"hw_threads\":%u,"
+      "\"sc_serial_qps\":%.2f,\"sc_speedup_2t\":%.2f,\"sc_speedup_4t\":%.2f,"
+      "\"kw_serial_qps\":%.2f,\"fused_vs_generic\":%.2f,"
+      "\"identical_across_threads\":%s}\n",
+      smoke ? "true" : "false", lake.TotalCells(), hw,
+      sc_serial_seconds > 0 ? 1.0 / sc_serial_seconds : 0.0, sc_speedup_2t,
+      sc_speedup_4t, kw_serial_seconds > 0 ? 1.0 / kw_serial_seconds : 0.0,
+      fused_vs_generic, identical ? "true" : "false");
+  return identical ? 0 : 1;
+}

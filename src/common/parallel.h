@@ -1,0 +1,67 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace blend {
+
+/// Resolves a user-facing thread-count knob: 0 means "one per hardware
+/// thread"; 1 and any negative value force serial execution. Shared by the
+/// offline index build and the online query engine so both knobs read the
+/// same way.
+inline size_t ResolveThreads(int num_threads) {
+  if (num_threads > 1) return static_cast<size_t>(num_threads);
+  if (num_threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+  }
+  return 1;
+}
+
+/// Runs fn(task_id) for every task in [0, num_tasks) on up to `threads`
+/// workers (morsel-driven: workers claim the next task from a shared atomic
+/// counter, so skew in per-task cost balances out). With threads <= 1, or a
+/// single task, runs inline with no thread spawned.
+///
+/// Determinism is the caller's contract: fn must write only to
+/// task-id-indexed slots, so that the result never depends on which worker
+/// ran which task or in what order tasks finished.
+/// Concatenates per-task output buffers in task order — the second half of
+/// the ParallelFor determinism idiom: workers write only their own
+/// task-indexed slot, and the ordered concatenation makes the result
+/// independent of which worker ran which task.
+template <typename T>
+std::vector<T> ConcatParts(std::vector<std::vector<T>> parts) {
+  size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  std::vector<T> out;
+  out.reserve(total);
+  for (const auto& part : parts) out.insert(out.end(), part.begin(), part.end());
+  return out;
+}
+
+template <typename Fn>
+void ParallelFor(size_t num_tasks, size_t threads, const Fn& fn) {
+  const size_t workers = std::min(threads, num_tasks);
+  if (workers <= 1) {
+    for (size_t t = 0; t < num_tasks; ++t) fn(t);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto work = [&] {
+    for (size_t t = next.fetch_add(1, std::memory_order_relaxed); t < num_tasks;
+         t = next.fetch_add(1, std::memory_order_relaxed)) {
+      fn(t);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (size_t w = 1; w < workers; ++w) pool.emplace_back(work);
+  work();
+  for (auto& th : pool) th.join();
+}
+
+}  // namespace blend

@@ -16,6 +16,7 @@ Blend::Blend(const DataLake* lake, Options options)
   ctx_.bundle = &bundle_;
   ctx_.engine = &engine_;
   ctx_.stats = &stats_;
+  ctx_.query_options.num_threads = options.query_threads;
 }
 
 Result<TableList> Blend::Run(const Plan& plan) const {

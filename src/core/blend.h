@@ -27,6 +27,10 @@ class Blend {
     /// Index rows in shuffled order (the BLEND(rand) correlation variant).
     bool shuffle_rows = false;
     uint64_t shuffle_seed = 17;
+    /// Worker threads for the online query engine (morsel-parallel scans,
+    /// joins, aggregation): 0 = one per hardware thread, 1 = serial. Results
+    /// are byte-identical for every setting.
+    int query_threads = 0;
   };
 
   /// Builds the index for the lake (the offline phase, paper Fig. 2e). The

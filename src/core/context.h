@@ -8,13 +8,15 @@
 namespace blend::core {
 
 /// Everything an operator needs at execution time: the lake (for MC exact
-/// validation), the unified index, the SQL engine hosting it, and the token
-/// statistics used by the optimizer's cost model.
+/// validation), the unified index, the SQL engine hosting it, the token
+/// statistics used by the optimizer's cost model, and the execution knobs
+/// every seeker passes to Engine::Query (thread count, fused fast path).
 struct DiscoveryContext {
   const DataLake* lake = nullptr;
   const IndexBundle* bundle = nullptr;
   const sql::Engine* engine = nullptr;
   const IndexStats* stats = nullptr;
+  sql::QueryOptions query_options;
 };
 
 }  // namespace blend::core

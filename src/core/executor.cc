@@ -33,6 +33,11 @@ std::string BuildRewrite(
     for (const auto& [t, c] : counts) {
       if (c == spec.sources.size()) ids.push_back(t);
     }
+    // Empty intersection selects nothing; the parser rejects `IN ()`, so use
+    // a table id that never exists (ids are non-negative). The scan then
+    // takes the clustered-index path and visits zero records.
+    if (ids.empty()) return "AND TableId IN (-1)";
+    std::sort(ids.begin(), ids.end());
     return "AND TableId IN (" + SqlInListInts(ids) + ")";
   }
 

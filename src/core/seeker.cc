@@ -29,12 +29,13 @@ std::vector<std::string> NormalizeDistinct(const std::vector<std::string>& raw) 
 /// Runs an adaptive top-k-tables query: the SQL groups at sub-table
 /// granularity (table+column), so the LIMIT is widened until k distinct
 /// tables are found or the result is exhausted.
-Result<TableList> RunDedupTopK(const sql::Engine& engine,
+Result<TableList> RunDedupTopK(const DiscoveryContext& ctx,
                                const std::function<std::string(int64_t)>& make_sql,
                                int k, size_t table_col, size_t score_col) {
   int64_t fetch = k < 0 ? -1 : std::max<int64_t>(4LL * k, k + 16);
   for (int attempt = 0; attempt < 8; ++attempt) {
-    BLEND_ASSIGN_OR_RETURN(auto res, engine.Query(make_sql(fetch)));
+    BLEND_ASSIGN_OR_RETURN(auto res,
+                           ctx.engine->Query(make_sql(fetch), ctx.query_options));
     TableList out;
     std::unordered_set<TableId> seen;
     for (size_t r = 0; r < res.NumRows(); ++r) {
@@ -58,6 +59,14 @@ std::string RewriteClause(const std::string& rewrite) {
   return rewrite.empty() ? "" : (" " + rewrite);
 }
 
+/// `<col> IN (<values>)`, or a never-true literal when `values` is empty: the
+/// parser rejects `IN ()`, so generated SQL must never contain one.
+std::string InPredOrFalse(const std::string& col,
+                          const std::vector<std::string>& values) {
+  if (values.empty()) return "0";
+  return col + " IN (" + SqlInList(values) + ")";
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -77,8 +86,11 @@ std::string SCSeeker::GenerateSql(const std::string& rewrite, int fetch_limit) c
 
 Result<TableList> SCSeeker::Execute(const DiscoveryContext& ctx,
                                     const std::string& rewrite) const {
+  // All input values normalized to empty: no overlap is possible, and the
+  // generated `CellValue IN ()` would not even parse.
+  if (values_.empty()) return TableList{};
   return RunDedupTopK(
-      *ctx.engine,
+      ctx,
       [&](int64_t fetch) { return GenerateSql(rewrite, static_cast<int>(fetch)); }, k_,
       /*table_col=*/0, /*score_col=*/2);
 }
@@ -103,7 +115,9 @@ std::string KWSeeker::GenerateSql(const std::string& rewrite, int fetch_limit) c
 
 Result<TableList> KWSeeker::Execute(const DiscoveryContext& ctx,
                                     const std::string& rewrite) const {
-  BLEND_ASSIGN_OR_RETURN(auto res, ctx.engine->Query(GenerateSql(rewrite, k_)));
+  if (keywords_.empty()) return TableList{};
+  BLEND_ASSIGN_OR_RETURN(
+      auto res, ctx.engine->Query(GenerateSql(rewrite, k_), ctx.query_options));
   TableList out;
   out.reserve(res.NumRows());
   for (size_t r = 0; r < res.NumRows(); ++r) {
@@ -185,6 +199,9 @@ bool AlignTuple(const std::vector<std::string>& row_cells,
 Result<TableList> MCSeeker::Execute(const DiscoveryContext& ctx,
                                     const std::string& rewrite) const {
   last_stats_ = MCExecutionStats{};
+  // Every tuple was dropped during normalization (empty cells): nothing can
+  // align, and the generated `CellValue IN ()` would not even parse.
+  if (tuples_.empty()) return TableList{};
   if (num_columns_ < 2) {
     return Status::InvalidArgument("MC seeker requires at least two key columns");
   }
@@ -195,7 +212,8 @@ Result<TableList> MCSeeker::Execute(const DiscoveryContext& ctx,
 
   // Phase 1: SQL join over AllTables fetches candidate rows where every query
   // column contributes a value to the same row.
-  BLEND_ASSIGN_OR_RETURN(auto res, ctx.engine->Query(GenerateSql(rewrite, -1)));
+  BLEND_ASSIGN_OR_RETURN(
+      auto res, ctx.engine->Query(GenerateSql(rewrite, -1), ctx.query_options));
 
   // De-duplicate (table, row) pairs; the join multiplies matches.
   std::unordered_map<uint64_t, uint64_t> candidates;  // (table,row) -> superkey
@@ -305,12 +323,15 @@ CorrelationSeeker::CorrelationSeeker(std::vector<std::string> join_keys,
 std::string CorrelationSeeker::GenerateSql(const std::string& rewrite,
                                            int fetch_limit) const {
   std::string h = std::to_string(h_);
+  // One of k0/k1 may be empty (every target on one side of the mean); emit a
+  // never-true literal for that side rather than an unparseable `IN ()`.
   return "SELECT keys.TableId AS TableId, keys.ColumnId AS KeyCol, "
          "nums.ColumnId AS NumCol, "
-         "ABS((2 * SUM((keys.CellValue IN (" +
-         SqlInList(keys_below_) +
-         ") AND nums.Quadrant = 0) OR (keys.CellValue IN (" + SqlInList(keys_above_) +
-         ") AND nums.Quadrant = 1)) - COUNT(*)) / COUNT(*)) AS score "
+         "ABS((2 * SUM((" +
+         InPredOrFalse("keys.CellValue", keys_below_) +
+         " AND nums.Quadrant = 0) OR (" +
+         InPredOrFalse("keys.CellValue", keys_above_) +
+         " AND nums.Quadrant = 1)) - COUNT(*)) / COUNT(*)) AS score "
          "FROM (SELECT TableId, RowId, ColumnId, CellValue FROM AllTables "
          "WHERE RowId < " +
          h + " AND CellValue IN (" + SqlInList(all_keys_) + ")" +
@@ -332,8 +353,11 @@ std::string CorrelationSeeker::GenerateSql(const std::string& rewrite,
 
 Result<TableList> CorrelationSeeker::Execute(const DiscoveryContext& ctx,
                                              const std::string& rewrite) const {
+  // Every join key normalized to empty: the keys-side scan would be
+  // `CellValue IN ()`, which the parser rejects; no join is possible.
+  if (all_keys_.empty()) return TableList{};
   return RunDedupTopK(
-      *ctx.engine,
+      ctx,
       [&](int64_t fetch) { return GenerateSql(rewrite, static_cast<int>(fetch)); }, k_,
       /*table_col=*/0, /*score_col=*/3);
 }

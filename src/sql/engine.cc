@@ -5,11 +5,18 @@
 namespace blend::sql {
 
 Result<QueryResult> Engine::Query(const std::string& sql) const {
+  return Query(sql, QueryOptions{});
+}
+
+Result<QueryResult> Engine::Query(const std::string& sql,
+                                  const QueryOptions& options) const {
   BLEND_ASSIGN_OR_RETURN(auto stmt, Parse(sql));
   if (bundle_->layout() == StoreLayout::kRow) {
-    return ExecuteSelect(*stmt, bundle_->row_store(), bundle_->dictionary());
+    return ExecuteSelect(*stmt, bundle_->row_store(), bundle_->dictionary(),
+                         options);
   }
-  return ExecuteSelect(*stmt, bundle_->column_store(), bundle_->dictionary());
+  return ExecuteSelect(*stmt, bundle_->column_store(), bundle_->dictionary(),
+                       options);
 }
 
 }  // namespace blend::sql

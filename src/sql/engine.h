@@ -15,8 +15,15 @@ class Engine {
  public:
   explicit Engine(const IndexBundle* bundle) : bundle_(bundle) {}
 
-  /// Parses and executes one SELECT statement.
+  /// Parses and executes one SELECT statement with default QueryOptions
+  /// (morsel-parallel over one worker per hardware thread).
   Result<QueryResult> Query(const std::string& sql) const;
+
+  /// Parses and executes one SELECT statement with explicit execution knobs.
+  /// Results are byte-identical for every num_threads setting and with the
+  /// fused fast path on or off.
+  Result<QueryResult> Query(const std::string& sql,
+                            const QueryOptions& options) const;
 
   const IndexBundle& bundle() const { return *bundle_; }
   const Dictionary& dictionary() const { return bundle_->dictionary(); }

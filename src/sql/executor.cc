@@ -1,15 +1,32 @@
 #include "sql/executor.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <optional>
 #include <unordered_map>
 
+#include "common/parallel.h"
 #include "common/str_util.h"
 #include "sql/planner.h"
 
 namespace blend::sql {
 
 namespace {
+
+// ---------------------------------------------------------------------------
+// Morsel geometry. Constants, not functions of the thread count: the work
+// decomposition (and therefore every merge order, including floating-point
+// summation order) depends only on input sizes, which is what makes results
+// byte-identical for every QueryOptions::num_threads setting.
+// ---------------------------------------------------------------------------
+
+/// Records per scan/probe morsel.
+constexpr size_t kScanMorselRecords = 8192;
+/// Rows per aggregation/projection chunk.
+constexpr size_t kAggChunkRows = 16384;
+/// Key partitions of the parallel aggregation merge.
+constexpr size_t kMergePartitions = 16;
 
 // ---------------------------------------------------------------------------
 // Helpers shared by the pipeline stages.
@@ -25,7 +42,9 @@ Binder::RelColumns AllFields(const std::string& alias) {
   return rc;
 }
 
-/// Three-way SqlValue comparison; NULL sorts first.
+/// Three-way SqlValue comparison; NULL sorts first, NaN sorts last. Ordering
+/// NaN deterministically (plain `<` answers false both ways) keeps Cmp a
+/// strict weak ordering, which std::sort/std::partial_sort require.
 int Cmp(const SqlValue& a, const SqlValue& b) {
   if (a.is_null() || b.is_null()) {
     if (a.is_null() && b.is_null()) return 0;
@@ -35,36 +54,12 @@ int Cmp(const SqlValue& a, const SqlValue& b) {
     return a.i < b.i ? -1 : (a.i > b.i ? 1 : 0);
   }
   double x = a.AsDouble(), y = b.AsDouble();
+  const bool nx = std::isnan(x), ny = std::isnan(y);
+  if (nx || ny) {
+    if (nx && ny) return 0;
+    return nx ? 1 : -1;
+  }
   return x < y ? -1 : (x > y ? 1 : 0);
-}
-
-/// True when the conjunct is `<Field> [NOT]IN (...)` on the given field
-/// (unqualified or any qualifier; scans see a single relation).
-bool IsFieldInList(const Expr& e, Field field, bool want_strings) {
-  if (e.kind != ExprKind::kInList || e.negated) return false;
-  if (e.lhs == nullptr || e.lhs->kind != ExprKind::kColumnRef) return false;
-  Field f;
-  if (!LookupField(e.lhs->column, &f) || f != field) return false;
-  return want_strings ? !e.in_strings.empty() : !e.in_ints.empty();
-}
-
-/// Detects `RowId < N` (returns N) for the tight-loop scan fast path.
-bool IsRowIdLess(const Expr& e, int64_t* bound) {
-  if (e.kind != ExprKind::kBinary || e.op != BinOp::kLt) return false;
-  if (e.lhs == nullptr || e.lhs->kind != ExprKind::kColumnRef) return false;
-  Field f;
-  if (!LookupField(e.lhs->column, &f) || f != Field::kRow) return false;
-  if (e.rhs == nullptr || e.rhs->kind != ExprKind::kIntLiteral) return false;
-  *bound = e.rhs->int_val;
-  return true;
-}
-
-/// Detects `Quadrant IS NOT NULL`.
-bool IsQuadrantNotNull(const Expr& e) {
-  if (e.kind != ExprKind::kIsNull || !e.negated) return false;
-  if (e.lhs == nullptr || e.lhs->kind != ExprKind::kColumnRef) return false;
-  Field f;
-  return LookupField(e.lhs->column, &f) && f == Field::kQuadrant;
 }
 
 struct AggState {
@@ -89,8 +84,11 @@ void UpdateAgg(const AggSpec& spec, AggState* st, const SqlValue& v) {
         if (v.kind == SqlValue::Kind::kInt) {
           st->seen_ints.insert(v.i);
         } else {
+          // Canonicalize -0.0 to 0.0 before hashing the bit pattern: `==`
+          // treats the two as equal, so DISTINCT must count them once.
+          double dv = v.d == 0.0 ? 0.0 : v.d;
           uint64_t bits;
-          std::memcpy(&bits, &v.d, sizeof(bits));
+          std::memcpy(&bits, &dv, sizeof(bits));
           st->seen_doubles.insert(bits);
         }
       } else {
@@ -116,6 +114,36 @@ void UpdateAgg(const AggSpec& spec, AggState* st, const SqlValue& v) {
       if (v.is_null()) return;
       if (st->maxv.is_null() || Cmp(v, st->maxv) > 0) st->maxv = v;
       return;
+  }
+}
+
+/// Folds `from` (an earlier-finished chunk's state for the same group) into
+/// `into`. Kind-agnostic: every field merges associatively, and callers fold
+/// chunks in ascending chunk order so double sums reproduce the same rounding
+/// for every thread count. Strict `<`/`>` on MIN/MAX keeps the earlier
+/// chunk's value on Cmp-ties, matching the serial first-seen rule.
+void MergeAggState(AggState* into, AggState* from) {
+  into->count += from->count;
+  into->isum += from->isum;
+  into->dsum += from->dsum;
+  into->int_only = into->int_only && from->int_only;
+  if (into->seen_ints.empty()) {
+    into->seen_ints = std::move(from->seen_ints);
+  } else {
+    into->seen_ints.insert(from->seen_ints.begin(), from->seen_ints.end());
+  }
+  if (into->seen_doubles.empty()) {
+    into->seen_doubles = std::move(from->seen_doubles);
+  } else {
+    into->seen_doubles.insert(from->seen_doubles.begin(), from->seen_doubles.end());
+  }
+  if (!from->minv.is_null() &&
+      (into->minv.is_null() || Cmp(from->minv, into->minv) < 0)) {
+    into->minv = from->minv;
+  }
+  if (!from->maxv.is_null() &&
+      (into->maxv.is_null() || Cmp(from->maxv, into->maxv) > 0)) {
+    into->maxv = from->maxv;
   }
 }
 
@@ -151,51 +179,56 @@ std::string ItemName(const SelectItem& item) {
 }
 
 // ---------------------------------------------------------------------------
-// Scan: one relation -> physical record positions.
+// Scan: one relation -> physical record positions, morsel-parallel.
 // ---------------------------------------------------------------------------
+
+/// One unit of scan work: either a slice of a posting/position list
+/// (`list != nullptr`, begin/end are slice indices) or a contiguous range of
+/// physical positions (begin/end are the positions themselves).
+struct ScanMorsel {
+  const RecordPos* list = nullptr;
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+void AppendMorsels(const RecordPos* list, size_t begin, size_t end,
+                   std::vector<ScanMorsel>* morsels) {
+  for (size_t b = begin; b < end; b += kScanMorselRecords) {
+    morsels->push_back({list, b, std::min(end, b + kScanMorselRecords)});
+  }
+}
+
+/// Resolves the IN-list of a CellValue access path to sorted distinct cell
+/// ids. Ascending id order is the canonical scan order: it fixes the output
+/// position sequence independently of IN-list order and of hash-set iteration
+/// quirks, and the fused operator walks the same sequence.
+std::vector<CellId> ResolveCellIds(const Expr& cell_in, const Dictionary& dict) {
+  std::vector<CellId> ids;
+  ids.reserve(cell_in.in_strings.size());
+  for (const auto& s : cell_in.in_strings) {
+    CellId id = dict.Find(NormalizeCell(s));
+    if (id != kInvalidCellId) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
 
 template <typename Store>
 Result<std::vector<RecordPos>> ScanRel(const AnalyzedRel& rel, const Store& store,
-                                       const Dictionary& dict) {
-  std::vector<const Expr*> conjuncts;
-  SplitConjuncts(rel.scan_pred, &conjuncts);
+                                       const Dictionary& dict, size_t threads) {
+  const ScanSpec spec = ClassifyScan(rel.scan_pred);
 
-  const Expr* cell_in = nullptr;
-  const Expr* table_in = nullptr;
-  int64_t row_lt = -1;
-  bool need_quadrant = false;
-  std::vector<const Expr*> residual;
-  for (const Expr* c : conjuncts) {
-    if (cell_in == nullptr && IsFieldInList(*c, Field::kCell, /*want_strings=*/true)) {
-      cell_in = c;
-      continue;
-    }
-    if (table_in == nullptr && IsFieldInList(*c, Field::kTable, /*want_strings=*/false)) {
-      table_in = c;
-      continue;
-    }
-    int64_t bound;
-    if (row_lt < 0 && IsRowIdLess(*c, &bound)) {
-      row_lt = bound;
-      continue;
-    }
-    if (!need_quadrant && IsQuadrantNotNull(*c)) {
-      need_quadrant = true;
-      continue;
-    }
-    residual.push_back(c);
-  }
-
-  // Bind residual predicates once.
+  // Bind residual predicates once; evaluation is read-only and thread-safe.
   Binder binder(&dict, {AllFields("")});
   std::vector<BoundExprPtr> preds;
-  for (const Expr* c : residual) {
+  for (const Expr* c : spec.residual) {
     BLEND_ASSIGN_OR_RETURN(auto b, binder.BindRowExpr(*c));
     preds.push_back(std::move(b));
   }
-  // When the IN-lists were not used as the access path they act as filters.
-  const Expr* filter_table_in = nullptr;
 
+  const int64_t row_lt = spec.row_lt;
+  const bool need_quadrant = spec.need_quadrant;
   auto passes = [&](RecordPos p) {
     if (row_lt >= 0 && store.row(p) >= row_lt) return false;
     if (need_quadrant && store.quadrant(p) == kQuadrantNull) return false;
@@ -210,62 +243,71 @@ Result<std::vector<RecordPos>> ScanRel(const AnalyzedRel& rel, const Store& stor
     return true;
   };
 
-  std::vector<RecordPos> out;
+  // When the TableId IN-list is not the access path it acts as a filter.
+  std::unordered_set<int64_t> table_filter;
+  bool use_table_filter = false;
 
-  if (cell_in != nullptr) {
+  std::vector<ScanMorsel> morsels;
+  if (spec.cell_in != nullptr) {
     // Access path 1: the in-database hash index on CellValue.
-    std::unordered_set<int64_t> table_filter;
-    if (table_in != nullptr) {
-      table_filter.insert(table_in->in_ints.begin(), table_in->in_ints.end());
+    if (spec.table_in != nullptr) {
+      use_table_filter = true;
+      table_filter.insert(spec.table_in->in_ints.begin(),
+                          spec.table_in->in_ints.end());
     }
-    std::unordered_set<CellId> ids;
-    ids.reserve(cell_in->in_strings.size());
-    for (const auto& s : cell_in->in_strings) {
-      CellId id = dict.Find(NormalizeCell(s));
-      if (id != kInvalidCellId) ids.insert(id);
+    for (CellId id : ResolveCellIds(*spec.cell_in, dict)) {
+      const std::vector<RecordPos>& pl = store.Postings(id);
+      AppendMorsels(pl.data(), 0, pl.size(), &morsels);
     }
-    for (CellId id : ids) {
-      for (RecordPos p : store.Postings(id)) {
-        if (table_in != nullptr && table_filter.count(store.table(p)) == 0) continue;
-        if (passes(p)) out.push_back(p);
-      }
-    }
-    return out;
-  }
-
-  if (table_in != nullptr) {
+  } else if (spec.table_in != nullptr) {
     // Access path 2: the clustered index on TableId.
-    std::vector<int64_t> ids(table_in->in_ints.begin(), table_in->in_ints.end());
+    std::vector<int64_t> ids(spec.table_in->in_ints.begin(),
+                             spec.table_in->in_ints.end());
     std::sort(ids.begin(), ids.end());
     ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
     for (int64_t id : ids) {
       if (id < 0 || static_cast<size_t>(id) >= store.NumTables()) continue;
       auto [b, e] = store.TableRange(static_cast<TableId>(id));
-      for (RecordPos p = b; p < e; ++p) {
+      AppendMorsels(nullptr, b, e, &morsels);
+    }
+  } else if (spec.need_quadrant) {
+    // Access path 3: the partial index on Quadrant (correlation seeker's
+    // numeric-cell scan).
+    const std::vector<RecordPos>& qp = store.QuadrantPositions();
+    AppendMorsels(qp.data(), 0, qp.size(), &morsels);
+  } else {
+    // Access path 4: full scan.
+    AppendMorsels(nullptr, 0, store.NumRecords(), &morsels);
+  }
+
+  // Filter each morsel into its own buffer, then concatenate in morsel order:
+  // the output position sequence is identical to a serial scan no matter
+  // which worker ran which morsel. Posting-list morsels can be numerous but
+  // tiny (one per short list), so the worker count scales with the total
+  // record count rather than the morsel count — small scans stay inline.
+  size_t total_records = 0;
+  for (const ScanMorsel& mo : morsels) total_records += mo.end - mo.begin;
+  const size_t scan_workers =
+      std::min(threads, std::max<size_t>(1, total_records / kScanMorselRecords));
+  std::vector<std::vector<RecordPos>> parts(morsels.size());
+  ParallelFor(morsels.size(), scan_workers, [&](size_t m) {
+    const ScanMorsel& mo = morsels[m];
+    std::vector<RecordPos>& out = parts[m];
+    if (mo.list != nullptr) {
+      for (size_t i = mo.begin; i < mo.end; ++i) {
+        RecordPos p = mo.list[i];
+        if (use_table_filter && table_filter.count(store.table(p)) == 0) continue;
+        if (passes(p)) out.push_back(p);
+      }
+    } else {
+      for (size_t i = mo.begin; i < mo.end; ++i) {
+        RecordPos p = static_cast<RecordPos>(i);
         if (passes(p)) out.push_back(p);
       }
     }
-    return out;
-  }
+  });
 
-  (void)filter_table_in;
-
-  if (need_quadrant) {
-    // Access path 3: the partial index on Quadrant (correlation seeker's
-    // numeric-cell scan).
-    for (RecordPos p : store.QuadrantPositions()) {
-      if (row_lt >= 0 && store.row(p) >= row_lt) continue;
-      if (passes(p)) out.push_back(p);
-    }
-    return out;
-  }
-
-  // Access path 4: full scan.
-  const size_t n = store.NumRecords();
-  for (RecordPos p = 0; p < n; ++p) {
-    if (passes(p)) out.push_back(p);
-  }
-  return out;
+  return ConcatParts(std::move(parts));
 }
 
 // ---------------------------------------------------------------------------
@@ -306,11 +348,17 @@ Result<StepKeys> ExtractStepKeys(const Expr* join_on, const Binder& binder,
 
 /// One binary hash-join step: extends the joined prefix `rows` with matches
 /// from `scan` (relation index `step_side`). Builds on the smaller input.
+/// Parallelism: build-side hashes are precomputed in parallel chunks (the
+/// field reads dominate the build), insertion stays serial to preserve exact
+/// bucket order, and the probe side is morselized with per-morsel output
+/// buffers concatenated in morsel order — emit order is byte-identical to a
+/// serial probe loop.
 template <typename Store>
 Result<std::vector<RowCtx>> HashJoinStep(const Store& store,
                                          const std::vector<RowCtx>& rows,
                                          const std::vector<RecordPos>& scan,
-                                         const StepKeys& keys, uint8_t step_side) {
+                                         const StepKeys& keys, uint8_t step_side,
+                                         size_t threads) {
   auto left_hash = [&](const RowCtx& ctx, bool* has_null) {
     uint64_t h = 0x243F6A8885A308D3ULL;
     *has_null = false;
@@ -345,9 +393,7 @@ Result<std::vector<RowCtx>> HashJoinStep(const Store& store,
     }
     return true;
   };
-
-  std::vector<RowCtx> out;
-  auto emit = [&](const RowCtx& ctx, RecordPos p) {
+  auto emit = [&](const RowCtx& ctx, RecordPos p, std::vector<RowCtx>* out) {
     RowCtx extended = ctx;
     extended.pos[step_side] = p;
     for (const auto& pred : keys.residual) {
@@ -356,63 +402,92 @@ Result<std::vector<RowCtx>> HashJoinStep(const Store& store,
       });
       if (!v.IsTruthy()) return;
     }
-    out.push_back(extended);
+    out->push_back(extended);
   };
+
+  const size_t num_chunks_of = kScanMorselRecords;  // probe morsel rows
 
   if (scan.size() <= rows.size()) {
     // Build on the new relation, probe with the prefix.
+    std::vector<uint64_t> hashes(scan.size());
+    std::vector<uint8_t> nulls(scan.size());
+    const size_t build_chunks =
+        (scan.size() + kScanMorselRecords - 1) / kScanMorselRecords;
+    ParallelFor(build_chunks, threads, [&](size_t c) {
+      const size_t b = c * kScanMorselRecords;
+      const size_t e = std::min(scan.size(), b + kScanMorselRecords);
+      for (size_t i = b; i < e; ++i) {
+        bool has_null;
+        hashes[i] = right_hash(scan[i], &has_null);
+        nulls[i] = has_null ? 1 : 0;
+      }
+    });
     std::unordered_map<uint64_t, std::vector<RecordPos>> ht;
     ht.reserve(scan.size() * 2);
-    for (RecordPos p : scan) {
-      bool has_null;
-      uint64_t h = right_hash(p, &has_null);
-      if (!has_null) ht[h].push_back(p);
+    for (size_t i = 0; i < scan.size(); ++i) {
+      if (!nulls[i]) ht[hashes[i]].push_back(scan[i]);
     }
-    for (const RowCtx& ctx : rows) {
-      bool has_null;
-      uint64_t h = left_hash(ctx, &has_null);
-      if (has_null) continue;
-      auto it = ht.find(h);
-      if (it == ht.end()) continue;
-      for (RecordPos p : it->second) {
-        if (keys_equal(ctx, p)) emit(ctx, p);
+    const size_t probe_chunks = (rows.size() + num_chunks_of - 1) / num_chunks_of;
+    std::vector<std::vector<RowCtx>> parts(probe_chunks);
+    ParallelFor(probe_chunks, threads, [&](size_t c) {
+      const size_t b = c * num_chunks_of;
+      const size_t e = std::min(rows.size(), b + num_chunks_of);
+      for (size_t i = b; i < e; ++i) {
+        bool has_null;
+        uint64_t h = left_hash(rows[i], &has_null);
+        if (has_null) continue;
+        auto it = ht.find(h);
+        if (it == ht.end()) continue;
+        for (RecordPos p : it->second) {
+          if (keys_equal(rows[i], p)) emit(rows[i], p, &parts[c]);
+        }
       }
-    }
-  } else {
-    // Build on the prefix, probe with the new relation's scan.
-    std::unordered_map<uint64_t, std::vector<uint32_t>> ht;
-    ht.reserve(rows.size() * 2);
-    for (uint32_t i = 0; i < rows.size(); ++i) {
-      bool has_null;
-      uint64_t h = left_hash(rows[i], &has_null);
-      if (!has_null) ht[h].push_back(i);
-    }
-    for (RecordPos p : scan) {
-      bool has_null;
-      uint64_t h = right_hash(p, &has_null);
-      if (has_null) continue;
-      auto it = ht.find(h);
-      if (it == ht.end()) continue;
-      for (uint32_t i : it->second) {
-        if (keys_equal(rows[i], p)) emit(rows[i], p);
-      }
-    }
+    });
+    return ConcatParts(std::move(parts));
   }
-  return out;
+
+  // Build on the prefix, probe with the new relation's scan.
+  std::vector<uint64_t> hashes(rows.size());
+  std::vector<uint8_t> nulls(rows.size());
+  const size_t build_chunks =
+      (rows.size() + kScanMorselRecords - 1) / kScanMorselRecords;
+  ParallelFor(build_chunks, threads, [&](size_t c) {
+    const size_t b = c * kScanMorselRecords;
+    const size_t e = std::min(rows.size(), b + kScanMorselRecords);
+    for (size_t i = b; i < e; ++i) {
+      bool has_null;
+      hashes[i] = left_hash(rows[i], &has_null);
+      nulls[i] = has_null ? 1 : 0;
+    }
+  });
+  std::unordered_map<uint64_t, std::vector<uint32_t>> ht;
+  ht.reserve(rows.size() * 2);
+  for (uint32_t i = 0; i < rows.size(); ++i) {
+    if (!nulls[i]) ht[hashes[i]].push_back(i);
+  }
+  const size_t probe_chunks = (scan.size() + num_chunks_of - 1) / num_chunks_of;
+  std::vector<std::vector<RowCtx>> parts(probe_chunks);
+  ParallelFor(probe_chunks, threads, [&](size_t c) {
+    const size_t b = c * num_chunks_of;
+    const size_t e = std::min(scan.size(), b + num_chunks_of);
+    for (size_t i = b; i < e; ++i) {
+      const RecordPos p = scan[i];
+      bool has_null;
+      uint64_t h = right_hash(p, &has_null);
+      if (has_null) continue;
+      auto it = ht.find(h);
+      if (it == ht.end()) continue;
+      for (uint32_t r : it->second) {
+        if (keys_equal(rows[r], p)) emit(rows[r], p, &parts[c]);
+      }
+    }
+  });
+  return ConcatParts(std::move(parts));
 }
 
 // ---------------------------------------------------------------------------
 // Output assembly (projection, aggregation, ordering).
 // ---------------------------------------------------------------------------
-
-struct OutputSpec {
-  std::vector<std::string> names;
-  std::vector<BoundExprPtr> items;      // value exprs (row- or agg-context)
-  std::vector<BoundExprPtr> sort_keys;  // same context as items
-  std::vector<bool> sort_desc;
-  // Sort keys that are simply references to output columns.
-  std::vector<int> sort_item_ref;  // -1 when sort_keys[i] used
-};
 
 /// Sorts rows (pairs of output values + sort key values) and applies LIMIT.
 void SortAndLimit(std::vector<std::vector<SqlValue>>* rows,
@@ -455,17 +530,307 @@ void SortAndLimit(std::vector<std::vector<SqlValue>>* rows,
   }
 }
 
+/// One finalized group ready for projection: group-by key values plus the
+/// already-finalized aggregate values (kAggRef / kKeyRef leaves).
+struct GroupOut {
+  std::vector<SqlValue> keys;
+  std::vector<SqlValue> agg_vals;
+};
+
+/// Projects finalized groups through the select items, evaluates sort keys,
+/// sorts and applies LIMIT. Shared by the generic aggregation pipeline and
+/// the fused scan->aggregate operator, so the two paths cannot diverge in
+/// output assembly.
+void EmitGroups(const std::vector<GroupOut>& groups,
+                const std::vector<BoundExprPtr>& items,
+                const std::vector<int>& sort_ref,
+                const std::vector<BoundExprPtr>& sort_exprs,
+                const std::vector<bool>& desc, const SelectStmt& stmt,
+                QueryResult* result) {
+  std::vector<std::vector<SqlValue>> out_rows;
+  std::vector<std::vector<SqlValue>> sort_vals;
+  out_rows.reserve(groups.size());
+  for (const GroupOut& g : groups) {
+    auto leaf = [&](const BoundExpr& b) -> SqlValue {
+      if (b.kind == BKind::kAggRef) return g.agg_vals[b.ref];
+      if (b.kind == BKind::kKeyRef) return g.keys[b.ref];
+      return SqlValue::Null();  // unreachable: fields were rejected at bind
+    };
+    std::vector<SqlValue> vals;
+    vals.reserve(items.size());
+    for (const auto& it : items) vals.push_back(EvalExpr(*it, leaf));
+    if (!stmt.order_by.empty()) {
+      std::vector<SqlValue> sk;
+      for (size_t i = 0; i < sort_exprs.size(); ++i) {
+        sk.push_back(sort_ref[i] >= 0 ? vals[static_cast<size_t>(sort_ref[i])]
+                                      : EvalExpr(*sort_exprs[i], leaf));
+      }
+      sort_vals.push_back(std::move(sk));
+    }
+    out_rows.push_back(std::move(vals));
+  }
+  SortAndLimit(&out_rows, &sort_vals, desc, stmt.limit);
+  result->rows = std::move(out_rows);
+}
+
+/// Binds ORDER BY items in aggregate context: alias references resolve to
+/// output columns (sort_ref), everything else binds as an aggregate-context
+/// expression.
+Status BindAggOrderBy(const SelectStmt& stmt, const Binder& binder,
+                      const std::vector<BoundExprPtr>& key_exprs,
+                      std::vector<AggSpec>* aggs,
+                      const std::vector<std::string>& columns,
+                      std::vector<int>* sort_ref,
+                      std::vector<BoundExprPtr>* sort_exprs,
+                      std::vector<bool>* desc) {
+  for (const auto& oi : stmt.order_by) {
+    int ref = -1;
+    if (oi.expr->kind == ExprKind::kColumnRef && oi.expr->table_alias.empty()) {
+      for (size_t i = 0; i < columns.size(); ++i) {
+        if (ToLower(columns[i]) == ToLower(oi.expr->column)) {
+          ref = static_cast<int>(i);
+          break;
+        }
+      }
+    }
+    sort_ref->push_back(ref);
+    if (ref < 0) {
+      BLEND_ASSIGN_OR_RETURN(auto b, binder.BindAggExpr(*oi.expr, key_exprs, aggs));
+      sort_exprs->push_back(std::move(b));
+    } else {
+      sort_exprs->push_back(nullptr);
+    }
+    desc->push_back(oi.desc);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Fused scan->aggregate operator for the SC/KW seeker shape:
+//   SELECT TableId[, ColumnId], COUNT(DISTINCT CellValue) ...
+//   FROM AllTables WHERE CellValue IN (...) [AND ...]
+//   GROUP BY TableId[, ColumnId] [ORDER BY ...] [LIMIT n]
+// Walks each cell id's posting list and bumps packed-key counters directly:
+// no RecordPos materialization, no RowCtx construction, no per-row SqlValue
+// boxing. COUNT(DISTINCT CellValue) degenerates to "number of posting lists
+// that touch the group", so each list contributes at most 1 per group.
+// ---------------------------------------------------------------------------
+
+/// Attempts the fused path. Returns nullopt when the statement does not have
+/// the fused shape (including any bind failure — the generic pipeline then
+/// re-binds and reports the real error).
+template <typename Store>
+std::optional<QueryResult> TryFusedScanAgg(const AnalyzedQuery& q,
+                                           const SelectStmt& stmt,
+                                           const Store& store,
+                                           const Dictionary& dict,
+                                           size_t threads) {
+  if (q.rels.size() != 1 || !q.join_ons.empty() || q.residual_where != nullptr) {
+    return std::nullopt;
+  }
+  if (stmt.select_star || stmt.group_by.empty()) return std::nullopt;
+
+  const ScanSpec spec = ClassifyScan(q.rels[0].scan_pred);
+  if (spec.cell_in == nullptr || spec.need_quadrant) return std::nullopt;
+
+  // Bind keys and items against the visible schema, exactly as the generic
+  // aggregation pipeline would.
+  Binder binder(&dict, {q.rels[0].visible});
+  std::vector<BoundExprPtr> key_exprs;
+  for (const auto& g : stmt.group_by) {
+    auto kb = binder.BindRowExpr(*g);
+    if (!kb.ok()) return std::nullopt;
+    key_exprs.push_back(kb.take());
+  }
+  if (key_exprs.empty() || key_exprs.size() > 2) return std::nullopt;
+  if (key_exprs[0]->kind != BKind::kField || key_exprs[0]->field != Field::kTable) {
+    return std::nullopt;
+  }
+  const bool with_column = key_exprs.size() == 2;
+  if (with_column && (key_exprs[1]->kind != BKind::kField ||
+                      key_exprs[1]->field != Field::kColumn)) {
+    return std::nullopt;
+  }
+
+  QueryResult result;
+  std::vector<AggSpec> aggs;
+  std::vector<BoundExprPtr> items;
+  for (const auto& item : stmt.items) {
+    auto b = binder.BindAggExpr(*item.expr, key_exprs, &aggs);
+    if (!b.ok()) return std::nullopt;
+    result.columns.push_back(ItemName(item));
+    items.push_back(b.take());
+  }
+  std::vector<int> sort_ref;
+  std::vector<BoundExprPtr> sort_exprs;
+  std::vector<bool> desc;
+  if (!BindAggOrderBy(stmt, binder, key_exprs, &aggs, result.columns, &sort_ref,
+                      &sort_exprs, &desc)
+           .ok()) {
+    return std::nullopt;
+  }
+  // Every aggregate (select list and sort keys) must be COUNT(DISTINCT
+  // CellValue) for the per-posting-list dedup to be the whole aggregation.
+  for (const AggSpec& a : aggs) {
+    if (a.kind != AggSpec::Kind::kCount || !a.distinct) return std::nullopt;
+    if (a.arg == nullptr || a.arg->kind != BKind::kField ||
+        a.arg->field != Field::kCell) {
+      return std::nullopt;
+    }
+  }
+
+  // Residual scan predicates (e.g. the optimizer's `TableId NOT IN (...)`
+  // rewrite) are evaluated per record without materializing anything.
+  Binder scan_binder(&dict, {AllFields("")});
+  std::vector<BoundExprPtr> preds;
+  for (const Expr* c : spec.residual) {
+    auto b = scan_binder.BindRowExpr(*c);
+    if (!b.ok()) return std::nullopt;
+    preds.push_back(b.take());
+  }
+  const int64_t row_lt = spec.row_lt;
+  auto passes = [&](RecordPos p) {
+    if (row_lt >= 0 && store.row(p) >= row_lt) return false;
+    for (const auto& pred : preds) {
+      RowCtx ctx;
+      ctx.pos[0] = p;
+      SqlValue v = EvalExpr(*pred, [&](const BoundExpr& b) {
+        return FieldValue(store, b.field, ctx.pos[b.side]);
+      });
+      if (!v.IsTruthy()) return false;
+    }
+    return true;
+  };
+
+  std::unordered_set<int64_t> table_filter;
+  const bool use_table_filter = spec.table_in != nullptr;
+  if (use_table_filter) {
+    table_filter.insert(spec.table_in->in_ints.begin(),
+                        spec.table_in->in_ints.end());
+  }
+
+  // The same canonical scan order as ScanRel: cells ascending, postings in
+  // list order. `base[i]` is the global ordinal of cell i's first posting;
+  // ordinals order group discovery exactly like the generic pipeline's
+  // first-appearance order, which keeps the two paths byte-identical.
+  const std::vector<CellId> cells = ResolveCellIds(*spec.cell_in, dict);
+  std::vector<size_t> base(cells.size() + 1, 0);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    base[i + 1] = base[i] + store.Postings(cells[i]).size();
+  }
+
+  // Morsels cover whole cells (a posting list is never split): the
+  // per-list dedup below relies on seeing all of a cell's postings in one
+  // morsel.
+  struct CellRange {
+    size_t begin, end;
+  };
+  std::vector<CellRange> morsels;
+  size_t mb = 0;
+  while (mb < cells.size()) {
+    size_t me = mb + 1;
+    while (me < cells.size() && base[me + 1] - base[mb] <= kScanMorselRecords) {
+      ++me;
+    }
+    morsels.push_back({mb, me});
+    mb = me;
+  }
+
+  struct FusedGroup {
+    uint64_t key;
+    size_t first;  // global ordinal of the group's first passing record
+    int64_t count;
+    CellId last_cell;  // per-posting-list dedup marker
+  };
+  std::vector<std::vector<FusedGroup>> parts(morsels.size());
+  ParallelFor(morsels.size(), threads, [&](size_t m) {
+    std::unordered_map<uint64_t, uint32_t> index;
+    std::vector<FusedGroup>& groups_m = parts[m];
+    for (size_t ci = morsels[m].begin; ci < morsels[m].end; ++ci) {
+      const CellId cell = cells[ci];
+      const std::vector<RecordPos>& pl = store.Postings(cell);
+      for (size_t i = 0; i < pl.size(); ++i) {
+        const RecordPos p = pl[i];
+        if (use_table_filter && table_filter.count(store.table(p)) == 0) continue;
+        if (!passes(p)) continue;
+        const uint64_t key =
+            static_cast<uint64_t>(static_cast<uint32_t>(store.table(p))) |
+            (with_column ? static_cast<uint64_t>(
+                               static_cast<uint32_t>(store.column(p)))
+                               << 32
+                         : 0);
+        auto [it, inserted] =
+            index.try_emplace(key, static_cast<uint32_t>(groups_m.size()));
+        if (inserted) {
+          groups_m.push_back({key, base[ci] + i, 1, cell});
+        } else {
+          FusedGroup& g = groups_m[it->second];
+          if (g.last_cell != cell) {
+            ++g.count;
+            g.last_cell = cell;
+          }
+        }
+      }
+    }
+  });
+
+  // Merge morsel-local groups in morsel order (group counts are bounded by
+  // tables x columns, so this stays cheap), then order groups by first
+  // appearance — the generic pipeline's group order.
+  std::unordered_map<uint64_t, uint32_t> index;
+  std::vector<FusedGroup> merged;
+  for (const auto& part : parts) {
+    for (const FusedGroup& g : part) {
+      auto [it, inserted] =
+          index.try_emplace(g.key, static_cast<uint32_t>(merged.size()));
+      if (inserted) {
+        merged.push_back(g);
+        continue;
+      }
+      FusedGroup& into = merged[it->second];
+      into.count += g.count;
+      into.first = std::min(into.first, g.first);
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const FusedGroup& a, const FusedGroup& b) { return a.first < b.first; });
+
+  std::vector<GroupOut> groups;
+  groups.reserve(merged.size());
+  for (const FusedGroup& g : merged) {
+    GroupOut out;
+    out.keys.push_back(
+        SqlValue::Int(static_cast<int64_t>(static_cast<uint32_t>(g.key))));
+    if (with_column) {
+      out.keys.push_back(SqlValue::Int(static_cast<int64_t>(g.key >> 32)));
+    }
+    out.agg_vals.assign(aggs.size(), SqlValue::Int(g.count));
+    groups.push_back(std::move(out));
+  }
+  EmitGroups(groups, items, sort_ref, sort_exprs, desc, stmt, &result);
+  return result;
+}
+
 }  // namespace
 
 template <typename Store>
 Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
-                                  const Dictionary& dict) {
+                                  const Dictionary& dict,
+                                  const QueryOptions& options) {
   BLEND_ASSIGN_OR_RETURN(AnalyzedQuery q, Analyze(stmt));
+  const size_t threads = ResolveThreads(options.num_threads);
+
+  // Fused fast path for the dominant seeker shape.
+  if (options.enable_fused_scan_agg) {
+    if (auto fused = TryFusedScanAgg(q, stmt, store, dict, threads)) {
+      return std::move(*fused);
+    }
+  }
 
   // 1. Scans.
   std::vector<std::vector<RecordPos>> scans;
   for (const auto& rel : q.rels) {
-    BLEND_ASSIGN_OR_RETURN(auto positions, ScanRel(rel, store, dict));
+    BLEND_ASSIGN_OR_RETURN(auto positions, ScanRel(rel, store, dict, threads));
     scans.push_back(std::move(positions));
   }
 
@@ -486,8 +851,8 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
     const uint8_t step_side = static_cast<uint8_t>(j + 1);
     BLEND_ASSIGN_OR_RETURN(StepKeys keys,
                            ExtractStepKeys(q.join_ons[j], binder, step_side));
-    BLEND_ASSIGN_OR_RETURN(
-        rows, HashJoinStep(store, rows, scans[step_side], keys, step_side));
+    BLEND_ASSIGN_OR_RETURN(rows, HashJoinStep(store, rows, scans[step_side], keys,
+                                              step_side, threads));
   }
 
   // 3. Residual WHERE.
@@ -581,23 +946,38 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
       desc.push_back(oi.desc);
     }
 
+    // Chunk-parallel projection: per-chunk buffers concatenated in chunk
+    // order reproduce the serial row order exactly.
+    const size_t n = rows.size();
+    const size_t num_chunks = (n + kAggChunkRows - 1) / kAggChunkRows;
+    std::vector<std::vector<std::vector<SqlValue>>> row_parts(num_chunks);
+    std::vector<std::vector<std::vector<SqlValue>>> sort_parts(num_chunks);
+    ParallelFor(num_chunks, threads, [&](size_t c) {
+      const size_t b = c * kAggChunkRows;
+      const size_t e = std::min(n, b + kAggChunkRows);
+      row_parts[c].reserve(e - b);
+      for (size_t r = b; r < e; ++r) {
+        auto leaf = row_leaf(rows[r]);
+        std::vector<SqlValue> vals;
+        vals.reserve(items.size());
+        for (const auto& it : items) vals.push_back(EvalExpr(*it, leaf));
+        if (!stmt.order_by.empty()) {
+          std::vector<SqlValue> sk;
+          for (size_t i = 0; i < sort_exprs.size(); ++i) {
+            sk.push_back(sort_ref[i] >= 0 ? vals[static_cast<size_t>(sort_ref[i])]
+                                          : EvalExpr(*sort_exprs[i], leaf));
+          }
+          sort_parts[c].push_back(std::move(sk));
+        }
+        row_parts[c].push_back(std::move(vals));
+      }
+    });
     std::vector<std::vector<SqlValue>> out_rows;
     std::vector<std::vector<SqlValue>> sort_vals;
-    out_rows.reserve(rows.size());
-    for (const RowCtx& ctx : rows) {
-      auto leaf = row_leaf(ctx);
-      std::vector<SqlValue> vals;
-      vals.reserve(items.size());
-      for (const auto& it : items) vals.push_back(EvalExpr(*it, leaf));
-      if (!stmt.order_by.empty()) {
-        std::vector<SqlValue> sk;
-        for (size_t i = 0; i < sort_exprs.size(); ++i) {
-          sk.push_back(sort_ref[i] >= 0 ? vals[static_cast<size_t>(sort_ref[i])]
-                                        : EvalExpr(*sort_exprs[i], leaf));
-        }
-        sort_vals.push_back(std::move(sk));
-      }
-      out_rows.push_back(std::move(vals));
+    out_rows.reserve(n);
+    for (size_t c = 0; c < num_chunks; ++c) {
+      for (auto& v : row_parts[c]) out_rows.push_back(std::move(v));
+      for (auto& v : sort_parts[c]) sort_vals.push_back(std::move(v));
     }
     SortAndLimit(&out_rows, &sort_vals, desc, stmt.limit);
     result.rows = std::move(out_rows);
@@ -623,25 +1003,8 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
   std::vector<int> sort_ref;
   std::vector<BoundExprPtr> sort_exprs;
   std::vector<bool> desc;
-  for (const auto& oi : stmt.order_by) {
-    int ref = -1;
-    if (oi.expr->kind == ExprKind::kColumnRef && oi.expr->table_alias.empty()) {
-      for (size_t i = 0; i < result.columns.size(); ++i) {
-        if (ToLower(result.columns[i]) == ToLower(oi.expr->column)) {
-          ref = static_cast<int>(i);
-          break;
-        }
-      }
-    }
-    sort_ref.push_back(ref);
-    if (ref < 0) {
-      BLEND_ASSIGN_OR_RETURN(auto b, binder.BindAggExpr(*oi.expr, key_exprs, &aggs));
-      sort_exprs.push_back(std::move(b));
-    } else {
-      sort_exprs.push_back(nullptr);
-    }
-    desc.push_back(oi.desc);
-  }
+  BLEND_RETURN_NOT_OK(BindAggOrderBy(stmt, binder, key_exprs, &aggs, result.columns,
+                                     &sort_ref, &sort_exprs, &desc));
 
   struct Group {
     std::vector<SqlValue> keys;
@@ -649,7 +1012,7 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
   };
   std::vector<Group> groups;
 
-  auto update_group = [&](Group& g, const RowCtx& ctx) {
+  auto update_states = [&](std::vector<AggState>& states, const RowCtx& ctx) {
     for (size_t a = 0; a < aggs.size(); ++a) {
       SqlValue v = SqlValue::Null();
       if (aggs[a].arg != nullptr) {
@@ -659,7 +1022,7 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
           v = EvalExpr(*aggs[a].arg, row_leaf(ctx));
         }
       }
-      UpdateAgg(aggs[a], &g.states[a], v);
+      UpdateAgg(aggs[a], &states[a], v);
     }
   };
 
@@ -699,37 +1062,98 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
 
   bool fast_done = false;
   if (packable) {
-    fast_done = true;
-    std::unordered_map<uint64_t, uint32_t> index;
-    index.reserve(rows.size() / 4 + 16);
-    for (const RowCtx& ctx : rows) {
-      uint64_t key = 0;
-      bool fits = true;
-      for (const auto& pf : packed) {
-        SqlValue v = FieldValue(store, pf.field, ctx.pos[pf.side]);
-        uint64_t raw = static_cast<uint64_t>(v.i);
-        if (pf.width < 64 && (raw >> pf.width) != 0) {
-          fits = false;
-          break;
-        }
-        key |= raw << pf.shift;
-      }
-      if (!fits) {  // a value overflowed its packed width: redo generically
-        fast_done = false;
-        groups.clear();
-        break;
-      }
-      auto [it, inserted] = index.try_emplace(key, static_cast<uint32_t>(groups.size()));
-      if (inserted) {
-        Group g;
-        g.keys.reserve(packed.size());
+    // Partitioned parallel hash aggregation: chunk-local flat maps keyed by
+    // the packed uint64, then a radix-partitioned merge where each worker
+    // owns a disjoint key partition and folds chunks in ascending chunk
+    // order. Group output order is restored to first-appearance order (the
+    // serial order) by sorting on each group's first global row index.
+    struct LocalGroup {
+      uint64_t key;
+      size_t first;
+      std::vector<SqlValue> keys;
+      std::vector<AggState> states;
+    };
+    const size_t n = rows.size();
+    const size_t num_chunks = (n + kAggChunkRows - 1) / kAggChunkRows;
+    std::vector<std::vector<LocalGroup>> chunk_groups(num_chunks);
+    std::vector<uint8_t> overflowed(num_chunks, 0);
+    ParallelFor(num_chunks, threads, [&](size_t c) {
+      const size_t b = c * kAggChunkRows;
+      const size_t e = std::min(n, b + kAggChunkRows);
+      std::unordered_map<uint64_t, uint32_t> index;
+      index.reserve((e - b) / 4 + 16);
+      std::vector<LocalGroup>& groups_c = chunk_groups[c];
+      for (size_t r = b; r < e; ++r) {
+        const RowCtx& ctx = rows[r];
+        uint64_t key = 0;
+        bool fits = true;
         for (const auto& pf : packed) {
-          g.keys.push_back(FieldValue(store, pf.field, ctx.pos[pf.side]));
+          SqlValue v = FieldValue(store, pf.field, ctx.pos[pf.side]);
+          uint64_t raw = static_cast<uint64_t>(v.i);
+          if (pf.width < 64 && (raw >> pf.width) != 0) {
+            fits = false;
+            break;
+          }
+          key |= raw << pf.shift;
         }
-        g.states.resize(aggs.size());
-        groups.push_back(std::move(g));
+        if (!fits) {  // a value overflowed its packed width: redo generically
+          overflowed[c] = 1;
+          groups_c.clear();
+          return;
+        }
+        auto [it, inserted] =
+            index.try_emplace(key, static_cast<uint32_t>(groups_c.size()));
+        if (inserted) {
+          LocalGroup g;
+          g.key = key;
+          g.first = r;
+          g.keys.reserve(packed.size());
+          for (const auto& pf : packed) {
+            g.keys.push_back(FieldValue(store, pf.field, ctx.pos[pf.side]));
+          }
+          g.states.resize(aggs.size());
+          groups_c.push_back(std::move(g));
+        }
+        update_states(groups_c[it->second].states, ctx);
       }
-      update_group(groups[it->second], ctx);
+    });
+    bool any_overflow = false;
+    for (uint8_t f : overflowed) any_overflow = any_overflow || f != 0;
+    if (!any_overflow) {
+      fast_done = true;
+      std::vector<std::vector<LocalGroup>> part_groups(kMergePartitions);
+      ParallelFor(kMergePartitions, threads, [&](size_t part) {
+        std::unordered_map<uint64_t, uint32_t> part_index;
+        std::vector<LocalGroup>& merged = part_groups[part];
+        for (size_t c = 0; c < num_chunks; ++c) {
+          for (LocalGroup& g : chunk_groups[c]) {
+            if ((Mix64(g.key) & (kMergePartitions - 1)) != part) continue;
+            auto [it, inserted] =
+                part_index.try_emplace(g.key, static_cast<uint32_t>(merged.size()));
+            if (inserted) {
+              merged.push_back(std::move(g));
+              continue;
+            }
+            LocalGroup& into = merged[it->second];
+            into.first = std::min(into.first, g.first);
+            for (size_t a = 0; a < aggs.size(); ++a) {
+              MergeAggState(&into.states[a], &g.states[a]);
+            }
+          }
+        }
+      });
+      std::vector<LocalGroup> all;
+      for (auto& pg : part_groups) {
+        for (auto& g : pg) all.push_back(std::move(g));
+      }
+      std::sort(all.begin(), all.end(),
+                [](const LocalGroup& a, const LocalGroup& b) {
+                  return a.first < b.first;
+                });
+      groups.reserve(all.size());
+      for (auto& g : all) {
+        groups.push_back({std::move(g.keys), std::move(g.states)});
+      }
     }
   }
 
@@ -760,7 +1184,7 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
         groups.push_back(std::move(g));
         bucket.push_back(gi);
       }
-      update_group(groups[gi], ctx);
+      update_states(groups[gi].states, ctx);
     }
   }
 
@@ -771,42 +1195,28 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
     groups.push_back(std::move(g));
   }
 
-  std::vector<std::vector<SqlValue>> out_rows;
-  std::vector<std::vector<SqlValue>> sort_vals;
-  out_rows.reserve(groups.size());
-  for (const Group& g : groups) {
-    std::vector<SqlValue> agg_vals(aggs.size());
+  std::vector<GroupOut> out_groups;
+  out_groups.reserve(groups.size());
+  for (Group& g : groups) {
+    GroupOut og;
+    og.keys = std::move(g.keys);
+    og.agg_vals.resize(aggs.size());
     for (size_t a = 0; a < aggs.size(); ++a) {
-      agg_vals[a] = FinalizeAgg(aggs[a], g.states[a]);
+      og.agg_vals[a] = FinalizeAgg(aggs[a], g.states[a]);
     }
-    auto leaf = [&](const BoundExpr& b) -> SqlValue {
-      if (b.kind == BKind::kAggRef) return agg_vals[b.ref];
-      if (b.kind == BKind::kKeyRef) return g.keys[b.ref];
-      return SqlValue::Null();  // unreachable: fields were rejected at bind
-    };
-    std::vector<SqlValue> vals;
-    vals.reserve(items.size());
-    for (const auto& it : items) vals.push_back(EvalExpr(*it, leaf));
-    if (!stmt.order_by.empty()) {
-      std::vector<SqlValue> sk;
-      for (size_t i = 0; i < sort_exprs.size(); ++i) {
-        sk.push_back(sort_ref[i] >= 0 ? vals[static_cast<size_t>(sort_ref[i])]
-                                      : EvalExpr(*sort_exprs[i], leaf));
-      }
-      sort_vals.push_back(std::move(sk));
-    }
-    out_rows.push_back(std::move(vals));
+    out_groups.push_back(std::move(og));
   }
-  SortAndLimit(&out_rows, &sort_vals, desc, stmt.limit);
-  result.rows = std::move(out_rows);
+  EmitGroups(out_groups, items, sort_ref, sort_exprs, desc, stmt, &result);
   return result;
 }
 
 template Result<QueryResult> ExecuteSelect<RowStore>(const SelectStmt&,
                                                      const RowStore&,
-                                                     const Dictionary&);
+                                                     const Dictionary&,
+                                                     const QueryOptions&);
 template Result<QueryResult> ExecuteSelect<ColumnStore>(const SelectStmt&,
                                                         const ColumnStore&,
-                                                        const Dictionary&);
+                                                        const Dictionary&,
+                                                        const QueryOptions&);
 
 }  // namespace blend::sql

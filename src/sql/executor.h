@@ -22,11 +22,27 @@ struct QueryResult {
   bool IsNull(size_t r, size_t c) const { return rows[r][c].is_null(); }
 };
 
+/// Execution knobs threaded from Engine::Query down to the operators.
+struct QueryOptions {
+  /// Worker threads for morsel-parallel scans, joins, and aggregation. 0 means
+  /// "one per hardware thread"; 1 (and any negative value) forces serial
+  /// execution. The result is byte-identical — values and row order — for
+  /// every setting: morsel geometry depends only on input sizes, morsel
+  /// outputs are concatenated in morsel order, and merge order is fixed.
+  int num_threads = 0;
+  /// Enables the fused scan->aggregate operator for the SC/KW seeker shape
+  /// (COUNT(DISTINCT CellValue) grouped by TableId[, ColumnId] over a
+  /// CellValue IN-list). Switchable so benches can report the fused-vs-generic
+  /// ratio and tests can cross-check the two paths.
+  bool enable_fused_scan_agg = true;
+};
+
 /// Executes an analyzed-and-parseable statement against a physical store.
 /// Instantiated for RowStore and ColumnStore (the (Row)/(Column) deployments
 /// of the paper's experiments).
 template <typename Store>
 Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
-                                  const Dictionary& dict);
+                                  const Dictionary& dict,
+                                  const QueryOptions& options = {});
 
 }  // namespace blend::sql

@@ -234,21 +234,26 @@ class Parser {
       e->kind = ExprKind::kInList;
       e->negated = not_in;
       e->lhs = std::move(lhs);
-      if (!Check(TokKind::kRParen)) {  // allow empty lists: IN ()
-        do {
-          if (Check(TokKind::kString)) {
-            e->in_strings.push_back(Advance().text);
-          } else if (Check(TokKind::kNumber)) {
-            e->in_ints.push_back(std::strtoll(Advance().text.c_str(), nullptr, 10));
-          } else if (Check(TokKind::kMinus)) {
-            Advance();
-            if (!Check(TokKind::kNumber)) return Err("expected number after '-'");
-            e->in_ints.push_back(-std::strtoll(Advance().text.c_str(), nullptr, 10));
-          } else {
-            return Err("expected literal in IN-list");
-          }
-        } while (Accept(TokKind::kComma));
+      if (Check(TokKind::kRParen)) {
+        // An empty IN-list is almost always a generator bug (a seeker whose
+        // normalized input came out empty); reject it loudly rather than
+        // guessing a truth value.
+        return Err("IN-list must not be empty (callers must short-circuit "
+                   "empty inputs instead of emitting IN ())");
       }
+      do {
+        if (Check(TokKind::kString)) {
+          e->in_strings.push_back(Advance().text);
+        } else if (Check(TokKind::kNumber)) {
+          e->in_ints.push_back(std::strtoll(Advance().text.c_str(), nullptr, 10));
+        } else if (Check(TokKind::kMinus)) {
+          Advance();
+          if (!Check(TokKind::kNumber)) return Err("expected number after '-'");
+          e->in_ints.push_back(-std::strtoll(Advance().text.c_str(), nullptr, 10));
+        } else {
+          return Err("expected literal in IN-list");
+        }
+      } while (Accept(TokKind::kComma));
       BLEND_RETURN_NOT_OK(Expect(TokKind::kRParen, "')' after IN-list"));
       return ExprPtr(std::move(e));
     }

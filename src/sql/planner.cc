@@ -16,6 +16,35 @@ void SplitConjuncts(const Expr* e, std::vector<const Expr*>* out) {
 
 namespace {
 
+/// True when the conjunct is `<Field> IN (...)` on the given field
+/// (unqualified or any qualifier; scans see a single relation).
+bool IsFieldInList(const Expr& e, Field field, bool want_strings) {
+  if (e.kind != ExprKind::kInList || e.negated) return false;
+  if (e.lhs == nullptr || e.lhs->kind != ExprKind::kColumnRef) return false;
+  Field f;
+  if (!LookupField(e.lhs->column, &f) || f != field) return false;
+  return want_strings ? !e.in_strings.empty() : !e.in_ints.empty();
+}
+
+/// Detects `RowId < N` (returns N) for the tight-loop scan fast path.
+bool IsRowIdLess(const Expr& e, int64_t* bound) {
+  if (e.kind != ExprKind::kBinary || e.op != BinOp::kLt) return false;
+  if (e.lhs == nullptr || e.lhs->kind != ExprKind::kColumnRef) return false;
+  Field f;
+  if (!LookupField(e.lhs->column, &f) || f != Field::kRow) return false;
+  if (e.rhs == nullptr || e.rhs->kind != ExprKind::kIntLiteral) return false;
+  *bound = e.rhs->int_val;
+  return true;
+}
+
+/// Detects `Quadrant IS NOT NULL`.
+bool IsQuadrantNotNull(const Expr& e) {
+  if (e.kind != ExprKind::kIsNull || !e.negated) return false;
+  if (e.lhs == nullptr || e.lhs->kind != ExprKind::kColumnRef) return false;
+  Field f;
+  return LookupField(e.lhs->column, &f) && f == Field::kQuadrant;
+}
+
 Binder::RelColumns AllFieldsVisible(const std::string& alias) {
   Binder::RelColumns rc;
   rc.alias = ToLower(alias);
@@ -106,6 +135,35 @@ Result<AnalyzedQuery> Analyze(const SelectStmt& stmt) {
     q.residual_where = stmt.where.get();
   }
   return q;
+}
+
+ScanSpec ClassifyScan(const Expr* scan_pred) {
+  std::vector<const Expr*> conjuncts;
+  SplitConjuncts(scan_pred, &conjuncts);
+  ScanSpec spec;
+  for (const Expr* c : conjuncts) {
+    if (spec.cell_in == nullptr &&
+        IsFieldInList(*c, Field::kCell, /*want_strings=*/true)) {
+      spec.cell_in = c;
+      continue;
+    }
+    if (spec.table_in == nullptr &&
+        IsFieldInList(*c, Field::kTable, /*want_strings=*/false)) {
+      spec.table_in = c;
+      continue;
+    }
+    int64_t bound;
+    if (spec.row_lt < 0 && IsRowIdLess(*c, &bound)) {
+      spec.row_lt = bound;
+      continue;
+    }
+    if (!spec.need_quadrant && IsQuadrantNotNull(*c)) {
+      spec.need_quadrant = true;
+      continue;
+    }
+    spec.residual.push_back(c);
+  }
+  return spec;
 }
 
 }  // namespace blend::sql

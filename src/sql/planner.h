@@ -32,4 +32,21 @@ Result<AnalyzedQuery> Analyze(const SelectStmt& stmt);
 /// Appends the AND-conjuncts of `e` (or `e` itself) to *out.
 void SplitConjuncts(const Expr* e, std::vector<const Expr*>* out);
 
+/// Classified scan predicate of one relation: the conjuncts the executor can
+/// serve through an index access path, plus the residual row filters. At most
+/// one conjunct is claimed per access path; everything else lands in
+/// `residual` and is evaluated per record.
+struct ScanSpec {
+  const Expr* cell_in = nullptr;   // CellValue IN ('a',...) -> hash index
+  const Expr* table_in = nullptr;  // TableId IN (1,...) -> clustered index
+  int64_t row_lt = -1;             // RowId < N bound; -1 = none
+  bool need_quadrant = false;      // Quadrant IS NOT NULL -> partial index
+  std::vector<const Expr*> residual;
+};
+
+/// Splits `scan_pred` (may be null) into the access-path conjuncts and the
+/// residual filters. Pure classification: choosing which claimed index to
+/// walk is the executor's job.
+ScanSpec ClassifyScan(const Expr* scan_pred);
+
 }  // namespace blend::sql

@@ -91,6 +91,39 @@ TEST_P(SeekerFig1Test, McNeedsTwoColumns) {
   EXPECT_FALSE(mc.Execute(blend_->context(), "").ok());
 }
 
+TEST_P(SeekerFig1Test, EmptyNormalizedInputShortCircuits) {
+  // All-empty cells normalize away entirely; seekers must return an empty
+  // TableList instead of emitting the unparseable `CellValue IN ()`.
+  SCSeeker sc({"", "   ", ""}, 10);
+  auto sr = sc.Execute(blend_->context(), "");
+  ASSERT_TRUE(sr.ok()) << sr.status().ToString();
+  EXPECT_TRUE(sr.value().empty());
+
+  KWSeeker kw({"", "  "}, 10);
+  auto kr = kw.Execute(blend_->context(), "");
+  ASSERT_TRUE(kr.ok()) << kr.status().ToString();
+  EXPECT_TRUE(kr.value().empty());
+
+  MCSeeker mc({{"", ""}, {"HR", ""}}, 10);
+  auto mr = mc.Execute(blend_->context(), "");
+  ASSERT_TRUE(mr.ok()) << mr.status().ToString();
+  EXPECT_TRUE(mr.value().empty());
+
+  CorrelationSeeker corr({"", ""}, {1.0, 2.0}, 10);
+  auto cr = corr.Execute(blend_->context(), "");
+  ASSERT_TRUE(cr.ok()) << cr.status().ToString();
+  EXPECT_TRUE(cr.value().empty());
+}
+
+TEST_P(SeekerFig1Test, CorrelationOneSidedTargetsStillExecute) {
+  // Every target lands on the >= mean side, so the k0 list is empty; the
+  // generated SQL must replace `CellValue IN ()` with a never-true literal
+  // and still parse and run.
+  CorrelationSeeker corr({"HR", "Marketing", "Finance"}, {5.0, 5.0, 5.0}, 10);
+  auto r = corr.Execute(blend_->context(), "");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+}
+
 TEST_P(SeekerFig1Test, McThreeColumnTuple) {
   MCSeeker mc({{"HR", "Firenze", "2024"}}, 10);
   auto r = mc.Execute(blend_->context(), "");

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "index/builder.h"
+#include "lakegen/join_lake.h"
+#include "lakegen/workloads.h"
+#include "sql/engine.h"
+
+namespace blend::sql {
+namespace {
+
+/// Property suite for the engine's determinism contract: for representative
+/// seeker-shaped SQL, Query(sql, threads=N) must return rows byte-identical
+/// (values *and* order) to threads=1, for N in {2, 4, hardware}, on both
+/// physical layouts, and with the fused scan->aggregate path on or off.
+class EngineDeterminismTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  EngineDeterminismTest() {
+    lakegen::JoinLakeSpec spec;
+    spec.num_tables = 50;
+    spec.num_domains = 6;
+    spec.domain_vocab = 250;
+    spec.seed = GetParam();
+    lake_ = lakegen::MakeJoinLake(spec);
+
+    IndexBuildOptions row_opts;
+    row_opts.layout = StoreLayout::kRow;
+    row_bundle_ = IndexBuilder(row_opts).Build(lake_);
+    col_bundle_ = IndexBuilder().Build(lake_);
+    row_engine_ = std::make_unique<Engine>(&row_bundle_);
+    col_engine_ = std::make_unique<Engine>(&col_bundle_);
+  }
+
+  static std::string ResultToString(const QueryResult& r) {
+    std::string out;
+    for (const auto& c : r.columns) out += c + "|";
+    out += "\n";
+    for (const auto& row : r.rows) {
+      for (const auto& v : row) {
+        if (v.is_null()) {
+          out += "NULL,";
+        } else if (v.kind == SqlValue::Kind::kInt) {
+          out += std::to_string(v.i) + ",";
+        } else {
+          char buf[40];
+          // Full round-trip precision: the contract is byte-identity, not
+          // approximate equality.
+          snprintf(buf, sizeof(buf), "%.17g,", v.d);
+          out += buf;
+        }
+      }
+      out += "\n";
+    }
+    return out;
+  }
+
+  /// Runs `sql` serially as the reference, then asserts every (threads,
+  /// fused) combination reproduces it exactly on both engines.
+  void ExpectDeterministic(const std::string& sql) {
+    const int hw = static_cast<int>(std::thread::hardware_concurrency());
+    std::vector<int> thread_counts = {1, 2, 4};
+    if (hw > 4) thread_counts.push_back(hw);
+    for (Engine* engine : {row_engine_.get(), col_engine_.get()}) {
+      QueryOptions serial;
+      serial.num_threads = 1;
+      auto ref = engine->Query(sql, serial);
+      ASSERT_TRUE(ref.ok()) << ref.status().ToString() << "\n" << sql;
+      const std::string want = ResultToString(ref.value());
+      for (int threads : thread_counts) {
+        for (bool fused : {true, false}) {
+          QueryOptions opts;
+          opts.num_threads = threads;
+          opts.enable_fused_scan_agg = fused;
+          auto got = engine->Query(sql, opts);
+          ASSERT_TRUE(got.ok()) << got.status().ToString() << "\n" << sql;
+          EXPECT_EQ(want, ResultToString(got.value()))
+              << "threads=" << threads << " fused=" << fused << "\n"
+              << sql;
+        }
+      }
+    }
+  }
+
+  std::string RandomInList(Rng* rng, size_t max_items) {
+    std::vector<std::string> vals =
+        lakegen::SampleColumnQuery(lake_, 1 + rng->Uniform(max_items), rng);
+    if (vals.empty()) vals.push_back("determinism-probe");
+    return SqlInList(vals);
+  }
+
+  DataLake lake_;
+  IndexBundle row_bundle_, col_bundle_;
+  std::unique_ptr<Engine> row_engine_, col_engine_;
+};
+
+TEST_P(EngineDeterminismTest, ScShape) {
+  Rng rng(GetParam() * 31 + 1);
+  for (int i = 0; i < 4; ++i) {
+    ExpectDeterministic(
+        "SELECT TableId, ColumnId, COUNT(DISTINCT CellValue) AS score "
+        "FROM AllTables WHERE CellValue IN (" +
+        RandomInList(&rng, 40) +
+        ") GROUP BY TableId, ColumnId ORDER BY score DESC LIMIT 25;");
+  }
+}
+
+TEST_P(EngineDeterminismTest, ScShapeWithoutOrderByExposesGroupOrder) {
+  // No ORDER BY: the raw group order (first-appearance order) is the output
+  // order, so this shape catches any scheduling-dependent ordering directly.
+  Rng rng(GetParam() * 37 + 2);
+  ExpectDeterministic(
+      "SELECT TableId, ColumnId, COUNT(DISTINCT CellValue) AS score "
+      "FROM AllTables WHERE CellValue IN (" +
+      RandomInList(&rng, 30) + ") GROUP BY TableId, ColumnId;");
+}
+
+TEST_P(EngineDeterminismTest, KwShape) {
+  Rng rng(GetParam() * 41 + 3);
+  for (int i = 0; i < 3; ++i) {
+    ExpectDeterministic(
+        "SELECT TableId, COUNT(DISTINCT CellValue) AS score FROM AllTables "
+        "WHERE CellValue IN (" +
+        RandomInList(&rng, 10) +
+        ") GROUP BY TableId ORDER BY score DESC LIMIT 10;");
+  }
+}
+
+TEST_P(EngineDeterminismTest, McJoinShape) {
+  Rng rng(GetParam() * 43 + 4);
+  for (int i = 0; i < 3; ++i) {
+    ExpectDeterministic(
+        "SELECT a.TableId, a.RowId, a.SuperKey FROM "
+        "(SELECT TableId, RowId, SuperKey FROM AllTables WHERE CellValue IN (" +
+        RandomInList(&rng, 25) +
+        ")) AS a INNER JOIN (SELECT TableId, RowId FROM AllTables "
+        "WHERE CellValue IN (" +
+        RandomInList(&rng, 25) + ")) AS b ON a.TableId = b.TableId AND "
+        "a.RowId = b.RowId;");
+  }
+}
+
+TEST_P(EngineDeterminismTest, CorrelationShape) {
+  Rng rng(GetParam() * 47 + 5);
+  std::string keys = RandomInList(&rng, 25);
+  ExpectDeterministic(
+      "SELECT keys.TableId AS TableId, keys.ColumnId AS KeyCol, "
+      "nums.ColumnId AS NumCol, "
+      "ABS((2 * SUM((keys.CellValue IN (" +
+      keys + ") AND nums.Quadrant = 0) OR (keys.CellValue IN (" + keys +
+      ") AND nums.Quadrant = 1)) - COUNT(*)) / COUNT(*)) AS score "
+      "FROM (SELECT TableId, RowId, ColumnId, CellValue FROM AllTables "
+      "WHERE RowId < 64 AND CellValue IN (" +
+      keys +
+      ")) AS keys INNER JOIN (SELECT TableId, RowId, ColumnId, Quadrant "
+      "FROM AllTables WHERE RowId < 64 AND Quadrant IS NOT NULL) AS nums "
+      "ON keys.TableId = nums.TableId AND keys.RowId = nums.RowId "
+      "AND keys.ColumnId <> nums.ColumnId "
+      "GROUP BY keys.TableId, keys.ColumnId, nums.ColumnId "
+      "ORDER BY score DESC LIMIT 15;");
+}
+
+TEST_P(EngineDeterminismTest, FullScanAggregatesWithDoubleSums) {
+  // SUM/AVG over a full scan exercises the chunk-merge order of the parallel
+  // aggregation (floating-point addition is where nondeterminism would show
+  // first); MIN/MAX exercise the first-seen tie rule across chunk merges.
+  ExpectDeterministic(
+      "SELECT TableId, COUNT(*), SUM(RowId), AVG(RowId * 1.5), "
+      "MIN(ColumnId), MAX(RowId) FROM AllTables GROUP BY TableId;");
+}
+
+TEST_P(EngineDeterminismTest, NonAggregateProjectionAndTableInScan) {
+  ExpectDeterministic(
+      "SELECT TableId, ColumnId, RowId FROM AllTables "
+      "WHERE TableId IN (0, 3, 7, 11, 19) AND RowId < 40;");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineDeterminismTest, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace blend::sql

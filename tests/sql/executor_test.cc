@@ -202,9 +202,40 @@ TEST_P(ExecutorTest, NonGroupedColumnInAggregateFails) {
       engine_->Query("SELECT RowId, COUNT(*) FROM AllTables GROUP BY TableId").ok());
 }
 
-TEST_P(ExecutorTest, EmptyInListYieldsNothing) {
-  auto res = Run("SELECT TableId FROM AllTables WHERE TableId IN ()");
-  EXPECT_EQ(res.NumRows(), 0u);
+TEST_P(ExecutorTest, EmptyInListIsRejected) {
+  auto r = engine_->Query("SELECT TableId FROM AllTables WHERE TableId IN ()");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("IN-list must not be empty"),
+            std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_P(ExecutorTest, NanSortsLastDeterministically) {
+  // Build +/-inf and NaN through double overflow: huge = 1e18^18 = inf, then
+  // inf * (TableId - 1) is -inf for table 0, NaN for table 1, +inf for
+  // table 2. Before Cmp ordered NaN, these keys broke strict weak ordering
+  // (UB in std::sort); now NaN sorts last.
+  std::string huge = "1000000000000000000.0";
+  std::string prod = huge;
+  for (int i = 0; i < 17; ++i) prod += " * " + huge;
+  auto res = Run("SELECT TableId FROM AllTables WHERE ColumnId = 0 ORDER BY (" +
+                 prod + ") * (TableId - 1) ASC");
+  // fruit columns: 4 rows in t0 (-inf), 1 in t2 (+inf), 3 in t1 (NaN, last).
+  ASSERT_EQ(res.NumRows(), 8u);
+  std::vector<int64_t> got;
+  for (size_t r = 0; r < res.NumRows(); ++r) got.push_back(res.Int(r, 0));
+  EXPECT_EQ(got, (std::vector<int64_t>{0, 0, 0, 0, 2, 1, 1, 1}));
+}
+
+TEST_P(ExecutorTest, CountDistinctTreatsNegativeZeroAsZero) {
+  // 0 / (RowId - 1) over t0's fruit column: row 0 gives -0.0, row 1 divides
+  // by zero (NULL, skipped), rows 2 and 3 give +0.0. `==` says -0.0 == 0.0,
+  // so DISTINCT must count one value, not two bit patterns.
+  auto res = Run(
+      "SELECT COUNT(DISTINCT 0 / (RowId - 1)) FROM AllTables "
+      "WHERE TableId = 0 AND ColumnId = 0");
+  ASSERT_EQ(res.NumRows(), 1u);
+  EXPECT_EQ(res.Int(0, 0), 1);
 }
 
 TEST_P(ExecutorTest, OrKeepsBothSides) {

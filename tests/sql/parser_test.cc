@@ -88,11 +88,12 @@ TEST(ParserTest, NotInList) {
   EXPECT_EQ(stmt->where->in_ints.size(), 3u);
 }
 
-TEST(ParserTest, EmptyInList) {
-  auto stmt = MustParse("SELECT TableId FROM AllTables WHERE TableId IN ()");
-  ASSERT_NE(stmt, nullptr);
-  EXPECT_TRUE(stmt->where->in_ints.empty());
-  EXPECT_TRUE(stmt->where->in_strings.empty());
+TEST(ParserTest, EmptyInListIsRejected) {
+  auto r = Parse("SELECT TableId FROM AllTables WHERE TableId IN ()");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("IN-list must not be empty"),
+            std::string::npos)
+      << r.status().ToString();
 }
 
 TEST(ParserTest, NegativeNumbersInList) {
