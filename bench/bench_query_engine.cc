@@ -1,13 +1,15 @@
-// Online query engine: seeker-shape QPS, serial vs morsel-parallel, and the
-// fused scan->aggregate fast path vs the generic pipeline. The SC/KW shape is
-// the hot path of every figure/table bench (union search alone fans out one
-// SC query per query-table column), so this harness tracks the single biggest
-// wall-clock lever in the repo — and doubles as a regression gate that
-// parallelism never changes a result.
+// Online query engine: seeker-shape QPS, serial vs morsel-parallel (shared
+// work-stealing pool), the fused scan->aggregate fast path vs the generic
+// pipeline, and a concurrent-QPS serving mode (M client threads replaying a
+// mixed seeker workload against one shared engine + pool). The SC/KW shape
+// is the hot path of every figure/table bench (union search alone fans out
+// one SC query per query-table column), so this harness tracks the single
+// biggest wall-clock lever in the repo — and doubles as a regression gate
+// that parallelism never changes a result.
 //
 // `--smoke` runs a 1-iteration pass on a small lake (wired into CI so the
-// parallel path is exercised on every PR); the summary and the
-// BENCH_query.json line are emitted either way.
+// parallel and serving paths are exercised on every PR); the summaries and
+// the BENCH_query.json / BENCH_serving.json lines are emitted either way.
 
 #include <benchmark/benchmark.h>
 
@@ -18,6 +20,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/scheduler.h"
 #include "common/str_util.h"
 #include "common/table_printer.h"
 #include "index/builder.h"
@@ -30,6 +33,19 @@ namespace {
 IndexBundle* g_col_bundle = nullptr;
 IndexBundle* g_row_bundle = nullptr;
 std::vector<std::string>* g_sc_values = nullptr;
+
+/// Work-stealing pool for a given parallelism (1 = serial); pools persist
+/// for the whole run so per-query numbers never include pool spin-up.
+Scheduler* PoolFor(int threads) {
+  static Scheduler pool2(2);
+  static Scheduler pool4(4);
+  switch (threads) {
+    case 1: return Scheduler::Serial();
+    case 2: return &pool2;
+    case 4: return &pool4;
+    default: return Scheduler::Default();
+  }
+}
 
 std::string ScSql(const std::vector<std::string>& values, int limit) {
   return "SELECT TableId, ColumnId, COUNT(DISTINCT CellValue) AS score "
@@ -71,7 +87,7 @@ void BM_ScSeekerShape(benchmark::State& state) {
   const IndexBundle* bundle = state.range(1) ? g_row_bundle : g_col_bundle;
   sql::Engine engine(bundle);
   sql::QueryOptions opts;
-  opts.num_threads = static_cast<int>(state.range(0));
+  opts.scheduler = PoolFor(static_cast<int>(state.range(0)));
   opts.enable_fused_scan_agg = state.range(2) != 0;
   const std::string sqltext = ScSql(*g_sc_values, 100);
   for (auto _ : state) {
@@ -149,7 +165,7 @@ int main(int argc, char** argv) {
       double serial_seconds = 0;
       for (int threads : thread_counts) {
         sql::QueryOptions opts;
-        opts.num_threads = threads;
+        opts.scheduler = PoolFor(threads);
         auto res = engine.Query(*sqltext, opts);
         if (!res.ok()) {
           std::fprintf(stderr, "query failed: %s\n", res.status().ToString().c_str());
@@ -182,7 +198,7 @@ int main(int argc, char** argv) {
       // Generic (fused off) at 1 thread: isolates the operator fusion win
       // from the parallelism win.
       sql::QueryOptions generic;
-      generic.num_threads = 1;
+      generic.scheduler = Scheduler::Serial();
       generic.enable_fused_scan_agg = false;
       auto res = engine.Query(*sqltext, generic);
       if (res.ok() && ResultToString(res.value()) != reference) identical = false;
@@ -215,5 +231,81 @@ int main(int argc, char** argv) {
       sc_serial_seconds > 0 ? 1.0 / sc_serial_seconds : 0.0, sc_speedup_2t,
       sc_speedup_4t, kw_serial_seconds > 0 ? 1.0 / kw_serial_seconds : 0.0,
       fused_vs_generic, identical ? "true" : "false");
+
+  // -------------------------------------------------------------------------
+  // Concurrent-QPS serving mode: M client threads replay a mixed SC/KW
+  // workload against one shared engine and the shared default pool; every
+  // client helps drain its own query's morsel tasks. Each client's results
+  // are checked byte-identical against the serial reference.
+  // -------------------------------------------------------------------------
+  {
+    sql::Engine engine(g_col_bundle);  // engine pool = Scheduler::Default()
+    std::vector<std::string> mix;
+    Rng mix_rng(417);
+    for (int i = 0; i < (smoke ? 4 : 8); ++i) {
+      std::vector<std::string> vals =
+          bench::SampleDomainQuery(lake, smoke ? 12 : 48, &mix_rng);
+      mix.push_back(i % 2 == 0 ? ScSql(vals, 100) : KwSql(vals, 50));
+    }
+    sql::QueryOptions serial;
+    serial.scheduler = Scheduler::Serial();
+    std::vector<std::string> reference;
+    for (const auto& sqltext : mix) {
+      auto res = engine.Query(sqltext, serial);
+      if (!res.ok()) {
+        std::fprintf(stderr, "serving query failed: %s\n",
+                     res.status().ToString().c_str());
+        return 1;
+      }
+      reference.push_back(ResultToString(res.value()));
+    }
+
+    const int rounds = smoke ? 1 : 4;
+    bool serving_identical = true;
+    double qps_1 = 0, qps_4 = 0, qps_hw = 0;
+    std::vector<int> client_counts = {1, 2, 4};
+    if (hw > 4) client_counts.push_back(static_cast<int>(hw));
+    TablePrinter sp({"Clients", "Total queries", "Wall", "QPS"});
+    for (int clients : client_counts) {
+      std::vector<uint8_t> ok(static_cast<size_t>(clients), 1);
+      StopWatch sw;
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<size_t>(clients));
+      for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+          for (int r = 0; r < rounds; ++r) {
+            for (size_t q = 0; q < mix.size(); ++q) {
+              auto res = engine.Query(mix[q]);
+              if (!res.ok() || ResultToString(res.value()) != reference[q]) {
+                ok[static_cast<size_t>(c)] = 0;
+              }
+            }
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+      const double wall = sw.ElapsedSeconds();
+      const size_t total = static_cast<size_t>(clients) * mix.size() *
+                           static_cast<size_t>(rounds);
+      const double qps = wall > 0 ? static_cast<double>(total) / wall : 0;
+      for (uint8_t o : ok) serving_identical = serving_identical && o != 0;
+      sp.AddRow({std::to_string(clients), std::to_string(total),
+                 bench::FmtSeconds(wall), TablePrinter::Fmt(qps, 1)});
+      if (clients == 1) qps_1 = qps;
+      if (clients == 4) qps_4 = qps;
+      if (clients == client_counts.back()) qps_hw = qps;
+    }
+    std::printf("\n%s", sp.Render("Concurrent serving (shared engine + pool)").c_str());
+    std::printf("Serving results are %s across client counts.\n",
+                serving_identical ? "byte-identical" : "DIVERGENT (BUG)");
+    std::printf(
+        "BENCH_serving.json {\"bench\":\"serving\",\"smoke\":%s,"
+        "\"hw_threads\":%u,\"mix_size\":%zu,\"qps_1_client\":%.2f,"
+        "\"qps_4_clients\":%.2f,\"qps_max_clients\":%.2f,"
+        "\"identical_across_clients\":%s}\n",
+        smoke ? "true" : "false", hw, mix.size(), qps_1, qps_4, qps_hw,
+        serving_identical ? "true" : "false");
+    identical = identical && serving_identical;
+  }
   return identical ? 0 : 1;
 }

@@ -1,5 +1,7 @@
 #include "core/blend.h"
 
+#include <optional>
+
 #include "common/str_util.h"
 
 namespace blend::core {
@@ -7,21 +9,47 @@ namespace blend::core {
 Blend::Blend(const DataLake* lake, Options options)
     : options_(options),
       lake_(lake),
+      owned_scheduler_(options.scheduler == nullptr && options.query_threads != 0
+                           ? std::make_unique<Scheduler>(options.query_threads)
+                           : nullptr),
+      scheduler_(options.scheduler != nullptr
+                     ? options.scheduler
+                     : (owned_scheduler_ != nullptr ? owned_scheduler_.get()
+                                                    : Scheduler::Default())),
       bundle_(IndexBuilder(IndexBuildOptions{options.layout, options.shuffle_rows,
                                              options.shuffle_seed})
                   .Build(*lake)),
-      engine_(&bundle_),
+      engine_(&bundle_, scheduler_),
       stats_(&bundle_) {
   ctx_.lake = lake_;
   ctx_.bundle = &bundle_;
   ctx_.engine = &engine_;
   ctx_.stats = &stats_;
-  ctx_.query_options.num_threads = options.query_threads;
+  ctx_.query_options.scheduler = scheduler_;
+  ctx_.query_options.enable_fused_scan_agg = options.enable_fused_scan_agg;
+  ctx_.speculate_retries = options.speculate_seeker_retries;
 }
 
 Result<TableList> Blend::Run(const Plan& plan) const {
   BLEND_ASSIGN_OR_RETURN(auto report, RunReport(plan));
   return report.output;
+}
+
+Result<std::vector<TableList>> Blend::RunMany(std::span<const Plan> plans) const {
+  // One task per plan on the engine scheduler; nested submission lets each
+  // plan's own morsel-parallel queries fan out on the same pool without
+  // oversubscribing. Slots are task-indexed, so output order (and the
+  // selected error on failure) is independent of completion order.
+  std::vector<std::optional<Result<TableList>>> slots(plans.size());
+  scheduler_->ParallelFor(plans.size(),
+                          [&](size_t i) { slots[i] = Run(plans[i]); });
+  std::vector<TableList> outputs;
+  outputs.reserve(plans.size());
+  for (auto& slot : slots) {
+    BLEND_ASSIGN_OR_RETURN(auto out, std::move(*slot));
+    outputs.push_back(std::move(out));
+  }
+  return outputs;
 }
 
 Result<ExecutionReport> Blend::RunReport(const Plan& plan) const {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,16 @@ namespace blend::core {
 ///   Plan plan;
 ///   plan.Add("dep", std::make_shared<SCSeeker>(departments, 10));
 ///   auto tables = blend.Run(plan).ValueOrDie();
+///
+/// Concurrent serving: after construction (and an optional TrainCostModel),
+/// a Blend instance is shared-immutable, so any number of client threads may
+/// call Run/RunReport/RunMany on one instance concurrently. All queries
+/// share the engine-scoped work-stealing scheduler — a client thread helps
+/// execute its own query's morsel tasks, so pool sizing caps total CPU use,
+/// not the client count — and every result is byte-identical to a serial
+/// run of the same plan. (Individual Seeker instances record per-execution
+/// stats; share a Blend across threads, not a Plan, unless its seekers are
+/// stat-free.)
 class Blend {
  public:
   struct Options {
@@ -27,10 +38,20 @@ class Blend {
     /// Index rows in shuffled order (the BLEND(rand) correlation variant).
     bool shuffle_rows = false;
     uint64_t shuffle_seed = 17;
-    /// Worker threads for the online query engine (morsel-parallel scans,
-    /// joins, aggregation): 0 = one per hardware thread, 1 = serial. Results
-    /// are byte-identical for every setting.
+    /// Work-stealing pool for the online query engine (morsel-parallel
+    /// scans, joins, aggregation; owned by the caller, may be shared by
+    /// several Blend instances). When null, `query_threads` picks the pool:
+    /// 0 = the process-wide default pool (one worker per hardware thread),
+    /// N = a pool of N threads owned by this Blend (1 = serial). Results are
+    /// byte-identical for every setting.
+    Scheduler* scheduler = nullptr;
     int query_threads = 0;
+    /// Let seekers speculate widened-LIMIT retries as parallel tasks (see
+    /// DiscoveryContext::speculate_retries).
+    bool speculate_seeker_retries = true;
+    /// Fused scan->aggregate fast path for the SC/KW seeker shape;
+    /// switchable so ablations can compare against the generic pipeline.
+    bool enable_fused_scan_agg = true;
   };
 
   /// Builds the index for the lake (the offline phase, paper Fig. 2e). The
@@ -41,12 +62,19 @@ class Blend {
   /// Runs a plan and returns the sink's top-k tables.
   Result<TableList> Run(const Plan& plan) const;
 
+  /// Runs a batch of plans concurrently on the engine scheduler, returning
+  /// one TableList per plan in input order (byte-identical to running each
+  /// plan serially). On failure the error of the lowest-indexed failing plan
+  /// is returned, regardless of completion order.
+  Result<std::vector<TableList>> RunMany(std::span<const Plan> plans) const;
+
   /// Runs a plan and returns the full execution report (per-node outputs,
   /// timings, executed step order).
   Result<ExecutionReport> RunReport(const Plan& plan) const;
 
   /// Trains the learned cost model by sampling random inputs from the lake
-  /// (paper: offline, once per lake installation).
+  /// (paper: offline, once per lake installation). Not thread-safe against
+  /// concurrent Run* calls: train before serving.
   Status TrainCostModel(int samples_per_type = 40, uint64_t seed = 7);
 
   const DiscoveryContext& context() const { return ctx_; }
@@ -55,6 +83,7 @@ class Blend {
   const IndexStats& stats() const { return stats_; }
   const CostModel* cost_model() const { return model_ ? model_.get() : nullptr; }
   const Options& options() const { return options_; }
+  Scheduler* scheduler() const { return scheduler_; }
 
   /// Index storage footprint in bytes (for the Table VIII experiment).
   size_t IndexBytes() const { return bundle_.ApproxBytes(); }
@@ -62,6 +91,8 @@ class Blend {
  private:
   Options options_;
   const DataLake* lake_;
+  std::unique_ptr<Scheduler> owned_scheduler_;
+  Scheduler* scheduler_;
   IndexBundle bundle_;
   sql::Engine engine_;
   IndexStats stats_;

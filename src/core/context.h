@@ -10,13 +10,31 @@ namespace blend::core {
 /// Everything an operator needs at execution time: the lake (for MC exact
 /// validation), the unified index, the SQL engine hosting it, the token
 /// statistics used by the optimizer's cost model, and the execution knobs
-/// every seeker passes to Engine::Query (thread count, fused fast path).
+/// every seeker passes to Engine::Query (the work-stealing scheduler handle,
+/// fused fast path).
+///
+/// The context is shared-immutable during execution: many plans may run
+/// against one context concurrently (the serving layer's contract), so
+/// nothing here may be mutated by operators.
 struct DiscoveryContext {
   const DataLake* lake = nullptr;
   const IndexBundle* bundle = nullptr;
   const sql::Engine* engine = nullptr;
   const IndexStats* stats = nullptr;
   sql::QueryOptions query_options;
+  /// When the scheduler has spare parallelism, seekers speculate their
+  /// widened-LIMIT retry attempts as parallel tasks instead of retrying
+  /// serially (the selected attempt is deterministic either way).
+  bool speculate_retries = true;
 };
+
+/// Engine parallelism a query issued with `options` runs under (pool workers
+/// + the submitting thread); the execution-environment feature of the cost
+/// model.
+inline double QueryParallelism(const sql::QueryOptions& options) {
+  return options.scheduler != nullptr
+             ? static_cast<double>(options.scheduler->parallelism())
+             : 1.0;
+}
 
 }  // namespace blend::core

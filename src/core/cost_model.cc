@@ -9,61 +9,72 @@ namespace blend::core {
 
 namespace {
 
-/// Solves A x = b for a 4x4 system with Gaussian elimination (partial pivot).
-bool Solve4(double a[4][4], double b[4], double x[4]) {
-  int perm[4] = {0, 1, 2, 3};
-  for (int col = 0; col < 4; ++col) {
+constexpr int kDim = CostModel::kNumWeights;
+
+/// Solves A x = b for a kDim x kDim system with Gaussian elimination
+/// (partial pivot).
+bool SolveDense(double a[kDim][kDim], double b[kDim], double x[kDim]) {
+  int perm[kDim];
+  for (int i = 0; i < kDim; ++i) perm[i] = i;
+  for (int col = 0; col < kDim; ++col) {
     int pivot = col;
-    for (int r = col + 1; r < 4; ++r) {
+    for (int r = col + 1; r < kDim; ++r) {
       if (std::fabs(a[perm[r]][col]) > std::fabs(a[perm[pivot]][col])) pivot = r;
     }
     std::swap(perm[col], perm[pivot]);
     double p = a[perm[col]][col];
     if (std::fabs(p) < 1e-12) return false;
-    for (int r = col + 1; r < 4; ++r) {
+    for (int r = col + 1; r < kDim; ++r) {
       double f = a[perm[r]][col] / p;
-      for (int c = col; c < 4; ++c) a[perm[r]][c] -= f * a[perm[col]][c];
+      for (int c = col; c < kDim; ++c) a[perm[r]][c] -= f * a[perm[col]][c];
       b[perm[r]] -= f * b[perm[col]];
     }
   }
-  for (int col = 3; col >= 0; --col) {
+  for (int col = kDim - 1; col >= 0; --col) {
     double s = b[perm[col]];
-    for (int c = col + 1; c < 4; ++c) s -= a[perm[col]][c] * x[c];
+    for (int c = col + 1; c < kDim; ++c) s -= a[perm[col]][c] * x[c];
     x[col] = s / a[perm[col]][col];
   }
   return true;
 }
 
-void FeatureVector(const SeekerFeatures& f, double out[4]) {
+void FeatureVector(const SeekerFeatures& f, double out[kDim]) {
   out[0] = 1.0;
   out[1] = f.cardinality;
   out[2] = f.num_columns;
   out[3] = f.avg_frequency;
+  // Runtime scales roughly with serial-work / threads, so the reciprocal is
+  // the feature a linear model can use.
+  out[4] = 1.0 / std::max(1.0, f.parallelism);
 }
 
 }  // namespace
 
 void CostModel::Fit(Seeker::Type type, const std::vector<SeekerFeatures>& x,
                     const std::vector<double>& y) {
-  if (x.size() != y.size() || x.size() < 4) return;
-  double xtx[4][4] = {};
-  double xty[4] = {};
+  // Fewer samples than unknowns would leave the ridge-regularized system
+  // effectively rank-deficient yet still "trained"; keep the heuristic
+  // instead.
+  if (x.size() != y.size() || x.size() < static_cast<size_t>(kNumWeights)) return;
+  double xtx[kDim][kDim] = {};
+  double xty[kDim] = {};
   for (size_t i = 0; i < x.size(); ++i) {
-    double v[4];
+    double v[kDim];
     FeatureVector(x[i], v);
-    for (int r = 0; r < 4; ++r) {
-      for (int c = 0; c < 4; ++c) xtx[r][c] += v[r] * v[c];
+    for (int r = 0; r < kDim; ++r) {
+      for (int c = 0; c < kDim; ++c) xtx[r][c] += v[r] * v[c];
       xty[r] += v[r] * y[i];
     }
   }
   // Ridge regularization keeps the system well conditioned when a feature is
-  // constant across samples (e.g. num_columns for SC).
-  for (int r = 0; r < 4; ++r) xtx[r][r] += 1e-6;
+  // constant across samples (e.g. num_columns for SC, or 1/parallelism when
+  // every training run used the same pool).
+  for (int r = 0; r < kDim; ++r) xtx[r][r] += 1e-6;
 
   LinearModel& m = models_[static_cast<int>(type)];
-  double w[4];
-  if (Solve4(xtx, xty, w)) {
-    for (int i = 0; i < 4; ++i) m.w[i] = w[i];
+  double w[kDim];
+  if (SolveDense(xtx, xty, w)) {
+    for (int i = 0; i < kDim; ++i) m.w[i] = w[i];
     m.trained = true;
   }
 }
@@ -71,14 +82,16 @@ void CostModel::Fit(Seeker::Type type, const std::vector<SeekerFeatures>& x,
 double CostModel::Predict(Seeker::Type type, const SeekerFeatures& f) const {
   const LinearModel& m = models_[static_cast<int>(type)];
   if (!m.trained) {
-    // Untrained heuristic: work is proportional to the index entries touched.
+    // Untrained heuristic: work proportional to the index entries touched,
+    // divided across the pool (morsel parallelism is near-linear for the
+    // scan-dominated seeker shapes).
     return 1e-7 * f.cardinality * std::max(1.0, f.avg_frequency) *
-           std::max(1.0, f.num_columns);
+           std::max(1.0, f.num_columns) / std::max(1.0, f.parallelism);
   }
-  double v[4];
+  double v[kDim];
   FeatureVector(f, v);
   double p = 0;
-  for (int i = 0; i < 4; ++i) p += m.w[i] * v[i];
+  for (int i = 0; i < kDim; ++i) p += m.w[i] * v[i];
   return p;
 }
 
@@ -180,7 +193,11 @@ Result<CostModel> CostModelTrainer::Train(const DiscoveryContext& ctx) const {
       auto res = seeker->Execute(ctx, "");
       if (!res.ok()) continue;
       runtimes.push_back(sw.ElapsedSeconds());
-      features.push_back(seeker->ComputeFeatures(*ctx.stats));
+      // The measured runtime is whatever the context's scheduler delivered;
+      // stamping the parallelism keeps the sample self-describing.
+      SeekerFeatures f = seeker->ComputeFeatures(*ctx.stats);
+      f.parallelism = QueryParallelism(ctx.query_options);
+      features.push_back(f);
     }
     model.Fit(type, features, runtimes);
   }

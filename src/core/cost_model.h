@@ -9,12 +9,16 @@
 namespace blend::core {
 
 /// The learned part of BLEND's two-step operator ranking (paper §VII-B):
-/// one linear regression per seeker type over three features (cardinality of
-/// Q, number of columns, average value frequency), fit with ridge-regularized
+/// one linear regression per seeker type over four features (cardinality of
+/// Q, number of columns, average value frequency, and the inverse of the
+/// engine parallelism — runtimes shrink roughly with 1/threads, so the
+/// reciprocal is the linear-friendly encoding), fit with ridge-regularized
 /// normal equations. Falls back to a frequency heuristic until trained.
 class CostModel {
  public:
   static constexpr int kNumTypes = 4;
+  /// Intercept + cardinality + columns + frequency + 1/parallelism.
+  static constexpr int kNumWeights = 5;
 
   /// Fits the model for one seeker type from (features, runtime-seconds).
   void Fit(Seeker::Type type, const std::vector<SeekerFeatures>& x,
@@ -31,7 +35,7 @@ class CostModel {
  private:
   struct LinearModel {
     bool trained = false;
-    double w[4] = {0, 0, 0, 0};  // intercept, card, cols, freq
+    double w[kNumWeights] = {0, 0, 0, 0, 0};
   };
   LinearModel models_[kNumTypes];
 };

@@ -60,7 +60,7 @@ Result<ExecutionReport> PlanExecutor::Run(const Plan& plan, bool optimize) const
   ExecutionReport report;
 
   StopWatch opt_watch;
-  Optimizer optimizer(model_, ctx_->stats);
+  Optimizer optimizer(model_, ctx_->stats, QueryParallelism(ctx_->query_options));
   BLEND_ASSIGN_OR_RETURN(report.executed_plan, optimizer.Optimize(plan, optimize));
   report.optimize_seconds = opt_watch.ElapsedSeconds();
 

@@ -14,6 +14,7 @@ double Optimizer::PredictedCost(const Seeker& seeker) const {
     f.num_columns = 1;
     f.avg_frequency = 1;
   }
+  f.parallelism = parallelism_;
   if (model_ != nullptr) return model_->Predict(seeker.type(), f);
   static const CostModel kUntrained;
   return kUntrained.Predict(seeker.type(), f);
@@ -21,8 +22,8 @@ double Optimizer::PredictedCost(const Seeker& seeker) const {
 
 namespace {
 
-/// Emission state shared by the recursive scheduler.
-struct Scheduler {
+/// Emission state shared by the recursive step emitter.
+struct StepEmitter {
   const Plan* plan;
   const Optimizer* optimizer;
   std::unordered_set<std::string> emitted;
@@ -129,7 +130,7 @@ Result<ExecutionPlan> Optimizer::Optimize(const Plan& plan, bool enable) const {
     return out;
   }
 
-  Scheduler sched;
+  StepEmitter sched;
   sched.plan = &plan;
   sched.optimizer = this;
   // Drive emission from the sinks so combiners control the ordering and

@@ -39,9 +39,12 @@ struct ExecutionPlan {
 class Optimizer {
  public:
   /// `model` may be null (heuristic ranking only); `stats` is required for
-  /// feature computation.
-  Optimizer(const CostModel* model, const IndexStats* stats)
-      : model_(model), stats_(stats) {}
+  /// feature computation. `parallelism` is the engine parallelism the plan's
+  /// queries will execute under (see QueryParallelism); predictions are made
+  /// for that environment, not for serial execution.
+  Optimizer(const CostModel* model, const IndexStats* stats,
+            double parallelism = 1.0)
+      : model_(model), stats_(stats), parallelism_(parallelism) {}
 
   /// Produces the optimized step sequence. With `enable == false` (the
   /// paper's B-NO configuration) nodes run in insertion order without
@@ -55,6 +58,7 @@ class Optimizer {
  private:
   const CostModel* model_;
   const IndexStats* stats_;
+  double parallelism_;
 };
 
 }  // namespace blend::core

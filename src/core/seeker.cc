@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <functional>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
+#include "common/scheduler.h"
 #include "common/str_util.h"
 #include "common/xash.h"
 
@@ -28,12 +31,21 @@ std::vector<std::string> NormalizeDistinct(const std::vector<std::string>& raw) 
 
 /// Runs an adaptive top-k-tables query: the SQL groups at sub-table
 /// granularity (table+column), so the LIMIT is widened until k distinct
-/// tables are found or the result is exhausted.
+/// tables are found or the result is exhausted. At most three attempts ever
+/// run — the initial LIMIT, an 8x-widened LIMIT, and an exhaustive
+/// (LIMIT-less) query, which is terminal by construction, so there is no
+/// "did not converge" outcome. When the first attempt falls short, the two
+/// widened attempts are speculated as parallel tasks on the engine
+/// scheduler (they re-run the same scan anyway), and the first converged
+/// attempt in attempt order is selected — speculation changes latency,
+/// never bytes.
 Result<TableList> RunDedupTopK(const DiscoveryContext& ctx,
                                const std::function<std::string(int64_t)>& make_sql,
                                int k, size_t table_col, size_t score_col) {
-  int64_t fetch = k < 0 ? -1 : std::max<int64_t>(4LL * k, k + 16);
-  for (int attempt = 0; attempt < 8; ++attempt) {
+  /// One attempt's outcome: the deduplicated top-k tables plus whether this
+  /// attempt settles the query (k tables found, or the result exhausted).
+  using Attempt = std::pair<TableList, bool>;
+  auto run_attempt = [&](int64_t fetch) -> Result<Attempt> {
     BLEND_ASSIGN_OR_RETURN(auto res,
                            ctx.engine->Query(make_sql(fetch), ctx.query_options));
     TableList out;
@@ -45,10 +57,35 @@ Result<TableList> RunDedupTopK(const DiscoveryContext& ctx,
       if (k >= 0 && out.size() == static_cast<size_t>(k)) break;
     }
     const bool exhausted = fetch < 0 || res.NumRows() < static_cast<size_t>(fetch);
-    if (k < 0 || out.size() == static_cast<size_t>(k) || exhausted) return out;
-    fetch = attempt < 2 ? fetch * 8 : -1;
+    const bool converged =
+        k < 0 || out.size() == static_cast<size_t>(k) || exhausted;
+    return Attempt{std::move(out), converged};
+  };
+
+  const int64_t first_fetch = k < 0 ? -1 : std::max<int64_t>(4LL * k, k + 16);
+  BLEND_ASSIGN_OR_RETURN(auto first, run_attempt(first_fetch));
+  if (first.second) return std::move(first.first);
+
+  const int64_t widened[2] = {first_fetch * 8, -1};
+  std::optional<Result<Attempt>> slots[2];
+  Scheduler* sched = ctx.query_options.scheduler;
+  if (ctx.speculate_retries && sched != nullptr && sched->parallelism() > 1) {
+    sched->ParallelFor(2, [&](size_t i) { slots[i] = run_attempt(widened[i]); });
+  } else {
+    for (size_t i = 0; i < 2; ++i) {
+      slots[i] = run_attempt(widened[i]);
+      if (!slots[i]->ok() || slots[i]->value().second) break;
+    }
   }
-  return Status::Internal("RunDedupTopK did not converge");
+  // Deterministic selection: first error or first converged attempt, in
+  // attempt order — exactly what a serial widening loop would surface. The
+  // exhaustive attempt always converges, so the loop always returns.
+  for (auto& slot : slots) {
+    if (!slot.has_value()) continue;
+    BLEND_ASSIGN_OR_RETURN(auto attempt, std::move(*slot));
+    if (attempt.second) return std::move(attempt.first);
+  }
+  return Status::Internal("exhaustive attempt missing");  // unreachable
 }
 
 std::string LimitClause(int64_t fetch) {
@@ -198,7 +235,12 @@ bool AlignTuple(const std::vector<std::string>& row_cells,
 
 Result<TableList> MCSeeker::Execute(const DiscoveryContext& ctx,
                                     const std::string& rewrite) const {
-  last_stats_ = MCExecutionStats{};
+  // Stats accumulate in a local and publish in one assignment at the end, so
+  // an Execute never exposes half-updated counters (concurrent executions of
+  // the *same* MCSeeker instance still race on the final write; give each
+  // serving thread its own Plan when stats matter).
+  MCExecutionStats stats;
+  last_stats_ = stats;
   // Every tuple was dropped during normalization (empty cells): nothing can
   // align, and the generated `CellValue IN ()` would not even parse.
   if (tuples_.empty()) return TableList{};
@@ -222,7 +264,7 @@ Result<TableList> MCSeeker::Execute(const DiscoveryContext& ctx,
                    static_cast<uint32_t>(res.Int(r, 1));
     candidates.emplace(key, static_cast<uint64_t>(res.Int(r, 2)));
   }
-  last_stats_.candidate_rows = candidates.size();
+  stats.candidate_rows = candidates.size();
 
   // Query tuple super keys for the Bloom-filter stage.
   std::vector<uint64_t> tuple_hashes;
@@ -244,7 +286,7 @@ Result<TableList> MCSeeker::Execute(const DiscoveryContext& ctx,
       if (Xash::MayContain(super_key, tuple_hashes[i])) surviving.push_back(i);
     }
     if (surviving.empty()) continue;
-    ++last_stats_.bloom_pass_rows;
+    ++stats.bloom_pass_rows;
 
     // Phase 3: exact validation against the lake table. Guard before touching
     // the lake: a stale or corrupted index could carry a table id the lake
@@ -268,12 +310,13 @@ Result<TableList> MCSeeker::Execute(const DiscoveryContext& ctx,
       }
     }
     if (validated) {
-      ++last_stats_.true_positives;
+      ++stats.true_positives;
       table_scores[t] += 1.0;
     } else {
-      ++last_stats_.false_positives;
+      ++stats.false_positives;
     }
   }
+  last_stats_ = stats;
 
   TableList out;
   out.reserve(table_scores.size());

@@ -11,11 +11,17 @@ namespace blend::core {
 
 /// Cost-model features of a seeker input (paper §VII-B): cardinality of Q,
 /// number of columns in Q, and the average frequency of Q's values in the
-/// database (product of per-column averages for MC).
+/// database (product of per-column averages for MC), plus the engine
+/// parallelism the query would run under. Seekers compute the first three
+/// from the input and the stats; the execution-environment feature is
+/// stamped on by the trainer/optimizer, so predictions reflect parallel
+/// runtimes instead of being calibrated for serial execution only.
 struct SeekerFeatures {
   double cardinality = 0;
   double num_columns = 0;
   double avg_frequency = 0;
+  /// Scheduler parallelism (pool threads incl. the caller); 1 = serial.
+  double parallelism = 1;
 };
 
 /// A seeker: the atomic search operator of BLEND. Receives a set of columns Q

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <optional>
-#include <thread>
 #include <utility>
 
 #include "common/hashing.h"
 #include "common/rng.h"
+#include "common/scheduler.h"
 #include "common/str_util.h"
 #include "common/xash.h"
 
@@ -138,12 +138,11 @@ IndexBundle IndexBuilder::Build(const DataLake& lake) const {
   const auto num_tables = static_cast<TableId>(lake.NumTables());
   if (options_.shuffle_rows) bundle.row_maps_.resize(lake.NumTables());
 
-  const unsigned hw = std::thread::hardware_concurrency();
   // 0 = one per hardware thread; negative values clamp to serial rather than
-  // silently selecting maximum parallelism.
-  const size_t want = options_.num_threads > 0
-                          ? static_cast<size_t>(options_.num_threads)
-                          : (options_.num_threads < 0 ? 1 : (hw > 0 ? hw : 1));
+  // silently selecting maximum parallelism. The shard geometry is fixed by
+  // this knob alone, never by pool occupancy, so the build stays
+  // byte-identical no matter which workers run which shard.
+  const size_t want = ResolveThreads(options_.num_threads);
   const size_t num_shards =
       std::max<size_t>(1, std::min(want, lake.NumTables()));
 
@@ -152,20 +151,16 @@ IndexBundle IndexBuilder::Build(const DataLake& lake) const {
     IndexTableRange(lake, 0, num_tables, options_, &bundle.dict_, &records,
                     &bundle.row_maps_);
   } else {
-    // Shard-local outputs: each worker interns into its own dictionary so the
-    // hot intern path stays lock-free.
+    // Shards run as one task group on the process-wide pool (the offline
+    // counterpart of the query engine's morsel tasks); each worker interns
+    // into its own dictionary so the hot intern path stays lock-free.
     const auto ranges = ShardRanges(lake, num_shards);
     std::vector<Dictionary> dicts(ranges.size());
     std::vector<std::vector<IndexRecord>> shard_records(ranges.size());
-    std::vector<std::thread> workers;
-    workers.reserve(ranges.size());
-    for (size_t s = 0; s < ranges.size(); ++s) {
-      workers.emplace_back([&, s] {
-        IndexTableRange(lake, ranges[s].first, ranges[s].second, options_,
-                        &dicts[s], &shard_records[s], &bundle.row_maps_);
-      });
-    }
-    for (auto& w : workers) w.join();
+    Scheduler::Default()->ParallelFor(ranges.size(), [&](size_t s) {
+      IndexTableRange(lake, ranges[s].first, ranges[s].second, options_,
+                      &dicts[s], &shard_records[s], &bundle.row_maps_);
+    });
 
     // Deterministic merge. Shards cover ascending table ranges and each local
     // dictionary lists values in first-appearance order, so interning shard by

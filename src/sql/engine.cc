@@ -11,12 +11,14 @@ Result<QueryResult> Engine::Query(const std::string& sql) const {
 Result<QueryResult> Engine::Query(const std::string& sql,
                                   const QueryOptions& options) const {
   BLEND_ASSIGN_OR_RETURN(auto stmt, Parse(sql));
+  QueryOptions effective = options;
+  if (effective.scheduler == nullptr) effective.scheduler = scheduler_;
   if (bundle_->layout() == StoreLayout::kRow) {
     return ExecuteSelect(*stmt, bundle_->row_store(), bundle_->dictionary(),
-                         options);
+                         effective);
   }
   return ExecuteSelect(*stmt, bundle_->column_store(), bundle_->dictionary(),
-                       options);
+                       effective);
 }
 
 }  // namespace blend::sql

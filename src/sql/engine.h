@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "common/scheduler.h"
 #include "index/builder.h"
 #include "sql/executor.h"
 
@@ -11,25 +12,40 @@ namespace blend::sql {
 /// compiled to SQL text, sent here, and executed against the bundle's
 /// physical store (row or column layout) — BLEND's "push the operators down
 /// to the database" design.
+///
+/// Thread-safe: the engine is shared-immutable (it only reads the bundle),
+/// so any number of threads may call Query concurrently on one instance.
+/// Concurrent queries share the engine-scoped work-stealing pool — each
+/// caller helps drain its own query's morsel tasks — and every result is
+/// byte-identical to a serial run.
 class Engine {
  public:
-  explicit Engine(const IndexBundle* bundle) : bundle_(bundle) {}
+  /// `scheduler` is the engine-scoped pool for morsel-parallel execution;
+  /// null selects the process-wide default pool (one worker per hardware
+  /// thread). The bundle and the scheduler must outlive this object.
+  explicit Engine(const IndexBundle* bundle, Scheduler* scheduler = nullptr)
+      : bundle_(bundle),
+        scheduler_(scheduler != nullptr ? scheduler : Scheduler::Default()) {}
 
   /// Parses and executes one SELECT statement with default QueryOptions
-  /// (morsel-parallel over one worker per hardware thread).
+  /// (morsel-parallel on the engine pool).
   Result<QueryResult> Query(const std::string& sql) const;
 
   /// Parses and executes one SELECT statement with explicit execution knobs.
-  /// Results are byte-identical for every num_threads setting and with the
-  /// fused fast path on or off.
+  /// A null options.scheduler is replaced by the engine pool; pass
+  /// Scheduler::Serial() to force serial execution. Results are
+  /// byte-identical for every pool size and with the fused fast path on or
+  /// off.
   Result<QueryResult> Query(const std::string& sql,
                             const QueryOptions& options) const;
 
   const IndexBundle& bundle() const { return *bundle_; }
   const Dictionary& dictionary() const { return bundle_->dictionary(); }
+  Scheduler* scheduler() const { return scheduler_; }
 
  private:
   const IndexBundle* bundle_;
+  Scheduler* scheduler_;
 };
 
 }  // namespace blend::sql

@@ -6,7 +6,7 @@
 #include <optional>
 #include <unordered_map>
 
-#include "common/parallel.h"
+#include "common/scheduler.h"
 #include "common/str_util.h"
 #include "sql/planner.h"
 
@@ -15,10 +15,10 @@ namespace blend::sql {
 namespace {
 
 // ---------------------------------------------------------------------------
-// Morsel geometry. Constants, not functions of the thread count: the work
+// Morsel geometry. Constants, not functions of the pool size: the work
 // decomposition (and therefore every merge order, including floating-point
 // summation order) depends only on input sizes, which is what makes results
-// byte-identical for every QueryOptions::num_threads setting.
+// byte-identical for every QueryOptions::scheduler setting.
 // ---------------------------------------------------------------------------
 
 /// Records per scan/probe morsel.
@@ -31,6 +31,19 @@ constexpr size_t kMergePartitions = 16;
 // ---------------------------------------------------------------------------
 // Helpers shared by the pipeline stages.
 // ---------------------------------------------------------------------------
+
+/// Runs fn(t) for every t in [0, num_tasks) as a task group on the query's
+/// scheduler; a null scheduler is the serial configuration and runs inline.
+/// Each ParallelFor-era call site keeps its determinism contract unchanged:
+/// tasks write only task-indexed slots, merges happen in fixed order.
+template <typename Fn>
+void RunTasks(Scheduler* sched, size_t num_tasks, const Fn& fn) {
+  if (sched == nullptr) {
+    for (size_t t = 0; t < num_tasks; ++t) fn(t);
+    return;
+  }
+  sched->ParallelFor(num_tasks, fn);
+}
 
 Binder::RelColumns AllFields(const std::string& alias) {
   Binder::RelColumns rc;
@@ -216,7 +229,7 @@ std::vector<CellId> ResolveCellIds(const Expr& cell_in, const Dictionary& dict) 
 
 template <typename Store>
 Result<std::vector<RecordPos>> ScanRel(const AnalyzedRel& rel, const Store& store,
-                                       const Dictionary& dict, size_t threads) {
+                                       const Dictionary& dict, Scheduler* sched) {
   const ScanSpec spec = ClassifyScan(rel.scan_pred);
 
   // Bind residual predicates once; evaluation is read-only and thread-safe.
@@ -283,14 +296,14 @@ Result<std::vector<RecordPos>> ScanRel(const AnalyzedRel& rel, const Store& stor
   // Filter each morsel into its own buffer, then concatenate in morsel order:
   // the output position sequence is identical to a serial scan no matter
   // which worker ran which morsel. Posting-list morsels can be numerous but
-  // tiny (one per short list), so the worker count scales with the total
-  // record count rather than the morsel count — small scans stay inline.
+  // tiny (one per short list), so the fan-out decision keys on the total
+  // record count rather than the morsel count — small scans stay inline
+  // instead of paying the pool's enqueue/wakeup cost.
   size_t total_records = 0;
   for (const ScanMorsel& mo : morsels) total_records += mo.end - mo.begin;
-  const size_t scan_workers =
-      std::min(threads, std::max<size_t>(1, total_records / kScanMorselRecords));
+  Scheduler* scan_sched = total_records > kScanMorselRecords ? sched : nullptr;
   std::vector<std::vector<RecordPos>> parts(morsels.size());
-  ParallelFor(morsels.size(), scan_workers, [&](size_t m) {
+  RunTasks(scan_sched, morsels.size(), [&](size_t m) {
     const ScanMorsel& mo = morsels[m];
     std::vector<RecordPos>& out = parts[m];
     if (mo.list != nullptr) {
@@ -358,7 +371,7 @@ Result<std::vector<RowCtx>> HashJoinStep(const Store& store,
                                          const std::vector<RowCtx>& rows,
                                          const std::vector<RecordPos>& scan,
                                          const StepKeys& keys, uint8_t step_side,
-                                         size_t threads) {
+                                         Scheduler* sched) {
   auto left_hash = [&](const RowCtx& ctx, bool* has_null) {
     uint64_t h = 0x243F6A8885A308D3ULL;
     *has_null = false;
@@ -413,7 +426,7 @@ Result<std::vector<RowCtx>> HashJoinStep(const Store& store,
     std::vector<uint8_t> nulls(scan.size());
     const size_t build_chunks =
         (scan.size() + kScanMorselRecords - 1) / kScanMorselRecords;
-    ParallelFor(build_chunks, threads, [&](size_t c) {
+    RunTasks(sched, build_chunks, [&](size_t c) {
       const size_t b = c * kScanMorselRecords;
       const size_t e = std::min(scan.size(), b + kScanMorselRecords);
       for (size_t i = b; i < e; ++i) {
@@ -429,7 +442,7 @@ Result<std::vector<RowCtx>> HashJoinStep(const Store& store,
     }
     const size_t probe_chunks = (rows.size() + num_chunks_of - 1) / num_chunks_of;
     std::vector<std::vector<RowCtx>> parts(probe_chunks);
-    ParallelFor(probe_chunks, threads, [&](size_t c) {
+    RunTasks(sched, probe_chunks, [&](size_t c) {
       const size_t b = c * num_chunks_of;
       const size_t e = std::min(rows.size(), b + num_chunks_of);
       for (size_t i = b; i < e; ++i) {
@@ -451,7 +464,7 @@ Result<std::vector<RowCtx>> HashJoinStep(const Store& store,
   std::vector<uint8_t> nulls(rows.size());
   const size_t build_chunks =
       (rows.size() + kScanMorselRecords - 1) / kScanMorselRecords;
-  ParallelFor(build_chunks, threads, [&](size_t c) {
+  RunTasks(sched, build_chunks, [&](size_t c) {
     const size_t b = c * kScanMorselRecords;
     const size_t e = std::min(rows.size(), b + kScanMorselRecords);
     for (size_t i = b; i < e; ++i) {
@@ -467,7 +480,7 @@ Result<std::vector<RowCtx>> HashJoinStep(const Store& store,
   }
   const size_t probe_chunks = (scan.size() + num_chunks_of - 1) / num_chunks_of;
   std::vector<std::vector<RowCtx>> parts(probe_chunks);
-  ParallelFor(probe_chunks, threads, [&](size_t c) {
+  RunTasks(sched, probe_chunks, [&](size_t c) {
     const size_t b = c * num_chunks_of;
     const size_t e = std::min(scan.size(), b + num_chunks_of);
     for (size_t i = b; i < e; ++i) {
@@ -624,7 +637,7 @@ std::optional<QueryResult> TryFusedScanAgg(const AnalyzedQuery& q,
                                            const SelectStmt& stmt,
                                            const Store& store,
                                            const Dictionary& dict,
-                                           size_t threads) {
+                                           Scheduler* sched) {
   if (q.rels.size() != 1 || !q.join_ons.empty() || q.residual_where != nullptr) {
     return std::nullopt;
   }
@@ -743,7 +756,7 @@ std::optional<QueryResult> TryFusedScanAgg(const AnalyzedQuery& q,
     CellId last_cell;  // per-posting-list dedup marker
   };
   std::vector<std::vector<FusedGroup>> parts(morsels.size());
-  ParallelFor(morsels.size(), threads, [&](size_t m) {
+  RunTasks(sched, morsels.size(), [&](size_t m) {
     std::unordered_map<uint64_t, uint32_t> index;
     std::vector<FusedGroup>& groups_m = parts[m];
     for (size_t ci = morsels[m].begin; ci < morsels[m].end; ++ci) {
@@ -818,11 +831,11 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
                                   const Dictionary& dict,
                                   const QueryOptions& options) {
   BLEND_ASSIGN_OR_RETURN(AnalyzedQuery q, Analyze(stmt));
-  const size_t threads = ResolveThreads(options.num_threads);
+  Scheduler* sched = options.scheduler;
 
   // Fused fast path for the dominant seeker shape.
   if (options.enable_fused_scan_agg) {
-    if (auto fused = TryFusedScanAgg(q, stmt, store, dict, threads)) {
+    if (auto fused = TryFusedScanAgg(q, stmt, store, dict, sched)) {
       return std::move(*fused);
     }
   }
@@ -830,7 +843,7 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
   // 1. Scans.
   std::vector<std::vector<RecordPos>> scans;
   for (const auto& rel : q.rels) {
-    BLEND_ASSIGN_OR_RETURN(auto positions, ScanRel(rel, store, dict, threads));
+    BLEND_ASSIGN_OR_RETURN(auto positions, ScanRel(rel, store, dict, sched));
     scans.push_back(std::move(positions));
   }
 
@@ -852,21 +865,30 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
     BLEND_ASSIGN_OR_RETURN(StepKeys keys,
                            ExtractStepKeys(q.join_ons[j], binder, step_side));
     BLEND_ASSIGN_OR_RETURN(rows, HashJoinStep(store, rows, scans[step_side], keys,
-                                              step_side, threads));
+                                              step_side, sched));
   }
 
-  // 3. Residual WHERE.
+  // 3. Residual WHERE, chunk-parallel: per-chunk surviving-row buffers
+  // concatenated in chunk order keep the row stream identical to a serial
+  // filter loop.
   if (q.residual_where != nullptr) {
     BLEND_ASSIGN_OR_RETURN(auto pred, binder.BindRowExpr(*q.residual_where));
-    std::vector<RowCtx> kept;
-    kept.reserve(rows.size());
-    for (const RowCtx& ctx : rows) {
-      SqlValue v = EvalExpr(*pred, [&](const BoundExpr& b) {
-        return FieldValue(store, b.field, ctx.pos[b.side]);
-      });
-      if (v.IsTruthy()) kept.push_back(ctx);
-    }
-    rows = std::move(kept);
+    const size_t n = rows.size();
+    const size_t num_chunks = (n + kAggChunkRows - 1) / kAggChunkRows;
+    std::vector<std::vector<RowCtx>> parts(num_chunks);
+    RunTasks(sched, num_chunks, [&](size_t c) {
+      const size_t b = c * kAggChunkRows;
+      const size_t e = std::min(n, b + kAggChunkRows);
+      std::vector<RowCtx>& kept = parts[c];
+      for (size_t i = b; i < e; ++i) {
+        const RowCtx& ctx = rows[i];
+        SqlValue v = EvalExpr(*pred, [&](const BoundExpr& bx) {
+          return FieldValue(store, bx.field, ctx.pos[bx.side]);
+        });
+        if (v.IsTruthy()) kept.push_back(ctx);
+      }
+    });
+    rows = ConcatParts(std::move(parts));
   }
 
   // 4. Select list preparation.
@@ -952,7 +974,7 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
     const size_t num_chunks = (n + kAggChunkRows - 1) / kAggChunkRows;
     std::vector<std::vector<std::vector<SqlValue>>> row_parts(num_chunks);
     std::vector<std::vector<std::vector<SqlValue>>> sort_parts(num_chunks);
-    ParallelFor(num_chunks, threads, [&](size_t c) {
+    RunTasks(sched, num_chunks, [&](size_t c) {
       const size_t b = c * kAggChunkRows;
       const size_t e = std::min(n, b + kAggChunkRows);
       row_parts[c].reserve(e - b);
@@ -1077,7 +1099,7 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
     const size_t num_chunks = (n + kAggChunkRows - 1) / kAggChunkRows;
     std::vector<std::vector<LocalGroup>> chunk_groups(num_chunks);
     std::vector<uint8_t> overflowed(num_chunks, 0);
-    ParallelFor(num_chunks, threads, [&](size_t c) {
+    RunTasks(sched, num_chunks, [&](size_t c) {
       const size_t b = c * kAggChunkRows;
       const size_t e = std::min(n, b + kAggChunkRows);
       std::unordered_map<uint64_t, uint32_t> index;
@@ -1122,7 +1144,7 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
     if (!any_overflow) {
       fast_done = true;
       std::vector<std::vector<LocalGroup>> part_groups(kMergePartitions);
-      ParallelFor(kMergePartitions, threads, [&](size_t part) {
+      RunTasks(sched, kMergePartitions, [&](size_t part) {
         std::unordered_map<uint64_t, uint32_t> part_index;
         std::vector<LocalGroup>& merged = part_groups[part];
         for (size_t c = 0; c < num_chunks; ++c) {
@@ -1158,33 +1180,105 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
   }
 
   if (!fast_done) {
-    std::unordered_map<uint64_t, std::vector<uint32_t>> group_index;
-    for (const RowCtx& ctx : rows) {
-      auto leaf = row_leaf(ctx);
-      std::vector<SqlValue> key;
-      key.reserve(key_exprs.size());
-      uint64_t h = 0x13198A2E03707344ULL;
-      for (const auto& ke : key_exprs) {
-        key.push_back(EvalExpr(*ke, leaf));
-        h = HashCombine(h, key.back().Hash());
-      }
-      uint32_t gi = UINT32_MAX;
-      auto& bucket = group_index[h];
-      for (uint32_t cand : bucket) {
-        if (groups[cand].keys == key) {
-          gi = cand;
-          break;
+    // Generic aggregation (non-packable keys, GROUP BY-less global
+    // aggregates, or a packed-width overflow): the same chunk-local +
+    // radix-partitioned merge scheme as the packed fast path, with arbitrary
+    // SqlValue key vectors matched by hash then equality. Chunks and merge
+    // order depend only on the row count, and the final sort on each group's
+    // first global row index restores first-appearance order, so the result
+    // is byte-identical for every pool size.
+    struct GenGroup {
+      uint64_t hash;
+      size_t first;
+      std::vector<SqlValue> keys;
+      std::vector<AggState> states;
+    };
+    const size_t n = rows.size();
+    const size_t num_chunks = (n + kAggChunkRows - 1) / kAggChunkRows;
+    std::vector<std::vector<GenGroup>> chunk_groups(num_chunks);
+    RunTasks(sched, num_chunks, [&](size_t c) {
+      const size_t b = c * kAggChunkRows;
+      const size_t e = std::min(n, b + kAggChunkRows);
+      std::unordered_map<uint64_t, std::vector<uint32_t>> index;
+      std::vector<GenGroup>& groups_c = chunk_groups[c];
+      for (size_t r = b; r < e; ++r) {
+        const RowCtx& ctx = rows[r];
+        auto leaf = row_leaf(ctx);
+        std::vector<SqlValue> key;
+        key.reserve(key_exprs.size());
+        uint64_t h = 0x13198A2E03707344ULL;
+        for (const auto& ke : key_exprs) {
+          key.push_back(EvalExpr(*ke, leaf));
+          h = HashCombine(h, key.back().Hash());
         }
+        uint32_t gi = UINT32_MAX;
+        auto& bucket = index[h];
+        for (uint32_t cand : bucket) {
+          if (groups_c[cand].keys == key) {
+            gi = cand;
+            break;
+          }
+        }
+        if (gi == UINT32_MAX) {
+          gi = static_cast<uint32_t>(groups_c.size());
+          GenGroup g;
+          g.hash = h;
+          g.first = r;
+          g.keys = std::move(key);
+          g.states.resize(aggs.size());
+          groups_c.push_back(std::move(g));
+          bucket.push_back(gi);
+        }
+        update_states(groups_c[gi].states, ctx);
       }
-      if (gi == UINT32_MAX) {
-        gi = static_cast<uint32_t>(groups.size());
-        Group g;
-        g.keys = std::move(key);
-        g.states.resize(aggs.size());
-        groups.push_back(std::move(g));
-        bucket.push_back(gi);
+    });
+    if (num_chunks == 1) {
+      // Single chunk: already in first-appearance order; skip the merge.
+      groups.reserve(chunk_groups[0].size());
+      for (GenGroup& g : chunk_groups[0]) {
+        groups.push_back({std::move(g.keys), std::move(g.states)});
       }
-      update_states(groups[gi].states, ctx);
+    } else if (num_chunks > 1) {
+      // Merge with each worker owning a disjoint hash partition, folding
+      // chunks in ascending chunk order (the double-sum rounding order).
+      std::vector<std::vector<GenGroup>> part_groups(kMergePartitions);
+      RunTasks(sched, kMergePartitions, [&](size_t part) {
+        std::unordered_map<uint64_t, std::vector<uint32_t>> part_index;
+        std::vector<GenGroup>& merged = part_groups[part];
+        for (size_t c = 0; c < num_chunks; ++c) {
+          for (GenGroup& g : chunk_groups[c]) {
+            if ((Mix64(g.hash) & (kMergePartitions - 1)) != part) continue;
+            uint32_t gi = UINT32_MAX;
+            auto& bucket = part_index[g.hash];
+            for (uint32_t cand : bucket) {
+              if (merged[cand].keys == g.keys) {
+                gi = cand;
+                break;
+              }
+            }
+            if (gi == UINT32_MAX) {
+              bucket.push_back(static_cast<uint32_t>(merged.size()));
+              merged.push_back(std::move(g));
+              continue;
+            }
+            GenGroup& into = merged[gi];
+            into.first = std::min(into.first, g.first);
+            for (size_t a = 0; a < aggs.size(); ++a) {
+              MergeAggState(&into.states[a], &g.states[a]);
+            }
+          }
+        }
+      });
+      std::vector<GenGroup> all;
+      for (auto& pg : part_groups) {
+        for (auto& g : pg) all.push_back(std::move(g));
+      }
+      std::sort(all.begin(), all.end(),
+                [](const GenGroup& a, const GenGroup& b) { return a.first < b.first; });
+      groups.reserve(all.size());
+      for (auto& g : all) {
+        groups.push_back({std::move(g.keys), std::move(g.states)});
+      }
     }
   }
 

@@ -8,6 +8,10 @@
 #include "sql/expr_eval.h"
 #include "storage/dictionary.h"
 
+namespace blend {
+class Scheduler;
+}
+
 namespace blend::sql {
 
 /// Materialized query output. Cells are NULL / int64 / double; CellValue
@@ -24,12 +28,15 @@ struct QueryResult {
 
 /// Execution knobs threaded from Engine::Query down to the operators.
 struct QueryOptions {
-  /// Worker threads for morsel-parallel scans, joins, and aggregation. 0 means
-  /// "one per hardware thread"; 1 (and any negative value) forces serial
-  /// execution. The result is byte-identical — values and row order — for
-  /// every setting: morsel geometry depends only on input sizes, morsel
-  /// outputs are concatenated in morsel order, and merge order is fixed.
-  int num_threads = 0;
+  /// Work-stealing pool executing the morsel tasks of scans, joins, and
+  /// aggregation. nullptr means serial inline execution at this layer;
+  /// Engine::Query substitutes its engine-scoped pool for a null handle, so
+  /// pass Scheduler::Serial() to force a serial query through the engine.
+  /// The result is byte-identical — values and row order — for every pool
+  /// size (including serial) and any number of concurrent queries sharing
+  /// the pool: morsel geometry depends only on input sizes, morsel outputs
+  /// are concatenated in morsel order, and merge order is fixed.
+  Scheduler* scheduler = nullptr;
   /// Enables the fused scan->aggregate operator for the SC/KW seeker shape
   /// (COUNT(DISTINCT CellValue) grouped by TableId[, ColumnId] over a
   /// CellValue IN-list). Switchable so benches can report the fused-vs-generic

@@ -1,0 +1,175 @@
+#include "common/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace blend {
+namespace {
+
+TEST(ResolveThreadsTest, KnobSemantics) {
+  EXPECT_EQ(ResolveThreads(1), 1u);
+  EXPECT_EQ(ResolveThreads(-3), 1u);
+  EXPECT_EQ(ResolveThreads(6), 6u);
+  EXPECT_GE(ResolveThreads(0), 1u);
+}
+
+TEST(SchedulerTest, ZeroTasksIsANoOp) {
+  Scheduler pool(4);
+  bool ran = false;
+  pool.ParallelFor(0, [&](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(SchedulerTest, SingleTaskRunsInline) {
+  Scheduler pool(4);
+  size_t got = 99;
+  pool.ParallelFor(1, [&](size_t t) { got = t; });
+  EXPECT_EQ(got, 0u);
+}
+
+TEST(SchedulerTest, SerialPoolSpawnsNothingAndRunsInOrder) {
+  Scheduler pool(1);
+  EXPECT_EQ(pool.parallelism(), 1u);
+  std::vector<size_t> order;
+  pool.ParallelFor(5, [&](size_t t) { order.push_back(t); });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(SchedulerTest, EveryTaskRunsExactlyOnce) {
+  Scheduler pool(4);
+  EXPECT_EQ(pool.parallelism(), 4u);
+  constexpr size_t kTasks = 10000;
+  std::vector<std::atomic<int>> hits(kTasks);
+  pool.ParallelFor(kTasks, [&](size_t t) { hits[t].fetch_add(1); });
+  for (size_t t = 0; t < kTasks; ++t) {
+    ASSERT_EQ(hits[t].load(), 1) << "task " << t;
+  }
+}
+
+TEST(SchedulerTest, TaskIndexedSlotsAreDeterministic) {
+  // The determinism idiom the engine relies on: tasks write only their slot,
+  // so the assembled output is independent of scheduling.
+  Scheduler pool(0);
+  constexpr size_t kTasks = 2048;
+  std::vector<size_t> slots(kTasks, 0);
+  pool.ParallelFor(kTasks, [&](size_t t) { slots[t] = t * t; });
+  for (size_t t = 0; t < kTasks; ++t) ASSERT_EQ(slots[t], t * t);
+}
+
+TEST(SchedulerTest, NestedSubmissionDoesNotDeadlock) {
+  Scheduler pool(4);
+  constexpr size_t kOuter = 16;
+  constexpr size_t kInner = 64;
+  std::vector<std::vector<int>> matrix(kOuter, std::vector<int>(kInner, 0));
+  pool.ParallelFor(kOuter, [&](size_t o) {
+    pool.ParallelFor(kInner, [&](size_t i) { matrix[o][i] = static_cast<int>(o + i); });
+  });
+  for (size_t o = 0; o < kOuter; ++o) {
+    for (size_t i = 0; i < kInner; ++i) {
+      ASSERT_EQ(matrix[o][i], static_cast<int>(o + i));
+    }
+  }
+}
+
+TEST(SchedulerTest, DeeplyNestedSubmission) {
+  Scheduler pool(3);
+  std::atomic<int> leaves{0};
+  pool.ParallelFor(4, [&](size_t) {
+    pool.ParallelFor(4, [&](size_t) {
+      pool.ParallelFor(4, [&](size_t) { leaves.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(leaves.load(), 64);
+}
+
+TEST(SchedulerTest, ExceptionPropagatesToSubmitter) {
+  Scheduler pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(256,
+                       [&](size_t t) {
+                         if (t == 137) throw std::runtime_error("boom 137");
+                       }),
+      std::runtime_error);
+}
+
+TEST(SchedulerTest, ExceptionFromNestedGroupPropagates) {
+  Scheduler pool(4);
+  EXPECT_THROW(pool.ParallelFor(8,
+                                [&](size_t o) {
+                                  pool.ParallelFor(8, [&](size_t i) {
+                                    if (o == 3 && i == 5) {
+                                      throw std::runtime_error("nested");
+                                    }
+                                  });
+                                }),
+               std::runtime_error);
+}
+
+TEST(SchedulerTest, PoolSurvivesAnExceptionAndKeepsWorking) {
+  Scheduler pool(4);
+  try {
+    pool.ParallelFor(64, [&](size_t) { throw std::runtime_error("x"); });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(100, [&](size_t t) { sum.fetch_add(t); });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(SchedulerTest, ManyExternalThreadsShareOnePool) {
+  Scheduler pool(4);
+  constexpr int kClients = 8;
+  constexpr size_t kTasks = 500;
+  std::vector<uint64_t> sums(kClients, 0);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int round = 0; round < 5; ++round) {
+        std::vector<uint64_t> slots(kTasks);
+        pool.ParallelFor(kTasks, [&](size_t t) { slots[t] = t + c; });
+        sums[c] = std::accumulate(slots.begin(), slots.end(), uint64_t{0});
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const uint64_t base = (kTasks - 1) * kTasks / 2;
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(sums[c], base + kTasks * static_cast<uint64_t>(c));
+  }
+}
+
+TEST(SchedulerTest, UnbalancedTasksFinish) {
+  // Work stealing must drain a skewed workload (one long task first).
+  Scheduler pool(4);
+  std::atomic<uint64_t> total{0};
+  pool.ParallelFor(64, [&](size_t t) {
+    uint64_t local = 0;
+    const uint64_t rounds = t == 0 ? 2000000 : 1000;
+    for (uint64_t i = 0; i < rounds; ++i) local += i % 7;
+    total.fetch_add(local == 0 ? 1 : 2);
+  });
+  EXPECT_EQ(total.load(), 128u);
+}
+
+TEST(SchedulerTest, DefaultAndSerialAreStable) {
+  EXPECT_EQ(Scheduler::Default(), Scheduler::Default());
+  EXPECT_EQ(Scheduler::Serial(), Scheduler::Serial());
+  EXPECT_EQ(Scheduler::Serial()->parallelism(), 1u);
+  EXPECT_GE(Scheduler::Default()->parallelism(), 1u);
+}
+
+TEST(ConcatPartsTest, ConcatenatesInTaskOrder) {
+  std::vector<std::vector<int>> parts = {{1, 2}, {}, {3}, {4, 5, 6}};
+  EXPECT_EQ(ConcatParts(std::move(parts)), (std::vector<int>{1, 2, 3, 4, 5, 6}));
+}
+
+}  // namespace
+}  // namespace blend

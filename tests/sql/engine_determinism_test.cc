@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <thread>
+#include <vector>
 
 #include "common/rng.h"
+#include "common/scheduler.h"
 #include "common/str_util.h"
 #include "index/builder.h"
 #include "lakegen/join_lake.h"
@@ -12,10 +14,22 @@
 namespace blend::sql {
 namespace {
 
+/// Shared work-stealing pools of the sizes the acceptance matrix calls for
+/// ({1, 2, 4, hardware}); function-local statics so every suite in this
+/// binary reuses the same worker threads.
+std::vector<Scheduler*> TestPools() {
+  static Scheduler pool2(2);
+  static Scheduler pool4(4);
+  std::vector<Scheduler*> pools = {Scheduler::Serial(), &pool2, &pool4};
+  if (std::thread::hardware_concurrency() > 4) pools.push_back(Scheduler::Default());
+  return pools;
+}
+
 /// Property suite for the engine's determinism contract: for representative
-/// seeker-shaped SQL, Query(sql, threads=N) must return rows byte-identical
-/// (values *and* order) to threads=1, for N in {2, 4, hardware}, on both
-/// physical layouts, and with the fused scan->aggregate path on or off.
+/// seeker-shaped SQL, Query over a pool of N threads must return rows
+/// byte-identical (values *and* order) to the serial run, for N in
+/// {2, 4, hardware}, on both physical layouts, and with the fused
+/// scan->aggregate path on or off.
 class EngineDeterminismTest : public ::testing::TestWithParam<uint64_t> {
  protected:
   EngineDeterminismTest() {
@@ -57,27 +71,24 @@ class EngineDeterminismTest : public ::testing::TestWithParam<uint64_t> {
     return out;
   }
 
-  /// Runs `sql` serially as the reference, then asserts every (threads,
-  /// fused) combination reproduces it exactly on both engines.
+  /// Runs `sql` serially as the reference, then asserts every (pool, fused)
+  /// combination reproduces it exactly on both engines.
   void ExpectDeterministic(const std::string& sql) {
-    const int hw = static_cast<int>(std::thread::hardware_concurrency());
-    std::vector<int> thread_counts = {1, 2, 4};
-    if (hw > 4) thread_counts.push_back(hw);
     for (Engine* engine : {row_engine_.get(), col_engine_.get()}) {
       QueryOptions serial;
-      serial.num_threads = 1;
+      serial.scheduler = Scheduler::Serial();
       auto ref = engine->Query(sql, serial);
       ASSERT_TRUE(ref.ok()) << ref.status().ToString() << "\n" << sql;
       const std::string want = ResultToString(ref.value());
-      for (int threads : thread_counts) {
+      for (Scheduler* pool : TestPools()) {
         for (bool fused : {true, false}) {
           QueryOptions opts;
-          opts.num_threads = threads;
+          opts.scheduler = pool;
           opts.enable_fused_scan_agg = fused;
           auto got = engine->Query(sql, opts);
           ASSERT_TRUE(got.ok()) << got.status().ToString() << "\n" << sql;
           EXPECT_EQ(want, ResultToString(got.value()))
-              << "threads=" << threads << " fused=" << fused << "\n"
+              << "pool=" << pool->parallelism() << " fused=" << fused << "\n"
               << sql;
         }
       }
@@ -175,6 +186,54 @@ TEST_P(EngineDeterminismTest, NonAggregateProjectionAndTableInScan) {
   ExpectDeterministic(
       "SELECT TableId, ColumnId, RowId FROM AllTables "
       "WHERE TableId IN (0, 3, 7, 11, 19) AND RowId < 40;");
+}
+
+TEST_P(EngineDeterminismTest, ConcurrentClientsShareOnePool) {
+  // The serving dimension of the determinism matrix: 8 client threads issue
+  // a mixed query workload against one shared engine and pool, every query
+  // morsel-parallel itself (nested submission). Every client must observe
+  // exactly the serial result.
+  Rng rng(GetParam() * 53 + 6);
+  std::vector<std::string> sqls;
+  for (int i = 0; i < 3; ++i) {
+    sqls.push_back(
+        "SELECT TableId, ColumnId, COUNT(DISTINCT CellValue) AS score "
+        "FROM AllTables WHERE CellValue IN (" +
+        RandomInList(&rng, 30) +
+        ") GROUP BY TableId, ColumnId ORDER BY score DESC LIMIT 25;");
+  }
+  sqls.push_back(
+      "SELECT TableId, COUNT(*), SUM(RowId), AVG(RowId * 1.5) FROM AllTables "
+      "GROUP BY TableId;");
+  for (Engine* engine : {row_engine_.get(), col_engine_.get()}) {
+    QueryOptions serial;
+    serial.scheduler = Scheduler::Serial();
+    std::vector<std::string> want;
+    for (const auto& sql : sqls) {
+      auto ref = engine->Query(sql, serial);
+      ASSERT_TRUE(ref.ok()) << ref.status().ToString() << "\n" << sql;
+      want.push_back(ResultToString(ref.value()));
+    }
+    constexpr int kClients = 8;
+    std::vector<std::vector<std::string>> got(kClients);
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (const auto& sql : sqls) {
+          auto res = engine->Query(sql);  // engine pool (default options)
+          got[c].push_back(res.ok() ? ResultToString(res.value())
+                                    : "ERROR: " + res.status().ToString());
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    for (int c = 0; c < kClients; ++c) {
+      for (size_t q = 0; q < sqls.size(); ++q) {
+        EXPECT_EQ(want[q], got[c][q]) << "client=" << c << "\n" << sqls[q];
+      }
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineDeterminismTest, ::testing::Values(1, 2, 3));
