@@ -1,12 +1,20 @@
 #include "core/blend.h"
 
+#include <algorithm>
 #include <optional>
 
 #include "common/str_util.h"
+#include "index/snapshot.h"
 
 namespace blend::core {
 
 Blend::Blend(const DataLake* lake, Options options)
+    : Blend(lake, options,
+            IndexBuilder(IndexBuildOptions{options.layout, options.shuffle_rows,
+                                           options.shuffle_seed})
+                .Build(*lake)) {}
+
+Blend::Blend(const DataLake* lake, Options options, IndexBundle bundle)
     : options_(options),
       lake_(lake),
       owned_scheduler_(options.scheduler == nullptr && options.query_threads != 0
@@ -16,11 +24,10 @@ Blend::Blend(const DataLake* lake, Options options)
                      ? options.scheduler
                      : (owned_scheduler_ != nullptr ? owned_scheduler_.get()
                                                     : Scheduler::Default())),
-      bundle_(IndexBuilder(IndexBuildOptions{options.layout, options.shuffle_rows,
-                                             options.shuffle_seed})
-                  .Build(*lake)),
+      bundle_(std::move(bundle)),
       engine_(&bundle_, scheduler_),
       stats_(&bundle_) {
+  options_.layout = bundle_.layout();
   ctx_.lake = lake_;
   ctx_.bundle = &bundle_;
   ctx_.engine = &engine_;
@@ -28,6 +35,73 @@ Blend::Blend(const DataLake* lake, Options options)
   ctx_.query_options.scheduler = scheduler_;
   ctx_.query_options.enable_fused_scan_agg = options.enable_fused_scan_agg;
   ctx_.speculate_retries = options.speculate_seeker_retries;
+}
+
+Status Blend::SaveSnapshot(const std::string& path) const {
+  SnapshotOptions opts;
+  opts.scheduler = scheduler_;
+  return WriteSnapshot(bundle_, path, opts);
+}
+
+Result<std::unique_ptr<Blend>> Blend::OpenSnapshot(const std::string& path,
+                                                   const DataLake* lake) {
+  return OpenSnapshot(path, lake, Options());
+}
+
+Result<std::unique_ptr<Blend>> Blend::OpenSnapshot(const std::string& path,
+                                                   const DataLake* lake,
+                                                   Options options) {
+  if (lake == nullptr) {
+    return Status::InvalidArgument(
+        "OpenSnapshot needs the lake the snapshot was built from (MC seekers "
+        "validate candidate rows against the raw tables)");
+  }
+  SnapshotOptions snap_opts;
+  snap_opts.scheduler = options.scheduler;
+  BLEND_ASSIGN_OR_RETURN(auto bundle, blend::OpenSnapshot(path, snap_opts));
+  // Mismatch guard: a stale or foreign artifact must fail here, not as an
+  // out-of-bounds lake read when a seeker validates candidate rows against
+  // the raw tables.
+  if (bundle.NumTables() != lake->NumTables()) {
+    return Status::InvalidArgument(
+        "snapshot does not match the lake: it indexes " +
+        std::to_string(bundle.NumTables()) + " tables, the lake has " +
+        std::to_string(lake->NumTables()));
+  }
+  // Chunked on the shared pool like the load path's other O(n) scans, so
+  // the guard does not erode the open-vs-rebuild speedup.
+  Scheduler* sched =
+      options.scheduler != nullptr ? options.scheduler : Scheduler::Default();
+  auto rows_in_lake = [&](const auto& store) {
+    constexpr size_t kChunk = 1 << 16;
+    const size_t n = store.NumRecords();
+    const size_t chunks = n == 0 ? 0 : (n - 1) / kChunk + 1;
+    std::vector<uint8_t> ok(chunks, 1);
+    sched->ParallelFor(chunks, [&](size_t c) {
+      const size_t end = std::min(n, (c + 1) * kChunk);
+      for (size_t i = c * kChunk; i < end; ++i) {
+        const TableId t = store.table(static_cast<RecordPos>(i));
+        const int32_t orig =
+            bundle.OriginalRow(t, store.row(static_cast<RecordPos>(i)));
+        if (orig < 0 || static_cast<size_t>(orig) >= lake->table(t).NumRows()) {
+          ok[c] = 0;
+          break;
+        }
+      }
+    });
+    return std::all_of(ok.begin(), ok.end(), [](uint8_t v) { return v != 0; });
+  };
+  const bool rows_ok = bundle.layout() == StoreLayout::kRow
+                           ? rows_in_lake(bundle.row_store())
+                           : rows_in_lake(bundle.column_store());
+  if (!rows_ok) {
+    return Status::InvalidArgument(
+        "snapshot does not match the lake: an indexed row maps outside its "
+        "lake table (stale snapshot for a regenerated lake?)");
+  }
+  // unique_ptr: the ctor wires ctx_/engine_/stats_ to member addresses, so a
+  // Blend must never move after construction.
+  return std::unique_ptr<Blend>(new Blend(lake, options, std::move(bundle)));
 }
 
 Result<TableList> Blend::Run(const Plan& plan) const {

@@ -59,6 +59,24 @@ class Blend {
   explicit Blend(const DataLake* lake) : Blend(lake, Options()) {}
   Blend(const DataLake* lake, Options options);
 
+  /// Persists the built index as a versioned snapshot file (see
+  /// index/snapshot.h), so other processes can OpenSnapshot instead of
+  /// re-indexing the lake.
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// Serves queries off a snapshot instead of rebuilding the index: the file
+  /// is mmapped and the store arrays are read zero-copy out of the mapping.
+  /// The lake is still required — MC seekers validate candidate rows against
+  /// the raw tables — and must be the lake the snapshot was built from.
+  /// `options.layout`, `shuffle_rows` and `shuffle_seed` are ignored: the
+  /// snapshot records what the builder used. Returns a pointer (not a value)
+  /// because a Blend pins internal cross-references and cannot be moved.
+  static Result<std::unique_ptr<Blend>> OpenSnapshot(const std::string& path,
+                                                     const DataLake* lake,
+                                                     Options options);
+  static Result<std::unique_ptr<Blend>> OpenSnapshot(const std::string& path,
+                                                     const DataLake* lake);
+
   /// Runs a plan and returns the sink's top-k tables.
   Result<TableList> Run(const Plan& plan) const;
 
@@ -89,6 +107,10 @@ class Blend {
   size_t IndexBytes() const { return bundle_.ApproxBytes(); }
 
  private:
+  /// Shared tail of the build and snapshot-load paths: adopts an already
+  /// materialized bundle.
+  Blend(const DataLake* lake, Options options, IndexBundle bundle);
+
   Options options_;
   const DataLake* lake_;
   std::unique_ptr<Scheduler> owned_scheduler_;

@@ -1,13 +1,17 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
+#include "common/array_ref.h"
 #include "storage/data_lake.h"
 #include "storage/dictionary.h"
 
 namespace blend {
+
+class SnapshotCodec;
 
 /// Quadrant value for non-numeric cells (SQL NULL in the paper's Fig. 3).
 constexpr int8_t kQuadrantNull = -1;
@@ -29,26 +33,47 @@ struct IndexRecord {
 using RecordPos = uint32_t;
 
 /// Secondary structures both physical layouts share: the in-database hash
-/// index on CellValue (postings of physical positions) and the clustered
-/// index on TableId (contiguous ranges, since records are emitted
-/// table-ordered).
+/// index on CellValue (postings of physical positions, stored as one
+/// flattened CSR so a snapshot can serve the whole index from two fixed-width
+/// arrays) and the clustered index on TableId (contiguous [begin, end) pairs
+/// flattened the same way, since records are emitted table-ordered).
 struct SecondaryIndexes {
-  /// postings[cell_id] = positions of records with that cell, ascending.
-  std::vector<std::vector<RecordPos>> postings;
-  /// table_ranges[table_id] = [begin, end) physical range.
-  std::vector<std::pair<RecordPos, RecordPos>> table_ranges;
+  /// CSR offsets: cell id's postings are positions
+  /// [posting_offsets[id], posting_offsets[id + 1]). Size num_cells + 1.
+  PodArray<uint64_t> posting_offsets;
+  /// All posting lists back to back, each ascending.
+  PodArray<RecordPos> posting_positions;
+  /// table_ranges[2 * t] / [2 * t + 1] = the [begin, end) physical range of
+  /// table t.
+  PodArray<RecordPos> table_ranges;
   /// Positions of records with a non-NULL Quadrant, ascending: the partial
   /// index on the Quadrant column that serves the correlation seeker's
   /// `Quadrant IS NOT NULL` scan.
-  std::vector<RecordPos> quadrant_positions;
+  PodArray<RecordPos> quadrant_positions;
 
-  void Build(const std::vector<IndexRecord>& records, size_t num_cells,
+  void Build(std::span<const IndexRecord> records, size_t num_cells,
              size_t num_tables);
+
+  std::span<const RecordPos> Postings(CellId id) const {
+    const size_t i = static_cast<size_t>(id);
+    if (i + 1 >= posting_offsets.size()) return {};
+    return {posting_positions.data() + posting_offsets[i],
+            static_cast<size_t>(posting_offsets[i + 1] - posting_offsets[i])};
+  }
+  /// Empty range for any id outside the indexed lake: callers combine ids
+  /// from user input, and a bad table id must read as "no records", not out
+  /// of bounds.
+  std::pair<RecordPos, RecordPos> TableRange(TableId id) const {
+    const auto i = static_cast<size_t>(id);
+    if (id < 0 || 2 * i + 1 >= table_ranges.size()) return {0, 0};
+    return {table_ranges[2 * i], table_ranges[2 * i + 1]};
+  }
+  size_t NumTables() const { return table_ranges.size() / 2; }
   size_t ApproxBytes() const;
 };
 
 /// AoS physical layout: PostgreSQL-style row store. Every field access pulls
-/// the whole 24-byte record through the cache.
+/// the whole record through the cache.
 class RowStore {
  public:
   static constexpr bool kIsColumnStore = false;
@@ -63,25 +88,26 @@ class RowStore {
   uint64_t super_key(RecordPos i) const { return records_[i].super_key; }
   int8_t quadrant(RecordPos i) const { return records_[i].quadrant; }
 
-  const std::vector<RecordPos>& Postings(CellId id) const {
-    return id < secondary_.postings.size() ? secondary_.postings[id] : empty_;
+  std::span<const RecordPos> Postings(CellId id) const {
+    return secondary_.Postings(id);
   }
   std::pair<RecordPos, RecordPos> TableRange(TableId id) const {
-    return secondary_.table_ranges[static_cast<size_t>(id)];
+    return secondary_.TableRange(id);
   }
-  const std::vector<RecordPos>& QuadrantPositions() const {
-    return secondary_.quadrant_positions;
+  std::span<const RecordPos> QuadrantPositions() const {
+    return secondary_.quadrant_positions.span();
   }
-  size_t NumTables() const { return secondary_.table_ranges.size(); }
+  size_t NumTables() const { return secondary_.NumTables(); }
 
   size_t ApproxBytes() const {
     return records_.size() * sizeof(IndexRecord) + secondary_.ApproxBytes();
   }
 
  private:
-  std::vector<IndexRecord> records_;
+  friend class SnapshotCodec;
+
+  PodArray<IndexRecord> records_;
   SecondaryIndexes secondary_;
-  std::vector<RecordPos> empty_;
 };
 
 /// SoA physical layout: column store. A scan that needs only TableId and
@@ -100,16 +126,16 @@ class ColumnStore {
   uint64_t super_key(RecordPos i) const { return super_keys_[i]; }
   int8_t quadrant(RecordPos i) const { return quadrants_[i]; }
 
-  const std::vector<RecordPos>& Postings(CellId id) const {
-    return id < secondary_.postings.size() ? secondary_.postings[id] : empty_;
+  std::span<const RecordPos> Postings(CellId id) const {
+    return secondary_.Postings(id);
   }
   std::pair<RecordPos, RecordPos> TableRange(TableId id) const {
-    return secondary_.table_ranges[static_cast<size_t>(id)];
+    return secondary_.TableRange(id);
   }
-  const std::vector<RecordPos>& QuadrantPositions() const {
-    return secondary_.quadrant_positions;
+  std::span<const RecordPos> QuadrantPositions() const {
+    return secondary_.quadrant_positions.span();
   }
-  size_t NumTables() const { return secondary_.table_ranges.size(); }
+  size_t NumTables() const { return secondary_.NumTables(); }
 
   size_t ApproxBytes() const {
     return cells_.size() * (sizeof(CellId) + sizeof(TableId) + 2 * sizeof(int32_t) +
@@ -118,14 +144,15 @@ class ColumnStore {
   }
 
  private:
-  std::vector<CellId> cells_;
-  std::vector<TableId> tables_;
-  std::vector<int32_t> columns_;
-  std::vector<int32_t> rows_;
-  std::vector<uint64_t> super_keys_;
-  std::vector<int8_t> quadrants_;
+  friend class SnapshotCodec;
+
+  PodArray<CellId> cells_;
+  PodArray<TableId> tables_;
+  PodArray<int32_t> columns_;
+  PodArray<int32_t> rows_;
+  PodArray<uint64_t> super_keys_;
+  PodArray<int8_t> quadrants_;
   SecondaryIndexes secondary_;
-  std::vector<RecordPos> empty_;
 };
 
 }  // namespace blend

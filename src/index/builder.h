@@ -9,6 +9,8 @@
 
 namespace blend {
 
+class SnapshotStorage;
+
 /// Physical layout of the AllTables relation.
 enum class StoreLayout { kRow, kColumn };
 
@@ -73,7 +75,12 @@ class IndexBundle {
   /// Index storage footprint (records + secondary indexes + dictionary).
   size_t ApproxBytes() const;
 
+  /// True when the store arrays are zero-copy views into a snapshot mapping
+  /// (a bundle loaded with OpenSnapshot) instead of heap allocations.
+  bool IsSnapshotBacked() const { return storage_ != nullptr; }
+
   friend class IndexBuilder;
+  friend class SnapshotCodec;
 
  private:
   Dictionary dict_;
@@ -81,6 +88,9 @@ class IndexBundle {
   RowStore row_store_;
   ColumnStore column_store_;
   std::vector<std::vector<int32_t>> row_maps_;  // empty => identity
+  /// Keeps the mapped snapshot file alive for view-mode bundles; null for
+  /// built or heap-loaded bundles.
+  std::shared_ptr<const SnapshotStorage> storage_;
 };
 
 /// Builds the AllTables index from a data lake: inverted-index rows, XASH

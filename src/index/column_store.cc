@@ -5,21 +5,27 @@ namespace blend {
 void ColumnStore::Build(std::vector<IndexRecord> records, size_t num_cells,
                         size_t num_tables) {
   const size_t n = records.size();
-  cells_.resize(n);
-  tables_.resize(n);
-  columns_.resize(n);
-  rows_.resize(n);
-  super_keys_.resize(n);
-  quadrants_.resize(n);
+  std::vector<CellId> cells(n);
+  std::vector<TableId> tables(n);
+  std::vector<int32_t> columns(n);
+  std::vector<int32_t> rows(n);
+  std::vector<uint64_t> super_keys(n);
+  std::vector<int8_t> quadrants(n);
   for (size_t i = 0; i < n; ++i) {
     const IndexRecord& r = records[i];
-    cells_[i] = r.cell;
-    tables_[i] = r.table;
-    columns_[i] = r.column;
-    rows_[i] = r.row;
-    super_keys_[i] = r.super_key;
-    quadrants_[i] = r.quadrant;
+    cells[i] = r.cell;
+    tables[i] = r.table;
+    columns[i] = r.column;
+    rows[i] = r.row;
+    super_keys[i] = r.super_key;
+    quadrants[i] = r.quadrant;
   }
+  cells_.Own(std::move(cells));
+  tables_.Own(std::move(tables));
+  columns_.Own(std::move(columns));
+  rows_.Own(std::move(rows));
+  super_keys_.Own(std::move(super_keys));
+  quadrants_.Own(std::move(quadrants));
   secondary_.Build(records, num_cells, num_tables);
 }
 

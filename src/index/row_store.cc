@@ -4,8 +4,8 @@ namespace blend {
 
 void RowStore::Build(std::vector<IndexRecord> records, size_t num_cells,
                      size_t num_tables) {
-  records_ = std::move(records);
-  secondary_.Build(records_, num_cells, num_tables);
+  records_.Own(std::move(records));
+  secondary_.Build(records_.span(), num_cells, num_tables);
 }
 
 }  // namespace blend

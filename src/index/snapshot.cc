@@ -1,0 +1,936 @@
+#include "index/snapshot.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hashing.h"
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace blend {
+
+namespace {
+
+constexpr char kMagic[8] = {'B', 'L', 'E', 'N', 'D', 'S', 'N', 'P'};
+constexpr uint32_t kEndianMarker = 0x01020304u;
+constexpr uint32_t kFlagRowMaps = 1u << 0;
+constexpr size_t kAlign = 8;
+/// Sanity cap long before any real format revision gets close: a corrupt
+/// count must not drive a huge allocation or scan.
+constexpr uint64_t kMaxSections = 256;
+/// Checksum task granularity: large sections (records, postings) are hashed
+/// as parallel chunks whose digests combine in chunk order, so the value
+/// depends only on the bytes, never on the pool.
+constexpr size_t kChecksumChunk = 8u << 20;
+
+enum SectionId : uint32_t {
+  kSecDictOffsets = 1,
+  kSecDictBlob = 2,
+  kSecRecords = 3,  // row layout
+  kSecCells = 4,    // column layout: the six SoA arrays
+  kSecTables = 5,
+  kSecColumns = 6,
+  kSecRows = 7,
+  kSecSuperKeys = 8,
+  kSecQuadrants = 9,
+  kSecPostingOffsets = 10,
+  kSecPostingPositions = 11,
+  kSecTableRanges = 12,
+  kSecQuadrantPositions = 13,
+  kSecRowMapOffsets = 14,  // shuffled builds only
+  kSecRowMapValues = 15,
+  kSecDictHash = 16,
+};
+
+const char* SectionName(uint32_t id) {
+  switch (id) {
+    case kSecDictOffsets: return "DictOffsets";
+    case kSecDictBlob: return "DictBlob";
+    case kSecRecords: return "Records";
+    case kSecCells: return "Cells";
+    case kSecTables: return "Tables";
+    case kSecColumns: return "Columns";
+    case kSecRows: return "Rows";
+    case kSecSuperKeys: return "SuperKeys";
+    case kSecQuadrants: return "Quadrants";
+    case kSecPostingOffsets: return "PostingOffsets";
+    case kSecPostingPositions: return "PostingPositions";
+    case kSecTableRanges: return "TableRanges";
+    case kSecQuadrantPositions: return "QuadrantPositions";
+    case kSecRowMapOffsets: return "RowMapOffsets";
+    case kSecRowMapValues: return "RowMapValues";
+    case kSecDictHash: return "DictHash";
+    default: return "Unknown";
+  }
+}
+
+struct FileHeader {
+  char magic[8];
+  uint32_t version;
+  uint32_t endian;
+  uint32_t layout;
+  uint32_t flags;
+  uint64_t num_records;
+  uint64_t num_tables;
+  uint64_t num_cells;
+  uint64_t section_count;
+  uint64_t section_table_checksum;
+  /// Over every header byte before this field.
+  uint64_t header_checksum;
+};
+static_assert(sizeof(FileHeader) == 72);
+
+struct SectionEntry {
+  uint32_t id;
+  uint32_t reserved;
+  uint64_t offset;
+  uint64_t size;
+  uint64_t checksum;
+};
+static_assert(sizeof(SectionEntry) == 32);
+
+size_t Align8(size_t n) { return (n + (kAlign - 1)) & ~(kAlign - 1); }
+
+/// splitmix64 finalizer, inlined locally: the checksum walks every snapshot
+/// byte, so an out-of-line call per word would dominate load time.
+inline uint64_t MixWord(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t ChecksumSerial(const uint8_t* p, size_t n) {
+  // Four independent lanes keep the multiply chains pipelined; the lane
+  // layout is fixed, so the value is a pure function of the bytes.
+  uint64_t h0 = 0x9E3779B97F4A7C15ULL ^ n;
+  uint64_t h1 = 0xC2B2AE3D27D4EB4FULL;
+  uint64_t h2 = 0x165667B19E3779F9ULL;
+  uint64_t h3 = 0x27D4EB2F165667C5ULL;
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    uint64_t w0, w1, w2, w3;
+    std::memcpy(&w0, p + i, 8);
+    std::memcpy(&w1, p + i + 8, 8);
+    std::memcpy(&w2, p + i + 16, 8);
+    std::memcpy(&w3, p + i + 24, 8);
+    h0 = MixWord(h0 ^ w0);
+    h1 = MixWord(h1 ^ w1);
+    h2 = MixWord(h2 ^ w2);
+    h3 = MixWord(h3 ^ w3);
+  }
+  uint64_t h = MixWord(h0 ^ MixWord(h1 ^ MixWord(h2 ^ h3)));
+  for (; i + 8 <= n; i += 8) {
+    uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    h = MixWord(h ^ w);
+  }
+  if (i < n) {
+    uint64_t tail = 0;
+    std::memcpy(&tail, p + i, n - i);
+    h = MixWord(h ^ tail);
+  }
+  return MixWord(h);
+}
+
+/// Section checksum: chunked so workers share one large section; the chunk
+/// geometry is fixed by the length alone, so write and verify always agree.
+uint64_t SectionChecksum(const uint8_t* p, size_t n, Scheduler* sched) {
+  if (n <= kChecksumChunk) return ChecksumSerial(p, n);
+  const size_t chunks = (n + kChecksumChunk - 1) / kChecksumChunk;
+  std::vector<uint64_t> parts(chunks);
+  sched->ParallelFor(chunks, [&](size_t c) {
+    const size_t b = c * kChecksumChunk;
+    const size_t e = std::min(n, b + kChecksumChunk);
+    parts[c] = ChecksumSerial(p + b, e - b);
+  });
+  uint64_t h = 0x2545F4914F6CDD1DULL ^ n;
+  for (uint64_t part : parts) h = HashCombine(h, part);
+  return h;
+}
+
+/// One payload to serialize: either a window over memory the bundle already
+/// owns (store arrays) or bytes staged for the file (dictionary, row maps,
+/// padding-zeroed records).
+struct SectionSpec {
+  uint32_t id = 0;
+  const uint8_t* data = nullptr;
+  size_t size = 0;
+  std::vector<uint8_t> staged;
+
+  void Stage(uint32_t section_id, std::vector<uint8_t> bytes) {
+    id = section_id;
+    staged = std::move(bytes);
+    data = staged.data();
+    size = staged.size();
+  }
+  template <typename T>
+  void View(uint32_t section_id, const PodArray<T>& array) {
+    id = section_id;
+    data = reinterpret_cast<const uint8_t*>(array.data());
+    size = array.size() * sizeof(T);
+  }
+};
+
+template <typename T>
+std::vector<uint8_t> StagePod(const std::vector<T>& v) {
+  std::vector<uint8_t> bytes(v.size() * sizeof(T));
+  if (!bytes.empty()) std::memcpy(bytes.data(), v.data(), bytes.size());
+  return bytes;
+}
+
+Status IoError(const char* op, const std::string& path) {
+  return Status::ExecutionError(std::string("snapshot ") + op + " failed for '" +
+                                path + "': " + std::strerror(errno));
+}
+
+class HeapStorage : public SnapshotStorage {
+ public:
+  explicit HeapStorage(std::vector<uint8_t> bytes) : bytes_(std::move(bytes)) {
+    data_ = bytes_.data();
+    size_ = bytes_.size();
+  }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+#if !defined(_WIN32)
+class MmapStorage : public SnapshotStorage {
+ public:
+  MmapStorage(void* base, size_t len) : base_(base) {
+    data_ = static_cast<const uint8_t*>(base);
+    size_ = len;
+  }
+  ~MmapStorage() override {
+    if (base_ != nullptr && size_ != 0) ::munmap(base_, size_);
+  }
+
+ private:
+  void* base_;
+};
+#endif
+
+}  // namespace
+
+Result<std::shared_ptr<SnapshotStorage>> SnapshotStorage::ReadFile(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open snapshot '" + path +
+                            "': " + std::strerror(errno));
+  }
+#if !defined(_WIN32)
+  // stat, not ftell: long is 32 bits on some ABIs and large lakes produce
+  // multi-GiB snapshots.
+  struct stat st;
+  if (::fstat(fileno(f), &st) != 0) {
+    std::fclose(f);
+    return IoError("stat", path);
+  }
+  const auto end = static_cast<uint64_t>(st.st_size);
+#else
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return IoError("seek", path);
+  }
+  const long told = std::ftell(f);
+  if (told < 0 || std::fseek(f, 0, SEEK_SET) != 0) {
+    std::fclose(f);
+    return IoError("size query", path);
+  }
+  const auto end = static_cast<uint64_t>(told);
+#endif
+  std::vector<uint8_t> bytes(static_cast<size_t>(end));
+  if (!bytes.empty() && std::fread(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+    std::fclose(f);
+    return IoError("read", path);
+  }
+  std::fclose(f);
+  return std::shared_ptr<SnapshotStorage>(new HeapStorage(std::move(bytes)));
+}
+
+Result<std::shared_ptr<SnapshotStorage>> SnapshotStorage::MapFile(
+    const std::string& path) {
+#if defined(_WIN32)
+  return Status::ExecutionError("mmap-backed snapshots are not supported on "
+                                "this platform; use ReadSnapshot");
+#else
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound("cannot open snapshot '" + path +
+                            "': " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return IoError("stat", path);
+  }
+  const auto len = static_cast<size_t>(st.st_size);
+  if (len == 0) {
+    ::close(fd);
+    return Status::InvalidArgument("truncated snapshot '" + path +
+                                   "': empty file");
+  }
+  void* base = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) {
+    return IoError("mmap", path);
+  }
+  return std::shared_ptr<SnapshotStorage>(new MmapStorage(base, len));
+#endif
+}
+
+/// Friend of the bundle and both stores: serializes their private arrays and
+/// reassembles them on load (heap copies or zero-copy views).
+class SnapshotCodec {
+ public:
+  static Status Write(const IndexBundle& bundle, const std::string& path,
+                      Scheduler* sched);
+  static Result<IndexBundle> Load(std::shared_ptr<SnapshotStorage> storage,
+                                  bool zero_copy, Scheduler* sched);
+  static size_t FileBytes(const IndexBundle& bundle);
+
+ private:
+  struct Gathered {
+    std::vector<SectionSpec> specs;
+    uint32_t flags = 0;
+  };
+  static Gathered Gather(const IndexBundle& bundle);
+  static size_t LayoutFile(const Gathered& g, std::vector<SectionEntry>* entries);
+};
+
+SnapshotCodec::Gathered SnapshotCodec::Gather(const IndexBundle& bundle) {
+  Gathered g;
+  auto& specs = g.specs;
+
+  // Dictionary: CSR offsets over a concatenated value blob (values in id
+  // order), plus the precomputed open-addressing hash table so the load path
+  // performs no hashing or interning at all. The table is a pure function of
+  // the value sequence, which keeps the file deterministic.
+  {
+    const Dictionary& dict = bundle.dict_;
+    const size_t n = dict.Size();
+    std::vector<uint64_t> offsets(n + 1, 0);
+    for (size_t id = 0; id < n; ++id) {
+      offsets[id + 1] = offsets[id] + dict.Value(static_cast<CellId>(id)).size();
+    }
+    std::vector<uint8_t> blob(offsets.back());
+    for (size_t id = 0; id < n; ++id) {
+      std::string_view v = dict.Value(static_cast<CellId>(id));
+      std::memcpy(blob.data() + offsets[id], v.data(), v.size());
+    }
+    // Power-of-two table at least twice the value count, so lookups always
+    // hit an empty slot and stay O(1) expected.
+    size_t table_size = 1;
+    while (table_size < 2 * n + 1) table_size <<= 1;
+    std::vector<CellId> slots(table_size, kInvalidCellId);
+    const size_t mask = table_size - 1;
+    for (size_t id = 0; id < n; ++id) {
+      size_t idx = Fnv1a64(dict.Value(static_cast<CellId>(id))) & mask;
+      while (slots[idx] != kInvalidCellId) idx = (idx + 1) & mask;
+      slots[idx] = static_cast<CellId>(id);
+    }
+    specs.emplace_back().Stage(kSecDictOffsets, StagePod(offsets));
+    specs.emplace_back().Stage(kSecDictBlob, std::move(blob));
+    specs.emplace_back().Stage(kSecDictHash, StagePod(slots));
+  }
+
+  const SecondaryIndexes* secondary;
+  if (bundle.layout_ == StoreLayout::kRow) {
+    // Records are staged field-by-field into zeroed memory: IndexRecord has
+    // padding bytes the builder never initializes, and the file must be a
+    // pure function of the index content.
+    const RowStore& store = bundle.row_store_;
+    std::vector<uint8_t> staged(store.records_.size() * sizeof(IndexRecord), 0);
+    auto* out = reinterpret_cast<IndexRecord*>(staged.data());
+    for (size_t i = 0; i < store.records_.size(); ++i) {
+      const IndexRecord& r = store.records_[i];
+      out[i].cell = r.cell;
+      out[i].table = r.table;
+      out[i].column = r.column;
+      out[i].row = r.row;
+      out[i].super_key = r.super_key;
+      out[i].quadrant = r.quadrant;
+    }
+    specs.emplace_back().Stage(kSecRecords, std::move(staged));
+    secondary = &store.secondary_;
+  } else {
+    const ColumnStore& store = bundle.column_store_;
+    specs.emplace_back().View(kSecCells, store.cells_);
+    specs.emplace_back().View(kSecTables, store.tables_);
+    specs.emplace_back().View(kSecColumns, store.columns_);
+    specs.emplace_back().View(kSecRows, store.rows_);
+    specs.emplace_back().View(kSecSuperKeys, store.super_keys_);
+    specs.emplace_back().View(kSecQuadrants, store.quadrants_);
+    secondary = &store.secondary_;
+  }
+
+  specs.emplace_back().View(kSecPostingOffsets, secondary->posting_offsets);
+  specs.emplace_back().View(kSecPostingPositions, secondary->posting_positions);
+  specs.emplace_back().View(kSecTableRanges, secondary->table_ranges);
+  specs.emplace_back().View(kSecQuadrantPositions, secondary->quadrant_positions);
+
+  if (!bundle.row_maps_.empty()) {
+    g.flags |= kFlagRowMaps;
+    std::vector<uint64_t> offsets(bundle.row_maps_.size() + 1, 0);
+    for (size_t t = 0; t < bundle.row_maps_.size(); ++t) {
+      offsets[t + 1] = offsets[t] + bundle.row_maps_[t].size();
+    }
+    std::vector<int32_t> values;
+    values.reserve(offsets.back());
+    for (const auto& m : bundle.row_maps_) {
+      values.insert(values.end(), m.begin(), m.end());
+    }
+    specs.emplace_back().Stage(kSecRowMapOffsets, StagePod(offsets));
+    specs.emplace_back().Stage(kSecRowMapValues, StagePod(values));
+  }
+  return g;
+}
+
+size_t SnapshotCodec::LayoutFile(const Gathered& g,
+                                 std::vector<SectionEntry>* entries) {
+  entries->clear();
+  entries->reserve(g.specs.size());
+  size_t off = sizeof(FileHeader) + g.specs.size() * sizeof(SectionEntry);
+  for (const SectionSpec& spec : g.specs) {
+    off = Align8(off);
+    SectionEntry e{};
+    e.id = spec.id;
+    e.offset = off;
+    e.size = spec.size;
+    entries->push_back(e);
+    off += spec.size;
+  }
+  return off;
+}
+
+size_t SnapshotCodec::FileBytes(const IndexBundle& bundle) {
+  // Mirrors Gather's section list without materializing any payload (the
+  // SnapshotBytesMatchesFileSize test pins this to the real writer).
+  const Dictionary& dict = bundle.dict_;
+  const size_t num_values = dict.Size();
+  size_t blob = 0;
+  for (size_t id = 0; id < num_values; ++id) {
+    blob += dict.Value(static_cast<CellId>(id)).size();
+  }
+  size_t hash_slots = 1;
+  while (hash_slots < 2 * num_values + 1) hash_slots <<= 1;
+
+  std::vector<size_t> sizes = {(num_values + 1) * sizeof(uint64_t), blob,
+                               hash_slots * sizeof(CellId)};
+  const size_t n = bundle.NumRecords();
+  if (bundle.layout_ == StoreLayout::kRow) {
+    sizes.push_back(n * sizeof(IndexRecord));
+  } else {
+    sizes.insert(sizes.end(),
+                 {n * sizeof(CellId), n * sizeof(TableId), n * sizeof(int32_t),
+                  n * sizeof(int32_t), n * sizeof(uint64_t), n * sizeof(int8_t)});
+  }
+  const SecondaryIndexes& secondary = bundle.layout_ == StoreLayout::kRow
+                                          ? bundle.row_store_.secondary_
+                                          : bundle.column_store_.secondary_;
+  sizes.insert(sizes.end(),
+               {secondary.posting_offsets.size() * sizeof(uint64_t),
+                secondary.posting_positions.size() * sizeof(RecordPos),
+                secondary.table_ranges.size() * sizeof(RecordPos),
+                secondary.quadrant_positions.size() * sizeof(RecordPos)});
+  if (!bundle.row_maps_.empty()) {
+    size_t rows = 0;
+    for (const auto& m : bundle.row_maps_) rows += m.size();
+    sizes.push_back((bundle.row_maps_.size() + 1) * sizeof(uint64_t));
+    sizes.push_back(rows * sizeof(int32_t));
+  }
+
+  size_t off = sizeof(FileHeader) + sizes.size() * sizeof(SectionEntry);
+  for (size_t s : sizes) off = Align8(off) + s;
+  return off;
+}
+
+Status SnapshotCodec::Write(const IndexBundle& bundle, const std::string& path,
+                            Scheduler* sched) {
+  Gathered g = Gather(bundle);
+  std::vector<SectionEntry> entries;
+  LayoutFile(g, &entries);
+
+  // Per-section checksums as one task group on the shared pool; large
+  // sections additionally fan out chunk subtasks (nested submission).
+  sched->ParallelFor(g.specs.size(), [&](size_t s) {
+    entries[s].checksum = SectionChecksum(g.specs[s].data, g.specs[s].size, sched);
+  });
+
+  FileHeader header{};
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kSnapshotVersion;
+  header.endian = kEndianMarker;
+  header.layout = static_cast<uint32_t>(bundle.layout_);
+  header.flags = g.flags;
+  header.num_records = bundle.NumRecords();
+  header.num_tables = bundle.NumTables();
+  header.num_cells = bundle.dict_.Size();
+  header.section_count = entries.size();
+  header.section_table_checksum =
+      ChecksumSerial(reinterpret_cast<const uint8_t*>(entries.data()),
+                     entries.size() * sizeof(SectionEntry));
+  header.header_checksum =
+      ChecksumSerial(reinterpret_cast<const uint8_t*>(&header),
+                     offsetof(FileHeader, header_checksum));
+
+  // Write to a sibling temp file and rename into place, so a crash mid-write
+  // never leaves a truncated file under the published name.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return IoError("create", tmp);
+  bool ok = std::fwrite(&header, sizeof(header), 1, f) == 1;
+  ok = ok && (entries.empty() ||
+              std::fwrite(entries.data(), sizeof(SectionEntry), entries.size(),
+                          f) == entries.size());
+  size_t pos = sizeof(FileHeader) + entries.size() * sizeof(SectionEntry);
+  static constexpr uint8_t kPad[kAlign] = {0};
+  for (size_t s = 0; ok && s < g.specs.size(); ++s) {
+    const size_t aligned = Align8(pos);
+    if (aligned > pos) ok = std::fwrite(kPad, 1, aligned - pos, f) == aligned - pos;
+    pos = aligned;
+    if (ok && g.specs[s].size != 0) {
+      ok = std::fwrite(g.specs[s].data, 1, g.specs[s].size, f) == g.specs[s].size;
+    }
+    pos += g.specs[s].size;
+  }
+  ok = ok && std::fflush(f) == 0;
+#if !defined(_WIN32)
+  // Push the bytes to stable storage before publishing the name: rename
+  // atomicity alone only survives process crashes, not power loss.
+  ok = ok && ::fsync(fileno(f)) == 0;
+#endif
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return IoError("write", tmp);
+  }
+#if defined(_WIN32)
+  // POSIX rename replaces an existing destination; Windows rename does not.
+  std::remove(path.c_str());
+#endif
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return IoError("rename", path);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Status Corrupt(const std::string& what) {
+  return Status::InvalidArgument("invalid snapshot: " + what);
+}
+
+/// Bounds- and checksum-validated section windows over the storage bytes.
+struct ParsedSnapshot {
+  FileHeader header;
+  std::unordered_map<uint32_t, std::pair<uint64_t, uint64_t>> sections;
+
+  bool Has(uint32_t id) const { return sections.count(id) != 0; }
+  const uint8_t* SectionData(const SnapshotStorage& storage, uint32_t id) const {
+    return storage.data() + sections.at(id).first;
+  }
+  uint64_t SectionSize(uint32_t id) const { return sections.at(id).second; }
+};
+
+Status ParseSnapshot(const SnapshotStorage& storage, Scheduler* sched,
+                     ParsedSnapshot* out) {
+  const uint8_t* base = storage.data();
+  const size_t file_size = storage.size();
+  if (file_size < sizeof(FileHeader)) {
+    return Corrupt("truncated file (" + std::to_string(file_size) +
+                   " bytes, header needs " + std::to_string(sizeof(FileHeader)) +
+                   ")");
+  }
+  FileHeader& header = out->header;
+  std::memcpy(&header, base, sizeof(header));
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    return Corrupt("bad magic (not a BLEND index snapshot)");
+  }
+  if (header.endian != kEndianMarker) {
+    return Corrupt("endianness mismatch (snapshot written on a foreign-endian "
+                   "machine)");
+  }
+  if (header.version == 0 || header.version > kSnapshotVersion) {
+    return Corrupt("format version " + std::to_string(header.version) +
+                   " is not supported (this build reads up to version " +
+                   std::to_string(kSnapshotVersion) + ")");
+  }
+  if (ChecksumSerial(base, offsetof(FileHeader, header_checksum)) !=
+      header.header_checksum) {
+    return Corrupt("header checksum mismatch");
+  }
+  if (header.layout > 1) {
+    return Corrupt("unknown store layout " + std::to_string(header.layout));
+  }
+  // Every record/table/value occupies at least one payload byte, so a count
+  // beyond the file size is forged — and bounding the counts here keeps all
+  // derived arithmetic (num_cells + 1, 2 * num_tables) overflow-free.
+  if (header.num_records > file_size || header.num_tables > file_size ||
+      header.num_cells > file_size) {
+    return Corrupt("implausible record/table/value count for a " +
+                   std::to_string(file_size) + "-byte file");
+  }
+  if (header.section_count > kMaxSections) {
+    return Corrupt("implausible section count " +
+                   std::to_string(header.section_count));
+  }
+  const size_t table_bytes =
+      static_cast<size_t>(header.section_count) * sizeof(SectionEntry);
+  if (sizeof(FileHeader) + table_bytes > file_size) {
+    return Corrupt("truncated section table");
+  }
+  std::vector<SectionEntry> entries(header.section_count);
+  if (!entries.empty()) {
+    std::memcpy(entries.data(), base + sizeof(FileHeader), table_bytes);
+  }
+  if (ChecksumSerial(base + sizeof(FileHeader), table_bytes) !=
+      header.section_table_checksum) {
+    return Corrupt("section table checksum mismatch");
+  }
+
+  // Sections are written back to back in table order, so each must start at
+  // or after the end of the previous one (and none may reach back into the
+  // header or section table).
+  uint64_t min_offset = sizeof(FileHeader) + table_bytes;
+  for (const SectionEntry& e : entries) {
+    const std::string name = SectionName(e.id);
+    if (e.offset % kAlign != 0) {
+      return Corrupt("misaligned section " + name);
+    }
+    if (e.offset > file_size || e.size > file_size - e.offset) {
+      return Corrupt("truncated file (section " + name +
+                     " extends past the end)");
+    }
+    if (e.offset < min_offset) {
+      return Corrupt("section " + name + " overlaps the preceding contents");
+    }
+    min_offset = e.offset + e.size;
+    if (!out->sections.emplace(e.id, std::make_pair(e.offset, e.size)).second) {
+      return Corrupt("duplicate section " + name);
+    }
+  }
+
+  // Checksum verification as one task group; corrupt slots are reported for
+  // the lowest section index so the error is deterministic.
+  std::vector<uint8_t> bad(entries.size(), 0);
+  sched->ParallelFor(entries.size(), [&](size_t s) {
+    const SectionEntry& e = entries[s];
+    if (SectionChecksum(base + e.offset, e.size, sched) != e.checksum) {
+      bad[s] = 1;
+    }
+  });
+  for (size_t s = 0; s < entries.size(); ++s) {
+    if (bad[s]) {
+      return Corrupt(std::string("checksum mismatch in section ") +
+                     SectionName(entries[s].id));
+    }
+  }
+  return Status::OK();
+}
+
+/// Typed window over a parsed section with an exact element-count check.
+template <typename T>
+Result<std::span<const T>> SectionArray(const SnapshotStorage& storage,
+                                        const ParsedSnapshot& parsed,
+                                        uint32_t id, uint64_t expected_count) {
+  if (!parsed.Has(id)) {
+    return Corrupt(std::string("missing section ") + SectionName(id) +
+                   " (layout mismatch or truncated writer)");
+  }
+  const uint64_t size = parsed.SectionSize(id);
+  // Guard the multiply below: a forged header count must not wrap into a
+  // "matching" size and drive a huge scan.
+  if (expected_count > std::numeric_limits<uint64_t>::max() / sizeof(T)) {
+    return Corrupt(std::string("implausible element count for section ") +
+                   SectionName(id));
+  }
+  if (size != expected_count * sizeof(T)) {
+    return Corrupt(std::string("section ") + SectionName(id) + " holds " +
+                   std::to_string(size / sizeof(T)) + " elements, header "
+                   "promises " + std::to_string(expected_count));
+  }
+  return std::span<const T>(
+      reinterpret_cast<const T*>(parsed.SectionData(storage, id)),
+      static_cast<size_t>(expected_count));
+}
+
+/// Materializes one array behind the storage seam: a heap copy
+/// (ReadSnapshot) or a zero-copy view into the mapping (OpenSnapshot).
+template <typename T>
+void FillArray(PodArray<T>* out, std::span<const T> in, bool zero_copy) {
+  if (zero_copy) {
+    out->BindView(in.data(), in.size());
+  } else {
+    out->Own(std::vector<T>(in.begin(), in.end()));
+  }
+}
+
+/// Parallel all-of over [0, n): the semantic validation scans (positions in
+/// range, record fields inside the header counts) are O(n) over the largest
+/// sections, so they run as chunked task groups like the checksums.
+template <typename Fn>
+bool ParallelAllOf(size_t n, Scheduler* sched, const Fn& pred) {
+  constexpr size_t kChunk = 1 << 16;
+  if (n <= kChunk) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!pred(i)) return false;
+    }
+    return true;
+  }
+  const size_t chunks = (n + kChunk - 1) / kChunk;
+  std::vector<uint8_t> ok(chunks, 1);
+  sched->ParallelFor(chunks, [&](size_t c) {
+    const size_t end = std::min(n, (c + 1) * kChunk);
+    for (size_t i = c * kChunk; i < end; ++i) {
+      if (!pred(i)) {
+        ok[c] = 0;
+        break;
+      }
+    }
+  });
+  return std::all_of(ok.begin(), ok.end(), [](uint8_t v) { return v != 0; });
+}
+
+/// CSR offsets must be monotone and end at the payload length; anything else
+/// is corruption that would otherwise turn into out-of-bounds spans.
+Status ValidateCsr(std::span<const uint64_t> offsets, uint64_t payload,
+                   const char* what) {
+  if (offsets.empty() || offsets.front() != 0) {
+    return Corrupt(std::string(what) + " offsets must start at 0");
+  }
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) {
+      return Corrupt(std::string(what) + " offsets are not monotone");
+    }
+  }
+  if (offsets.back() != payload) {
+    return Corrupt(std::string(what) + " offsets end at " +
+                   std::to_string(offsets.back()) + ", payload has " +
+                   std::to_string(payload) + " elements");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<IndexBundle> SnapshotCodec::Load(std::shared_ptr<SnapshotStorage> storage,
+                                        bool zero_copy, Scheduler* sched) {
+  ParsedSnapshot parsed;
+  BLEND_RETURN_NOT_OK(ParseSnapshot(*storage, sched, &parsed));
+  const FileHeader& header = parsed.header;
+  const uint64_t n = header.num_records;
+  const uint64_t num_tables = header.num_tables;
+  const uint64_t num_cells = header.num_cells;
+  const SnapshotStorage& st = *storage;
+
+  IndexBundle bundle;
+  bundle.layout_ = header.layout == 0 ? StoreLayout::kRow : StoreLayout::kColumn;
+
+  // Dictionary: all three arrays (CSR offsets, value blob, hash table) come
+  // straight from the file — no interning, no hashing. This is what makes a
+  // snapshot load an order of magnitude cheaper than re-indexing.
+  {
+    BLEND_ASSIGN_OR_RETURN(auto offsets, (SectionArray<uint64_t>(
+                                             st, parsed, kSecDictOffsets,
+                                             num_cells + 1)));
+    const uint64_t blob_size =
+        parsed.Has(kSecDictBlob) ? parsed.SectionSize(kSecDictBlob) : 0;
+    BLEND_RETURN_NOT_OK(ValidateCsr(offsets, blob_size, "dictionary"));
+    BLEND_ASSIGN_OR_RETURN(auto blob, (SectionArray<char>(st, parsed,
+                                                          kSecDictBlob,
+                                                          blob_size)));
+    const uint64_t slot_count =
+        parsed.Has(kSecDictHash)
+            ? parsed.SectionSize(kSecDictHash) / sizeof(CellId)
+            : 0;
+    BLEND_ASSIGN_OR_RETURN(auto slots, (SectionArray<CellId>(st, parsed,
+                                                             kSecDictHash,
+                                                             slot_count)));
+    if (slot_count == 0 || (slot_count & (slot_count - 1)) != 0 ||
+        slot_count < num_cells + 1) {
+      return Corrupt("dictionary hash table must be a power of two larger "
+                     "than the value count");
+    }
+    if (!ParallelAllOf(slots.size(), sched, [&](size_t i) {
+          return slots[i] == kInvalidCellId ||
+                 static_cast<uint64_t>(slots[i]) < num_cells;
+        })) {
+      return Corrupt("dictionary hash slot references a value outside the "
+                     "header count");
+    }
+    const uint64_t filled = static_cast<uint64_t>(
+        slots.size() - std::count(slots.begin(), slots.end(), kInvalidCellId));
+    if (filled != num_cells) {
+      return Corrupt("dictionary hash table holds " + std::to_string(filled) +
+                     " entries for " + std::to_string(num_cells) + " values");
+    }
+    FillArray(&bundle.dict_.offsets_, offsets, zero_copy);
+    FillArray(&bundle.dict_.blob_, blob, zero_copy);
+    FillArray(&bundle.dict_.hash_slots_, slots, zero_copy);
+  }
+
+  // The active store's primary arrays.
+  SecondaryIndexes* secondary;
+  if (bundle.layout_ == StoreLayout::kRow) {
+    BLEND_ASSIGN_OR_RETURN(auto records, (SectionArray<IndexRecord>(
+                                             st, parsed, kSecRecords, n)));
+    if (!ParallelAllOf(records.size(), sched, [&](size_t i) {
+          const IndexRecord& r = records[i];
+          return static_cast<uint64_t>(r.cell) < num_cells && r.table >= 0 &&
+                 static_cast<uint64_t>(r.table) < num_tables;
+        })) {
+      return Corrupt("record references a cell or table outside the header "
+                     "counts");
+    }
+    FillArray(&bundle.row_store_.records_, records, zero_copy);
+    secondary = &bundle.row_store_.secondary_;
+  } else {
+    BLEND_ASSIGN_OR_RETURN(auto cells, (SectionArray<CellId>(st, parsed,
+                                                             kSecCells, n)));
+    BLEND_ASSIGN_OR_RETURN(auto tables, (SectionArray<TableId>(st, parsed,
+                                                               kSecTables, n)));
+    BLEND_ASSIGN_OR_RETURN(auto columns, (SectionArray<int32_t>(
+                                             st, parsed, kSecColumns, n)));
+    BLEND_ASSIGN_OR_RETURN(auto rows, (SectionArray<int32_t>(st, parsed,
+                                                             kSecRows, n)));
+    BLEND_ASSIGN_OR_RETURN(auto super_keys, (SectionArray<uint64_t>(
+                                                st, parsed, kSecSuperKeys, n)));
+    BLEND_ASSIGN_OR_RETURN(auto quadrants, (SectionArray<int8_t>(
+                                               st, parsed, kSecQuadrants, n)));
+    if (!ParallelAllOf(static_cast<size_t>(n), sched, [&](size_t i) {
+          return static_cast<uint64_t>(cells[i]) < num_cells &&
+                 tables[i] >= 0 &&
+                 static_cast<uint64_t>(tables[i]) < num_tables;
+        })) {
+      return Corrupt("record references a cell or table outside the header "
+                     "counts");
+    }
+    FillArray(&bundle.column_store_.cells_, cells, zero_copy);
+    FillArray(&bundle.column_store_.tables_, tables, zero_copy);
+    FillArray(&bundle.column_store_.columns_, columns, zero_copy);
+    FillArray(&bundle.column_store_.rows_, rows, zero_copy);
+    FillArray(&bundle.column_store_.super_keys_, super_keys, zero_copy);
+    FillArray(&bundle.column_store_.quadrants_, quadrants, zero_copy);
+    secondary = &bundle.column_store_.secondary_;
+  }
+
+  // Secondary indexes: CSR postings, clustered table ranges, quadrant
+  // partial index. All positions must stay inside [0, n).
+  {
+    BLEND_ASSIGN_OR_RETURN(auto offsets, (SectionArray<uint64_t>(
+                                             st, parsed, kSecPostingOffsets,
+                                             num_cells + 1)));
+    BLEND_ASSIGN_OR_RETURN(auto positions, (SectionArray<RecordPos>(
+                                               st, parsed, kSecPostingPositions,
+                                               n)));
+    BLEND_RETURN_NOT_OK(ValidateCsr(offsets, n, "postings"));
+    BLEND_ASSIGN_OR_RETURN(auto ranges, (SectionArray<RecordPos>(
+                                            st, parsed, kSecTableRanges,
+                                            2 * num_tables)));
+    const uint64_t quad_count = parsed.Has(kSecQuadrantPositions)
+                                    ? parsed.SectionSize(kSecQuadrantPositions) /
+                                          sizeof(RecordPos)
+                                    : 0;
+    BLEND_ASSIGN_OR_RETURN(auto quad, (SectionArray<RecordPos>(
+                                          st, parsed, kSecQuadrantPositions,
+                                          quad_count)));
+    if (!ParallelAllOf(positions.size(), sched,
+                       [&](size_t i) { return positions[i] < n; })) {
+      return Corrupt("posting position outside the record range");
+    }
+    if (!ParallelAllOf(quad.size(), sched,
+                       [&](size_t i) { return quad[i] < n; })) {
+      return Corrupt("quadrant position outside the record range");
+    }
+    for (uint64_t t = 0; t < num_tables; ++t) {
+      if (ranges[2 * t] > ranges[2 * t + 1] || ranges[2 * t + 1] > n) {
+        return Corrupt("table range outside the record range");
+      }
+    }
+    FillArray(&secondary->posting_offsets, offsets, zero_copy);
+    FillArray(&secondary->posting_positions, positions, zero_copy);
+    FillArray(&secondary->table_ranges, ranges, zero_copy);
+    FillArray(&secondary->quadrant_positions, quad, zero_copy);
+  }
+
+  // Row maps (shuffled builds): always materialized per table on the heap;
+  // OriginalRow's per-table vectors are not a fixed-width array.
+  if ((header.flags & kFlagRowMaps) != 0) {
+    BLEND_ASSIGN_OR_RETURN(auto offsets, (SectionArray<uint64_t>(
+                                             st, parsed, kSecRowMapOffsets,
+                                             num_tables + 1)));
+    const uint64_t value_count =
+        parsed.Has(kSecRowMapValues)
+            ? parsed.SectionSize(kSecRowMapValues) / sizeof(int32_t)
+            : 0;
+    BLEND_ASSIGN_OR_RETURN(auto values, (SectionArray<int32_t>(
+                                            st, parsed, kSecRowMapValues,
+                                            value_count)));
+    BLEND_RETURN_NOT_OK(ValidateCsr(offsets, value_count, "row map"));
+    if (!ParallelAllOf(values.size(), sched,
+                       [&](size_t i) { return values[i] >= 0; })) {
+      return Corrupt("negative original-row id in a row map");
+    }
+    bundle.row_maps_.resize(static_cast<size_t>(num_tables));
+    for (uint64_t t = 0; t < num_tables; ++t) {
+      bundle.row_maps_[t].assign(values.begin() + static_cast<size_t>(offsets[t]),
+                                 values.begin() +
+                                     static_cast<size_t>(offsets[t + 1]));
+    }
+  } else if (parsed.Has(kSecRowMapOffsets) || parsed.Has(kSecRowMapValues)) {
+    return Corrupt("row map sections present but the header flag is unset");
+  }
+
+  if (zero_copy) bundle.storage_ = std::move(storage);
+  return bundle;
+}
+
+Status WriteSnapshot(const IndexBundle& bundle, const std::string& path,
+                     const SnapshotOptions& options) {
+  Scheduler* sched =
+      options.scheduler != nullptr ? options.scheduler : Scheduler::Default();
+  return SnapshotCodec::Write(bundle, path, sched);
+}
+
+Result<IndexBundle> ReadSnapshot(const std::string& path,
+                                 const SnapshotOptions& options) {
+  Scheduler* sched =
+      options.scheduler != nullptr ? options.scheduler : Scheduler::Default();
+  BLEND_ASSIGN_OR_RETURN(auto storage, SnapshotStorage::ReadFile(path));
+  return SnapshotCodec::Load(std::move(storage), /*zero_copy=*/false, sched);
+}
+
+Result<IndexBundle> OpenSnapshot(const std::string& path,
+                                 const SnapshotOptions& options) {
+  Scheduler* sched =
+      options.scheduler != nullptr ? options.scheduler : Scheduler::Default();
+  BLEND_ASSIGN_OR_RETURN(auto storage, SnapshotStorage::MapFile(path));
+  return SnapshotCodec::Load(std::move(storage), /*zero_copy=*/true, sched);
+}
+
+size_t SnapshotBytes(const IndexBundle& bundle) {
+  return SnapshotCodec::FileBytes(bundle);
+}
+
+namespace internal {
+uint64_t SnapshotChecksum(const uint8_t* data, size_t size) {
+  return ChecksumSerial(data, size);
+}
+}  // namespace internal
+
+}  // namespace blend

@@ -269,7 +269,7 @@ Result<std::vector<RecordPos>> ScanRel(const AnalyzedRel& rel, const Store& stor
                           spec.table_in->in_ints.end());
     }
     for (CellId id : ResolveCellIds(*spec.cell_in, dict)) {
-      const std::vector<RecordPos>& pl = store.Postings(id);
+      const std::span<const RecordPos> pl = store.Postings(id);
       AppendMorsels(pl.data(), 0, pl.size(), &morsels);
     }
   } else if (spec.table_in != nullptr) {
@@ -286,7 +286,7 @@ Result<std::vector<RecordPos>> ScanRel(const AnalyzedRel& rel, const Store& stor
   } else if (spec.need_quadrant) {
     // Access path 3: the partial index on Quadrant (correlation seeker's
     // numeric-cell scan).
-    const std::vector<RecordPos>& qp = store.QuadrantPositions();
+    const std::span<const RecordPos> qp = store.QuadrantPositions();
     AppendMorsels(qp.data(), 0, qp.size(), &morsels);
   } else {
     // Access path 4: full scan.
@@ -761,7 +761,7 @@ std::optional<QueryResult> TryFusedScanAgg(const AnalyzedQuery& q,
     std::vector<FusedGroup>& groups_m = parts[m];
     for (size_t ci = morsels[m].begin; ci < morsels[m].end; ++ci) {
       const CellId cell = cells[ci];
-      const std::vector<RecordPos>& pl = store.Postings(cell);
+      const std::span<const RecordPos> pl = store.Postings(cell);
       for (size_t i = 0; i < pl.size(); ++i) {
         const RecordPos p = pl[i];
         if (use_table_filter && table_filter.count(store.table(p)) == 0) continue;

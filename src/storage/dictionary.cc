@@ -1,5 +1,7 @@
 #include "storage/dictionary.h"
 
+#include "common/hashing.h"
+
 namespace blend {
 
 CellId Dictionary::Intern(std::string_view normalized) {
@@ -12,15 +14,34 @@ CellId Dictionary::Intern(std::string_view normalized) {
 }
 
 CellId Dictionary::Find(std::string_view normalized) const {
+  if (loaded()) {
+    // Linear probing over the precomputed table. The load path guarantees at
+    // least one empty slot, but the probe count is capped anyway so even an
+    // adversarial table terminates.
+    const size_t mask = hash_slots_.size() - 1;
+    size_t idx = Fnv1a64(normalized) & mask;
+    for (size_t probes = 0; probes < hash_slots_.size(); ++probes) {
+      const CellId id = hash_slots_[idx];
+      if (id == kInvalidCellId) return kInvalidCellId;
+      if (Value(id) == normalized) return id;
+      idx = (idx + 1) & mask;
+    }
+    return kInvalidCellId;
+  }
   auto it = ids_.find(normalized);
   return it == ids_.end() ? kInvalidCellId : it->second;
 }
 
 size_t Dictionary::ApproxBytes() const {
+  if (loaded()) {
+    return offsets_.size() * sizeof(uint64_t) + blob_.size() +
+           hash_slots_.size() * sizeof(CellId);
+  }
   size_t bytes = 0;
   for (const auto& v : values_) bytes += v.size() + sizeof(std::string);
   // Hash-map overhead: bucket + node per entry (approximation).
-  bytes += ids_.size() * (sizeof(void*) * 2 + sizeof(std::string_view) + sizeof(CellId));
+  bytes +=
+      ids_.size() * (sizeof(void*) * 2 + sizeof(std::string_view) + sizeof(CellId));
   return bytes;
 }
 

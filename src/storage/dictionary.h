@@ -2,12 +2,15 @@
 
 #include <cstdint>
 #include <deque>
-#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
+#include "common/array_ref.h"
+
 namespace blend {
+
+class SnapshotCodec;
 
 /// Identifier of an interned (normalized) cell value.
 using CellId = uint32_t;
@@ -19,27 +22,58 @@ constexpr CellId kInvalidCellId = 0xFFFFFFFFu;
 /// stores CellIds instead of strings: this is both the dictionary encoding a
 /// column store would apply to a low-cardinality nvarchar column and the key
 /// space of the in-database hash index on CellValue.
+///
+/// Two physical modes behind one interface:
+///   - Mutable (the builder's intern path): a deque of strings plus a hash
+///     map, grown one Intern at a time.
+///   - Snapshot-loaded: three fixed-width arrays — CSR offsets, the
+///     concatenated value blob, and a precomputed open-addressing hash
+///     table — served from a snapshot (zero-copy views for OpenSnapshot,
+///     heap copies for ReadSnapshot). Loading performs no interning at all,
+///     which is what makes snapshot loads an order of magnitude faster than
+///     an index rebuild. A loaded dictionary is immutable: Intern must not
+///     be called on it.
 class Dictionary {
  public:
-  /// Interns `normalized` (caller must have applied NormalizeCell).
+  /// Interns `normalized` (caller must have applied NormalizeCell). Mutable
+  /// mode only.
   CellId Intern(std::string_view normalized);
 
   /// Looks up without interning; kInvalidCellId when absent.
   CellId Find(std::string_view normalized) const;
 
   /// The interned string for an id.
-  std::string_view Value(CellId id) const { return values_[id]; }
+  std::string_view Value(CellId id) const {
+    if (loaded()) {
+      const uint64_t begin = offsets_[id];
+      return {blob_.data() + begin, static_cast<size_t>(offsets_[id + 1] - begin)};
+    }
+    return values_[id];
+  }
 
-  size_t Size() const { return values_.size(); }
+  size_t Size() const { return loaded() ? offsets_.size() - 1 : values_.size(); }
 
-  /// Approximate footprint in bytes (strings + hash map).
+  /// Approximate footprint in bytes (strings + lookup structure).
   size_t ApproxBytes() const;
 
  private:
-  // deque keeps string addresses stable so the map's string_view keys can
-  // alias the stored strings.
+  friend class SnapshotCodec;
+
+  bool loaded() const { return !offsets_.empty(); }
+
+  // Mutable mode. deque keeps string addresses stable so the map's
+  // string_view keys can alias the stored strings.
   std::deque<std::string> values_;
   std::unordered_map<std::string_view, CellId> ids_;
+
+  // Snapshot-loaded mode; a non-empty offsets_ array switches the accessors
+  // here. hash_slots_ is a power-of-two open-addressing table of CellIds
+  // (empty slots hold kInvalidCellId) keyed by FNV-1a with linear probing —
+  // a pure function of the value sequence, so it lives in the snapshot and
+  // loads without any hashing.
+  PodArray<uint64_t> offsets_;  // Size() + 1
+  PodArray<char> blob_;
+  PodArray<CellId> hash_slots_;
 };
 
 }  // namespace blend

@@ -1,0 +1,556 @@
+#include "index/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "core/blend.h"
+#include "lakegen/join_lake.h"
+#include "lakegen/workloads.h"
+#include "sql/engine.h"
+
+namespace blend {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "blend_snapshot_" + name;
+}
+
+// ---------------------------------------------------------------------------
+// Bundle equality helpers (bit-identity, mirroring builder_test.cc).
+// ---------------------------------------------------------------------------
+
+template <typename Store>
+void ExpectStoresEqual(const Store& a, const Store& b, size_t num_cells) {
+  ASSERT_EQ(a.NumRecords(), b.NumRecords());
+  ASSERT_EQ(a.NumTables(), b.NumTables());
+  for (RecordPos i = 0; i < a.NumRecords(); ++i) {
+    ASSERT_EQ(a.cell(i), b.cell(i)) << "record " << i;
+    ASSERT_EQ(a.table(i), b.table(i)) << "record " << i;
+    ASSERT_EQ(a.column(i), b.column(i)) << "record " << i;
+    ASSERT_EQ(a.row(i), b.row(i)) << "record " << i;
+    ASSERT_EQ(a.super_key(i), b.super_key(i)) << "record " << i;
+    ASSERT_EQ(a.quadrant(i), b.quadrant(i)) << "record " << i;
+  }
+  auto spans_equal = [](std::span<const RecordPos> x, std::span<const RecordPos> y) {
+    return std::equal(x.begin(), x.end(), y.begin(), y.end());
+  };
+  for (CellId id = 0; id < static_cast<CellId>(num_cells); ++id) {
+    ASSERT_TRUE(spans_equal(a.Postings(id), b.Postings(id))) << "cell " << id;
+  }
+  for (TableId t = 0; t < static_cast<TableId>(a.NumTables()); ++t) {
+    ASSERT_EQ(a.TableRange(t), b.TableRange(t)) << "table " << t;
+  }
+  ASSERT_TRUE(spans_equal(a.QuadrantPositions(), b.QuadrantPositions()));
+}
+
+void ExpectBundlesIdentical(const IndexBundle& a, const IndexBundle& b) {
+  ASSERT_EQ(a.layout(), b.layout());
+  ASSERT_EQ(a.NumRecords(), b.NumRecords());
+  ASSERT_EQ(a.NumTables(), b.NumTables());
+  ASSERT_EQ(a.dictionary().Size(), b.dictionary().Size());
+  for (CellId id = 0; id < static_cast<CellId>(a.dictionary().Size()); ++id) {
+    ASSERT_EQ(a.dictionary().Value(id), b.dictionary().Value(id)) << "id " << id;
+  }
+  if (a.layout() == StoreLayout::kRow) {
+    ExpectStoresEqual(a.row_store(), b.row_store(), a.dictionary().Size());
+  } else {
+    ExpectStoresEqual(a.column_store(), b.column_store(), a.dictionary().Size());
+  }
+  for (TableId t = 0; t < static_cast<TableId>(a.NumTables()); ++t) {
+    for (int32_t r = -1; r < 40; ++r) {
+      ASSERT_EQ(a.OriginalRow(t, r), b.OriginalRow(t, r))
+          << "table " << t << " row " << r;
+    }
+  }
+}
+
+DataLake TestLake(uint64_t seed = 11) {
+  lakegen::JoinLakeSpec spec;
+  spec.num_tables = 30;
+  spec.num_domains = 5;
+  spec.domain_vocab = 150;
+  spec.numeric_col_prob = 0.5;
+  spec.seed = seed;
+  return lakegen::MakeJoinLake(spec);
+}
+
+IndexBundle BuildBundle(const DataLake& lake, StoreLayout layout, bool shuffle) {
+  IndexBuildOptions opts;
+  opts.layout = layout;
+  opts.shuffle_rows = shuffle;
+  return IndexBuilder(opts).Build(lake);
+}
+
+// ---------------------------------------------------------------------------
+// File manipulation helpers for the corruption suite.
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> Slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::fseek(f, 0, SEEK_END);
+  std::vector<uint8_t> bytes(static_cast<size_t>(std::ftell(f)));
+  std::fseek(f, 0, SEEK_SET);
+  EXPECT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  return bytes;
+}
+
+void Spit(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+/// Field offsets within the file header (see snapshot.cc's FileHeader).
+constexpr size_t kVersionOffset = 8;
+constexpr size_t kEndianOffset = 12;
+constexpr size_t kLayoutOffset = 16;
+constexpr size_t kSectionCountOffset = 48;
+constexpr size_t kHeaderChecksumOffset = 64;
+constexpr size_t kHeaderSize = 72;
+constexpr size_t kSectionEntrySize = 32;
+
+struct SectionInfo {
+  uint32_t id;
+  uint64_t offset;
+  uint64_t size;
+};
+
+std::vector<SectionInfo> ParseSectionTable(const std::vector<uint8_t>& bytes) {
+  uint64_t count = 0;
+  std::memcpy(&count, bytes.data() + kSectionCountOffset, sizeof(count));
+  std::vector<SectionInfo> sections;
+  for (uint64_t s = 0; s < count; ++s) {
+    const uint8_t* e = bytes.data() + kHeaderSize + s * kSectionEntrySize;
+    SectionInfo info;
+    std::memcpy(&info.id, e, sizeof(info.id));
+    std::memcpy(&info.offset, e + 8, sizeof(info.offset));
+    std::memcpy(&info.size, e + 16, sizeof(info.size));
+    sections.push_back(info);
+  }
+  return sections;
+}
+
+/// Recomputes the header checksum after a deliberate header edit, so the
+/// tampered value (not the checksum) is what the loader trips over.
+void ReforgeHeaderChecksum(std::vector<uint8_t>* bytes) {
+  const uint64_t sum = internal::SnapshotChecksum(bytes->data(), kHeaderChecksumOffset);
+  std::memcpy(bytes->data() + kHeaderChecksumOffset, &sum, sizeof(sum));
+}
+
+/// Both load paths must reject the file with a non-OK status whose message
+/// contains `expect_substr` (when non-empty) — and must never crash.
+void ExpectBothLoadersReject(const std::string& path,
+                             const std::string& expect_substr) {
+  for (bool zero_copy : {false, true}) {
+    auto loaded = zero_copy ? OpenSnapshot(path) : ReadSnapshot(path);
+    ASSERT_FALSE(loaded.ok()) << "zero_copy=" << zero_copy;
+    if (!expect_substr.empty()) {
+      EXPECT_NE(loaded.status().message().find(expect_substr), std::string::npos)
+          << "zero_copy=" << zero_copy
+          << " message: " << loaded.status().message();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip bit-identity, both layouts x shuffle x both load paths.
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotTest, RoundTripIsBitIdentical) {
+  DataLake lake = TestLake();
+  for (StoreLayout layout : {StoreLayout::kColumn, StoreLayout::kRow}) {
+    for (bool shuffle : {false, true}) {
+      SCOPED_TRACE("layout=" + std::to_string(static_cast<int>(layout)) +
+                   " shuffle=" + std::to_string(shuffle));
+      IndexBundle built = BuildBundle(lake, layout, shuffle);
+      const std::string path = TempPath("roundtrip");
+      ASSERT_TRUE(WriteSnapshot(built, path).ok());
+
+      auto heap = ReadSnapshot(path);
+      ASSERT_TRUE(heap.ok()) << heap.status().ToString();
+      EXPECT_FALSE(heap.value().IsSnapshotBacked());
+      ExpectBundlesIdentical(built, heap.value());
+
+      auto mapped = OpenSnapshot(path);
+      ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+      EXPECT_TRUE(mapped.value().IsSnapshotBacked());
+      ExpectBundlesIdentical(built, mapped.value());
+      std::remove(path.c_str());
+    }
+  }
+}
+
+TEST(SnapshotTest, RewrittenSnapshotIsByteIdenticalOnDisk) {
+  // The file is a pure function of the index content: write, load (either
+  // path), write again -> identical bytes. This is what lets a fleet verify
+  // artifact integrity by hash.
+  DataLake lake = TestLake(13);
+  for (StoreLayout layout : {StoreLayout::kColumn, StoreLayout::kRow}) {
+    IndexBundle built = BuildBundle(lake, layout, /*shuffle=*/true);
+    const std::string path_a = TempPath("rewrite_a");
+    const std::string path_b = TempPath("rewrite_b");
+    ASSERT_TRUE(WriteSnapshot(built, path_a).ok());
+    auto loaded = OpenSnapshot(path_a);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    ASSERT_TRUE(WriteSnapshot(loaded.value(), path_b).ok());
+    EXPECT_EQ(Slurp(path_a), Slurp(path_b));
+    std::remove(path_a.c_str());
+    std::remove(path_b.c_str());
+  }
+}
+
+TEST(SnapshotTest, SnapshotBytesMatchesFileSize) {
+  DataLake lake = TestLake(17);
+  for (StoreLayout layout : {StoreLayout::kColumn, StoreLayout::kRow}) {
+    for (bool shuffle : {false, true}) {
+      SCOPED_TRACE("layout=" + std::to_string(static_cast<int>(layout)) +
+                   " shuffle=" + std::to_string(shuffle));
+      IndexBundle built = BuildBundle(lake, layout, shuffle);
+      const std::string path = TempPath("size");
+      ASSERT_TRUE(WriteSnapshot(built, path).ok());
+      EXPECT_EQ(SnapshotBytes(built), Slurp(path).size());
+      std::remove(path.c_str());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Query byte-identity on loaded bundles.
+// ---------------------------------------------------------------------------
+
+std::string QueryToString(const sql::Engine& engine, const std::string& sqltext) {
+  auto res = engine.Query(sqltext);
+  EXPECT_TRUE(res.ok()) << res.status().ToString() << "\n" << sqltext;
+  if (!res.ok()) return "ERROR";
+  std::string out;
+  for (const auto& row : res.value().rows) {
+    for (const auto& v : row) {
+      if (v.is_null()) {
+        out += "NULL,";
+      } else if (v.kind == sql::SqlValue::Kind::kInt) {
+        out += std::to_string(v.i) + ",";
+      } else {
+        char buf[40];
+        snprintf(buf, sizeof(buf), "%.17g,", v.d);
+        out += buf;
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+TEST(SnapshotTest, LoadedBundlesAnswerQueriesByteIdentically) {
+  DataLake lake = TestLake(19);
+  Rng rng(7);
+  std::vector<std::string> values = lakegen::SampleColumnQuery(lake, 25, &rng);
+  if (values.empty()) values = {"probe"};
+  const std::vector<std::string> sqls = {
+      "SELECT TableId, ColumnId, COUNT(DISTINCT CellValue) AS score "
+      "FROM AllTables WHERE CellValue IN (" +
+          SqlInList(values) +
+          ") GROUP BY TableId, ColumnId ORDER BY score DESC LIMIT 25;",
+      "SELECT TableId, COUNT(*), SUM(RowId), MIN(ColumnId), MAX(RowId) "
+      "FROM AllTables GROUP BY TableId;",
+      "SELECT TableId, ColumnId, RowId FROM AllTables "
+      "WHERE TableId IN (0, 3, 7, 999) AND RowId < 20;",
+  };
+  for (StoreLayout layout : {StoreLayout::kColumn, StoreLayout::kRow}) {
+    for (bool shuffle : {false, true}) {
+      SCOPED_TRACE("layout=" + std::to_string(static_cast<int>(layout)) +
+                   " shuffle=" + std::to_string(shuffle));
+      IndexBundle built = BuildBundle(lake, layout, shuffle);
+      const std::string path = TempPath("queries");
+      ASSERT_TRUE(WriteSnapshot(built, path).ok());
+      auto heap = ReadSnapshot(path);
+      ASSERT_TRUE(heap.ok()) << heap.status().ToString();
+      auto mapped = OpenSnapshot(path);
+      ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+
+      sql::Engine fresh(&built);
+      sql::Engine heap_engine(&heap.value());
+      sql::Engine mapped_engine(&mapped.value());
+      for (const auto& sqltext : sqls) {
+        const std::string want = QueryToString(fresh, sqltext);
+        EXPECT_EQ(want, QueryToString(heap_engine, sqltext)) << sqltext;
+        EXPECT_EQ(want, QueryToString(mapped_engine, sqltext)) << sqltext;
+      }
+      std::remove(path.c_str());
+    }
+  }
+}
+
+TEST(SnapshotTest, BlendOpenSnapshotServesIdenticalPlans) {
+  using core::Blend;
+  using core::Plan;
+  using core::SCSeeker;
+  auto fig1 = lakegen::MakeFig1Lake();
+  Blend built(&fig1.lake);
+  const std::string path = TempPath("blend");
+  ASSERT_TRUE(built.SaveSnapshot(path).ok());
+
+  auto opened = Blend::OpenSnapshot(path, &fig1.lake);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_TRUE(opened.value()->bundle().IsSnapshotBacked());
+
+  Plan plan;
+  std::vector<std::string> departments = {"HR", "Marketing", "IT", "Sales"};
+  ASSERT_TRUE(plan.Add("dep", std::make_shared<SCSeeker>(departments, 3)).ok());
+  auto want = built.Run(plan);
+  Plan plan2;
+  ASSERT_TRUE(plan2.Add("dep", std::make_shared<SCSeeker>(departments, 3)).ok());
+  auto got = opened.value()->Run(plan2);
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(core::ToString(want.value(), &fig1.lake),
+            core::ToString(got.value(), &fig1.lake));
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, BlendOpenSnapshotRejectsMismatchedLake) {
+  using core::Blend;
+  auto fig1 = lakegen::MakeFig1Lake();
+  Blend built(&fig1.lake);
+  const std::string path = TempPath("mismatch");
+  ASSERT_TRUE(built.SaveSnapshot(path).ok());
+
+  // Wrong table count.
+  DataLake fewer("fewer");
+  {
+    Table t("only");
+    t.AddColumn("c");
+    (void)t.AppendRow({"x"});
+    fewer.AddTable(std::move(t));
+  }
+  auto wrong_count = Blend::OpenSnapshot(path, &fewer);
+  ASSERT_FALSE(wrong_count.ok());
+  EXPECT_EQ(wrong_count.status().code(), StatusCode::kInvalidArgument);
+
+  // Same table count, but a table shrank: indexed rows map past its end.
+  DataLake shorter("shorter");
+  for (size_t t = 0; t < fig1.lake.NumTables(); ++t) {
+    Table trimmed(fig1.lake.table(static_cast<TableId>(t)).name());
+    trimmed.AddColumn("c");
+    (void)trimmed.AppendRow({"x"});
+    shorter.AddTable(std::move(trimmed));
+  }
+  auto stale = Blend::OpenSnapshot(path, &shorter);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(stale.status().message().find("does not match the lake"),
+            std::string::npos);
+
+  // The matching lake still opens.
+  ASSERT_TRUE(Blend::OpenSnapshot(path, &fig1.lake).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, BlendOpenSnapshotRequiresALake) {
+  auto res = core::Blend::OpenSnapshot(TempPath("nolake"), nullptr);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Empty-lake edge cases, both layouts.
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotTest, EmptyLakeRoundTripsAndAnswersQueries) {
+  DataLake no_tables("empty");
+  DataLake no_records("blank");
+  {
+    Table t("t0");
+    t.AddColumn("a");
+    t.AddColumn("b");
+    (void)t.AppendRow({"", ""});  // nothing indexable
+    no_records.AddTable(std::move(t));
+  }
+  for (DataLake* lake : {&no_tables, &no_records}) {
+    for (StoreLayout layout : {StoreLayout::kColumn, StoreLayout::kRow}) {
+      SCOPED_TRACE(lake->name() + " layout=" +
+                   std::to_string(static_cast<int>(layout)));
+      IndexBundle built = BuildBundle(*lake, layout, /*shuffle=*/false);
+      ASSERT_EQ(built.NumRecords(), 0u);
+      const std::string path = TempPath("empty");
+      ASSERT_TRUE(WriteSnapshot(built, path).ok());
+      for (bool zero_copy : {false, true}) {
+        auto loaded = zero_copy ? OpenSnapshot(path) : ReadSnapshot(path);
+        ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+        EXPECT_EQ(loaded.value().NumRecords(), 0u);
+        EXPECT_EQ(loaded.value().NumTables(), lake->NumTables());
+        sql::Engine engine(&loaded.value());
+        auto res = engine.Query(
+            "SELECT TableId, COUNT(DISTINCT CellValue) AS score FROM AllTables "
+            "WHERE CellValue IN ('x', 'y') GROUP BY TableId;");
+        ASSERT_TRUE(res.ok()) << res.status().ToString();
+        EXPECT_EQ(res.value().NumRows(), 0u);
+      }
+      std::remove(path.c_str());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Corruption handling: every malformed input is a descriptive error.
+// ---------------------------------------------------------------------------
+
+class SnapshotCorruptionTest : public ::testing::TestWithParam<int> {
+ protected:
+  SnapshotCorruptionTest() {
+    lake_ = TestLake(23);
+    layout_ = GetParam() == 0 ? StoreLayout::kColumn : StoreLayout::kRow;
+    bundle_ = BuildBundle(lake_, layout_, /*shuffle=*/true);
+    // Unique per test method: ctest runs every test as its own process, and
+    // concurrent methods of this fixture must not rewrite one shared file.
+    std::string name =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::replace(name.begin(), name.end(), '/', '_');
+    path_ = TempPath("corrupt_" + name + "_" + std::to_string(GetParam()));
+    EXPECT_TRUE(WriteSnapshot(bundle_, path_).ok());
+    pristine_ = Slurp(path_);
+  }
+  ~SnapshotCorruptionTest() override { std::remove(path_.c_str()); }
+
+  DataLake lake_;
+  StoreLayout layout_;
+  IndexBundle bundle_;
+  std::string path_;
+  std::vector<uint8_t> pristine_;
+};
+
+TEST_P(SnapshotCorruptionTest, MissingFile) {
+  auto res = ReadSnapshot(path_ + ".does-not-exist");
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kNotFound);
+}
+
+TEST_P(SnapshotCorruptionTest, BadMagic) {
+  std::vector<uint8_t> bytes = pristine_;
+  bytes[0] ^= 0xFF;
+  Spit(path_, bytes);
+  ExpectBothLoadersReject(path_, "bad magic");
+}
+
+TEST_P(SnapshotCorruptionTest, FutureVersion) {
+  std::vector<uint8_t> bytes = pristine_;
+  const uint32_t future = kSnapshotVersion + 1;
+  std::memcpy(bytes.data() + kVersionOffset, &future, sizeof(future));
+  Spit(path_, bytes);
+  ExpectBothLoadersReject(path_, "version");
+}
+
+TEST_P(SnapshotCorruptionTest, ForeignEndianness) {
+  std::vector<uint8_t> bytes = pristine_;
+  const uint32_t swapped = 0x04030201u;
+  std::memcpy(bytes.data() + kEndianOffset, &swapped, sizeof(swapped));
+  Spit(path_, bytes);
+  ExpectBothLoadersReject(path_, "endianness");
+}
+
+TEST_P(SnapshotCorruptionTest, TamperedHeader) {
+  std::vector<uint8_t> bytes = pristine_;
+  bytes[kSectionCountOffset] ^= 0x01;
+  Spit(path_, bytes);
+  ExpectBothLoadersReject(path_, "header checksum");
+}
+
+TEST_P(SnapshotCorruptionTest, UnknownLayoutValue) {
+  std::vector<uint8_t> bytes = pristine_;
+  const uint32_t bogus = 7;
+  std::memcpy(bytes.data() + kLayoutOffset, &bogus, sizeof(bogus));
+  ReforgeHeaderChecksum(&bytes);
+  Spit(path_, bytes);
+  ExpectBothLoadersReject(path_, "layout");
+}
+
+TEST_P(SnapshotCorruptionTest, ForgedHugeCountsAreRejected) {
+  // Counts near 2^63 would overflow derived arithmetic (num_cells + 1,
+  // 2 * num_tables) if they reached it; the parser bounds every count by the
+  // file size first.
+  constexpr size_t kCountOffsets[] = {24, 32, 40};  // records, tables, cells
+  for (size_t field : kCountOffsets) {
+    SCOPED_TRACE("field offset " + std::to_string(field));
+    std::vector<uint8_t> bytes = pristine_;
+    const uint64_t huge = (1ull << 63) + 1;
+    std::memcpy(bytes.data() + field, &huge, sizeof(huge));
+    ReforgeHeaderChecksum(&bytes);
+    Spit(path_, bytes);
+    ExpectBothLoadersReject(path_, "implausible");
+  }
+}
+
+TEST_P(SnapshotCorruptionTest, SwappedLayoutMissesStoreSections) {
+  // A forged header claiming the other layout passes the checksum but then
+  // fails on the store sections: a row snapshot has no SoA arrays and a
+  // column snapshot has no Records section.
+  std::vector<uint8_t> bytes = pristine_;
+  const uint32_t other = layout_ == StoreLayout::kRow ? 1 : 0;
+  std::memcpy(bytes.data() + kLayoutOffset, &other, sizeof(other));
+  ReforgeHeaderChecksum(&bytes);
+  Spit(path_, bytes);
+  ExpectBothLoadersReject(path_, "missing section");
+}
+
+TEST_P(SnapshotCorruptionTest, TruncationAtEverySectionBoundary) {
+  // Property-style over the section table: for every section, a file cut at
+  // its start, inside it, and one byte short of its end must be rejected.
+  const auto sections = ParseSectionTable(pristine_);
+  ASSERT_FALSE(sections.empty());
+  std::vector<size_t> cuts = {0, kHeaderSize / 2, kHeaderSize,
+                              kHeaderSize + kSectionEntrySize / 2};
+  for (const SectionInfo& s : sections) {
+    cuts.push_back(static_cast<size_t>(s.offset));
+    if (s.size > 1) {
+      cuts.push_back(static_cast<size_t>(s.offset + s.size / 2));
+      cuts.push_back(static_cast<size_t>(s.offset + s.size - 1));
+    }
+  }
+  for (size_t cut : cuts) {
+    if (cut >= pristine_.size()) continue;
+    SCOPED_TRACE("cut=" + std::to_string(cut));
+    Spit(path_, std::vector<uint8_t>(pristine_.begin(),
+                                     pristine_.begin() + static_cast<long>(cut)));
+    ExpectBothLoadersReject(path_, "");
+  }
+}
+
+TEST_P(SnapshotCorruptionTest, FlippedByteInEverySection) {
+  // Property-style bit-rot: one flipped byte anywhere in any payload is a
+  // checksum mismatch naming the section.
+  const auto sections = ParseSectionTable(pristine_);
+  ASSERT_FALSE(sections.empty());
+  for (const SectionInfo& s : sections) {
+    if (s.size == 0) continue;
+    SCOPED_TRACE("section=" + std::to_string(s.id));
+    std::vector<uint8_t> bytes = pristine_;
+    bytes[static_cast<size_t>(s.offset + s.size / 2)] ^= 0x40;
+    Spit(path_, bytes);
+    ExpectBothLoadersReject(path_, "checksum mismatch in section");
+  }
+}
+
+TEST_P(SnapshotCorruptionTest, TamperedSectionTable) {
+  const auto sections = ParseSectionTable(pristine_);
+  ASSERT_FALSE(sections.empty());
+  std::vector<uint8_t> bytes = pristine_;
+  // Flip a byte of the first entry's size field.
+  bytes[kHeaderSize + 16] ^= 0x01;
+  Spit(path_, bytes);
+  ExpectBothLoadersReject(path_, "section table checksum");
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, SnapshotCorruptionTest, ::testing::Values(0, 1));
+
+}  // namespace
+}  // namespace blend

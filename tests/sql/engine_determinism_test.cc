@@ -3,10 +3,13 @@
 #include <thread>
 #include <vector>
 
+#include <cstdio>
+
 #include "common/rng.h"
 #include "common/scheduler.h"
 #include "common/str_util.h"
 #include "index/builder.h"
+#include "index/snapshot.h"
 #include "lakegen/join_lake.h"
 #include "lakegen/workloads.h"
 #include "sql/engine.h"
@@ -186,6 +189,61 @@ TEST_P(EngineDeterminismTest, NonAggregateProjectionAndTableInScan) {
   ExpectDeterministic(
       "SELECT TableId, ColumnId, RowId FROM AllTables "
       "WHERE TableId IN (0, 3, 7, 11, 19) AND RowId < 40;");
+}
+
+TEST_P(EngineDeterminismTest, SnapshotLoadedBundlesReproduceEveryShape) {
+  // The persistence dimension of the determinism matrix: for both layouts x
+  // shuffle_rows on/off, an engine over a ReadSnapshot (heap) or OpenSnapshot
+  // (mmap zero-copy) bundle must answer the representative seeker shapes
+  // byte-identically to the freshly built bundle.
+  Rng rng(GetParam() * 59 + 7);
+  const std::vector<std::string> sqls = {
+      "SELECT TableId, ColumnId, COUNT(DISTINCT CellValue) AS score "
+      "FROM AllTables WHERE CellValue IN (" +
+          RandomInList(&rng, 30) +
+          ") GROUP BY TableId, ColumnId ORDER BY score DESC LIMIT 25;",
+      "SELECT a.TableId, a.RowId, a.SuperKey FROM "
+      "(SELECT TableId, RowId, SuperKey FROM AllTables WHERE CellValue IN (" +
+          RandomInList(&rng, 20) +
+          ")) AS a INNER JOIN (SELECT TableId, RowId FROM AllTables "
+          "WHERE CellValue IN (" +
+          RandomInList(&rng, 20) +
+          ")) AS b ON a.TableId = b.TableId AND a.RowId = b.RowId;",
+      "SELECT TableId, COUNT(*), SUM(RowId), AVG(RowId * 1.5) FROM AllTables "
+      "GROUP BY TableId;",
+  };
+  for (StoreLayout layout : {StoreLayout::kColumn, StoreLayout::kRow}) {
+    for (bool shuffle : {false, true}) {
+      SCOPED_TRACE("layout=" + std::to_string(static_cast<int>(layout)) +
+                   " shuffle=" + std::to_string(shuffle));
+      IndexBuildOptions opts;
+      opts.layout = layout;
+      opts.shuffle_rows = shuffle;
+      IndexBundle built = IndexBuilder(opts).Build(lake_);
+      const std::string path = ::testing::TempDir() + "blend_determinism_" +
+                               std::to_string(GetParam());
+      ASSERT_TRUE(WriteSnapshot(built, path).ok());
+      auto heap = ReadSnapshot(path);
+      ASSERT_TRUE(heap.ok()) << heap.status().ToString();
+      auto mapped = OpenSnapshot(path);
+      ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+
+      Engine fresh(&built);
+      Engine heap_engine(&heap.value());
+      Engine mapped_engine(&mapped.value());
+      for (const auto& sql : sqls) {
+        auto ref = fresh.Query(sql);
+        ASSERT_TRUE(ref.ok()) << ref.status().ToString() << "\n" << sql;
+        const std::string want = ResultToString(ref.value());
+        for (Engine* loaded : {&heap_engine, &mapped_engine}) {
+          auto got = loaded->Query(sql);
+          ASSERT_TRUE(got.ok()) << got.status().ToString() << "\n" << sql;
+          EXPECT_EQ(want, ResultToString(got.value())) << sql;
+        }
+      }
+      std::remove(path.c_str());
+    }
+  }
 }
 
 TEST_P(EngineDeterminismTest, ConcurrentClientsShareOnePool) {
