@@ -9,7 +9,8 @@
 // Exits non-zero on any mismatch, so CI runs this binary as the snapshot
 // round-trip smoke check.
 //
-// Usage: blend_snapshot [--tables=N] [--layout=row|column] [--path=FILE]
+// Usage: blend_snapshot [--tables=N] [--layout=row|column]
+//                       [--codec=raw|compressed] [--path=FILE]
 
 #include <cstdio>
 #include <cstring>
@@ -59,6 +60,7 @@ std::string SqlResult(const sql::Engine& engine, const std::string& sqltext) {
 int main(int argc, char** argv) {
   size_t num_tables = 60;
   StoreLayout layout = StoreLayout::kColumn;
+  PostingCodec codec = PostingCodec::kRaw;
   std::string path = "blend_index.snapshot";
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--tables=", 9) == 0) {
@@ -67,11 +69,20 @@ int main(int argc, char** argv) {
       layout = StoreLayout::kRow;
     } else if (std::strcmp(argv[i], "--layout=column") == 0) {
       layout = StoreLayout::kColumn;
+    } else if (std::strncmp(argv[i], "--codec=", 8) == 0) {
+      auto parsed = ParsePostingCodec(argv[i] + 8);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "--codec: %s\n",
+                     parsed.status().message().c_str());
+        return 2;
+      }
+      codec = parsed.value();
     } else if (std::strncmp(argv[i], "--path=", 7) == 0) {
       path = argv[i] + 7;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--tables=N] [--layout=row|column] [--path=FILE]\n",
+                   "usage: %s [--tables=N] [--layout=row|column] "
+                   "[--codec=raw|compressed] [--path=FILE]\n",
                    argv[0]);
       return 2;
     }
@@ -87,6 +98,7 @@ int main(int argc, char** argv) {
   // otherwise repeat.
   core::Blend::Options options;
   options.layout = layout;
+  options.snapshot_codec = codec;
   StopWatch build_sw;
   core::Blend built(&lake, options);
   const double build_s = build_sw.ElapsedSeconds();
@@ -101,8 +113,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "SaveSnapshot: %s\n", saved.ToString().c_str());
     return 1;
   }
-  std::printf("Saved snapshot: %zu bytes at %s (%.1f ms)\n",
-              SnapshotBytes(built.bundle()), path.c_str(),
+  SnapshotOptions snap_opts;
+  snap_opts.codec = codec;
+  std::printf("Saved snapshot: %zu bytes (%s postings: %zu bytes) at %s "
+              "(%.1f ms)\n",
+              SnapshotBytes(built.bundle(), snap_opts),
+              PostingCodecName(codec),
+              SnapshotPostingBytes(built.bundle(), snap_opts), path.c_str(),
               save_sw.ElapsedSeconds() * 1e3);
 
   // 3. load, both paths: a heap copy and the zero-copy mapping.

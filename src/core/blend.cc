@@ -40,6 +40,7 @@ Blend::Blend(const DataLake* lake, Options options, IndexBundle bundle)
 Status Blend::SaveSnapshot(const std::string& path) const {
   SnapshotOptions opts;
   opts.scheduler = scheduler_;
+  opts.codec = options_.snapshot_codec;
   return WriteSnapshot(bundle_, path, opts);
 }
 

@@ -52,6 +52,11 @@ class Blend {
     /// Fused scan->aggregate fast path for the SC/KW seeker shape;
     /// switchable so ablations can compare against the generic pipeline.
     bool enable_fused_scan_agg = true;
+    /// Postings codec SaveSnapshot writes (index/codec.h): kCompressed
+    /// shrinks the artifact's dominant section via block containers at the
+    /// cost of per-block decode on the serving path. Loading discovers the
+    /// codec from the snapshot header, so this only affects writes.
+    PostingCodec snapshot_codec = PostingCodec::kRaw;
   };
 
   /// Builds the index for the lake (the offline phase, paper Fig. 2e). The

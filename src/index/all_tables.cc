@@ -37,7 +37,9 @@ void SecondaryIndexes::Build(std::span<const IndexRecord> records,
 }
 
 size_t SecondaryIndexes::ApproxBytes() const {
-  return posting_offsets.size() * sizeof(uint64_t) +
+  return (posting_offsets.size() + posting_partitions.size()) *
+             sizeof(uint64_t) +
+         posting_blob.size() +
          (posting_positions.size() + table_ranges.size() +
           quadrant_positions.size()) *
              sizeof(RecordPos);

@@ -25,6 +25,10 @@ namespace {
 constexpr char kMagic[8] = {'B', 'L', 'E', 'N', 'D', 'S', 'N', 'P'};
 constexpr uint32_t kEndianMarker = 0x01020304u;
 constexpr uint32_t kFlagRowMaps = 1u << 0;
+/// Bits 8..15 of the header flags: the PostingCodec id of the postings
+/// payload (v2). Zero in v1 files, which predate the codec subsystem.
+constexpr uint32_t kFlagCodecShift = 8;
+constexpr uint32_t kFlagCodecMask = 0xFFu;
 constexpr size_t kAlign = 8;
 /// Sanity cap long before any real format revision gets close: a corrupt
 /// count must not drive a huge allocation or scan.
@@ -51,6 +55,8 @@ enum SectionId : uint32_t {
   kSecRowMapOffsets = 14,  // shuffled builds only
   kSecRowMapValues = 15,
   kSecDictHash = 16,
+  kSecPostingPartitions = 17,  // compressed codec only
+  kSecPostingBlob = 18,
 };
 
 const char* SectionName(uint32_t id) {
@@ -71,6 +77,8 @@ const char* SectionName(uint32_t id) {
     case kSecRowMapOffsets: return "RowMapOffsets";
     case kSecRowMapValues: return "RowMapValues";
     case kSecDictHash: return "DictHash";
+    case kSecPostingPartitions: return "PostingPartitions";
+    case kSecPostingBlob: return "PostingBlob";
     default: return "Unknown";
   }
 }
@@ -297,22 +305,31 @@ Result<std::shared_ptr<SnapshotStorage>> SnapshotStorage::MapFile(
 class SnapshotCodec {
  public:
   static Status Write(const IndexBundle& bundle, const std::string& path,
-                      Scheduler* sched);
+                      PostingCodec codec, Scheduler* sched);
   static Result<IndexBundle> Load(std::shared_ptr<SnapshotStorage> storage,
                                   bool zero_copy, Scheduler* sched);
-  static size_t FileBytes(const IndexBundle& bundle);
+  static size_t FileBytes(const IndexBundle& bundle, PostingCodec codec);
+  static size_t PostingBytes(const IndexBundle& bundle, PostingCodec codec);
 
  private:
   struct Gathered {
     std::vector<SectionSpec> specs;
     uint32_t flags = 0;
   };
-  static Gathered Gather(const IndexBundle& bundle);
+  static Gathered Gather(const IndexBundle& bundle, PostingCodec codec,
+                         Scheduler* sched);
   static size_t LayoutFile(const Gathered& g, std::vector<SectionEntry>* entries);
+  static const SecondaryIndexes& Secondary(const IndexBundle& bundle) {
+    return bundle.layout_ == StoreLayout::kRow ? bundle.row_store_.secondary_
+                                               : bundle.column_store_.secondary_;
+  }
 };
 
-SnapshotCodec::Gathered SnapshotCodec::Gather(const IndexBundle& bundle) {
+SnapshotCodec::Gathered SnapshotCodec::Gather(const IndexBundle& bundle,
+                                              PostingCodec codec,
+                                              Scheduler* sched) {
   Gathered g;
+  g.flags |= (static_cast<uint32_t>(codec) & kFlagCodecMask) << kFlagCodecShift;
   auto& specs = g.specs;
 
   // Dictionary: CSR offsets over a concatenated value blob (values in id
@@ -378,7 +395,35 @@ SnapshotCodec::Gathered SnapshotCodec::Gather(const IndexBundle& bundle) {
   }
 
   specs.emplace_back().View(kSecPostingOffsets, secondary->posting_offsets);
-  specs.emplace_back().View(kSecPostingPositions, secondary->posting_positions);
+  // The postings payload under the requested codec. When the bundle already
+  // stores that codec the arrays are windowed directly (zero staging);
+  // otherwise the writer transcodes — per-list block encode/decode as
+  // chunked task groups on the shared scheduler, output independent of the
+  // pool size because every list's bytes are a pure function of its values.
+  if (codec == PostingCodec::kRaw) {
+    if (secondary->codec == PostingCodec::kRaw) {
+      specs.emplace_back().View(kSecPostingPositions, secondary->posting_positions);
+    } else {
+      specs.emplace_back().Stage(
+          kSecPostingPositions,
+          StagePod(DecodePostingsCsr(secondary->posting_offsets.span(),
+                                     secondary->posting_partitions.span(),
+                                     secondary->posting_blob.data(), sched)));
+    }
+  } else {
+    if (secondary->codec == PostingCodec::kCompressed) {
+      specs.emplace_back().View(kSecPostingPartitions,
+                                secondary->posting_partitions);
+      specs.emplace_back().View(kSecPostingBlob, secondary->posting_blob);
+    } else {
+      EncodedPostingsCsr encoded =
+          EncodePostingsCsr(secondary->posting_offsets.span(),
+                            secondary->posting_positions.span(), sched);
+      specs.emplace_back().Stage(kSecPostingPartitions,
+                                 StagePod(encoded.partition_offsets));
+      specs.emplace_back().Stage(kSecPostingBlob, std::move(encoded.blob));
+    }
+  }
   specs.emplace_back().View(kSecTableRanges, secondary->table_ranges);
   specs.emplace_back().View(kSecQuadrantPositions, secondary->quadrant_positions);
 
@@ -416,7 +461,53 @@ size_t SnapshotCodec::LayoutFile(const Gathered& g,
   return off;
 }
 
-size_t SnapshotCodec::FileBytes(const IndexBundle& bundle) {
+namespace {
+
+/// Byte sizes of the postings payload sections under `codec`, without
+/// materializing them: one entry (positions) for raw, two (blob offsets,
+/// blob) for compressed. Transcoding is mirrored: a raw bundle's compressed
+/// size sums the per-list encodings, a compressed bundle's raw size is the
+/// decoded element count.
+std::vector<size_t> PostingSectionSizes(const SecondaryIndexes& secondary,
+                                        PostingCodec codec) {
+  const size_t num_lists =
+      secondary.posting_offsets.empty() ? 0 : secondary.posting_offsets.size() - 1;
+  const size_t total_positions =
+      num_lists == 0 ? 0
+                     : static_cast<size_t>(secondary.posting_offsets[num_lists]);
+  if (codec == PostingCodec::kRaw) {
+    return {total_positions * sizeof(RecordPos)};
+  }
+  if (secondary.codec == PostingCodec::kCompressed) {
+    return {secondary.posting_partitions.size() * sizeof(uint64_t),
+            secondary.posting_blob.size()};
+  }
+  const size_t parts =
+      (num_lists + kPostingPartitionCells - 1) / kPostingPartitionCells;
+  size_t blob = 0;
+  for (size_t p = 0; p < parts; ++p) {
+    const size_t begin = p * kPostingPartitionCells;
+    const size_t lists = std::min(kPostingPartitionCells, num_lists - begin);
+    const auto offsets =
+        secondary.posting_offsets.span().subspan(begin, lists + 1);
+    blob += EncodedPostingPartitionBytes(
+        offsets, secondary.posting_positions.span().subspan(
+                     static_cast<size_t>(offsets.front()),
+                     static_cast<size_t>(offsets.back() - offsets.front())));
+  }
+  return {(parts + 1) * sizeof(uint64_t), blob};
+}
+
+}  // namespace
+
+size_t SnapshotCodec::PostingBytes(const IndexBundle& bundle,
+                                   PostingCodec codec) {
+  size_t total = 0;
+  for (size_t s : PostingSectionSizes(Secondary(bundle), codec)) total += s;
+  return total;
+}
+
+size_t SnapshotCodec::FileBytes(const IndexBundle& bundle, PostingCodec codec) {
   // Mirrors Gather's section list without materializing any payload (the
   // SnapshotBytesMatchesFileSize test pins this to the real writer).
   const Dictionary& dict = bundle.dict_;
@@ -438,13 +529,11 @@ size_t SnapshotCodec::FileBytes(const IndexBundle& bundle) {
                  {n * sizeof(CellId), n * sizeof(TableId), n * sizeof(int32_t),
                   n * sizeof(int32_t), n * sizeof(uint64_t), n * sizeof(int8_t)});
   }
-  const SecondaryIndexes& secondary = bundle.layout_ == StoreLayout::kRow
-                                          ? bundle.row_store_.secondary_
-                                          : bundle.column_store_.secondary_;
+  const SecondaryIndexes& secondary = Secondary(bundle);
+  sizes.push_back(secondary.posting_offsets.size() * sizeof(uint64_t));
+  for (size_t s : PostingSectionSizes(secondary, codec)) sizes.push_back(s);
   sizes.insert(sizes.end(),
-               {secondary.posting_offsets.size() * sizeof(uint64_t),
-                secondary.posting_positions.size() * sizeof(RecordPos),
-                secondary.table_ranges.size() * sizeof(RecordPos),
+               {secondary.table_ranges.size() * sizeof(RecordPos),
                 secondary.quadrant_positions.size() * sizeof(RecordPos)});
   if (!bundle.row_maps_.empty()) {
     size_t rows = 0;
@@ -459,8 +548,8 @@ size_t SnapshotCodec::FileBytes(const IndexBundle& bundle) {
 }
 
 Status SnapshotCodec::Write(const IndexBundle& bundle, const std::string& path,
-                            Scheduler* sched) {
-  Gathered g = Gather(bundle);
+                            PostingCodec codec, Scheduler* sched) {
+  Gathered g = Gather(bundle, codec, sched);
   std::vector<SectionEntry> entries;
   LayoutFile(g, &entries);
 
@@ -569,6 +658,16 @@ Status ParseSnapshot(const SnapshotStorage& storage, Scheduler* sched,
     return Corrupt("format version " + std::to_string(header.version) +
                    " is not supported (this build reads up to version " +
                    std::to_string(kSnapshotVersion) + ")");
+  }
+  const uint32_t codec_bits = (header.flags >> kFlagCodecShift) & kFlagCodecMask;
+  if (codec_bits > static_cast<uint32_t>(PostingCodec::kCompressed)) {
+    return Corrupt("unknown postings codec " + std::to_string(codec_bits));
+  }
+  // The codec flag bits arrived with v2; a v1 header carrying them is a
+  // forgery (e.g. a version field rewritten over a v2 payload).
+  if (header.version < 2 && codec_bits != 0) {
+    return Corrupt("version 1 header carries postings codec flags (forged "
+                   "header over a v2 payload?)");
   }
   if (ChecksumSerial(base, offsetof(FileHeader, header_checksum)) !=
       header.header_checksum) {
@@ -829,16 +928,86 @@ Result<IndexBundle> SnapshotCodec::Load(std::shared_ptr<SnapshotStorage> storage
     secondary = &bundle.column_store_.secondary_;
   }
 
-  // Secondary indexes: CSR postings, clustered table ranges, quadrant
-  // partial index. All positions must stay inside [0, n).
+  // Secondary indexes: CSR postings (raw positions or the compressed blob,
+  // per the header's codec bits), clustered table ranges, quadrant partial
+  // index. All positions must stay inside [0, n).
   {
+    const auto codec = static_cast<PostingCodec>(
+        (header.flags >> kFlagCodecShift) & kFlagCodecMask);
     BLEND_ASSIGN_OR_RETURN(auto offsets, (SectionArray<uint64_t>(
                                              st, parsed, kSecPostingOffsets,
                                              num_cells + 1)));
-    BLEND_ASSIGN_OR_RETURN(auto positions, (SectionArray<RecordPos>(
-                                               st, parsed, kSecPostingPositions,
-                                               n)));
     BLEND_RETURN_NOT_OK(ValidateCsr(offsets, n, "postings"));
+    if (codec == PostingCodec::kRaw) {
+      if (parsed.Has(kSecPostingPartitions) || parsed.Has(kSecPostingBlob)) {
+        return Corrupt("posting blob sections present but the header declares "
+                       "the raw codec");
+      }
+      BLEND_ASSIGN_OR_RETURN(auto positions, (SectionArray<RecordPos>(
+                                                 st, parsed,
+                                                 kSecPostingPositions, n)));
+      if (!ParallelAllOf(positions.size(), sched,
+                         [&](size_t i) { return positions[i] < n; })) {
+        return Corrupt("posting position outside the record range");
+      }
+      FillArray(&secondary->posting_positions, positions, zero_copy);
+    } else {
+      if (parsed.Has(kSecPostingPositions)) {
+        return Corrupt("raw postings section present but the header declares "
+                       "the compressed codec");
+      }
+      const uint64_t parts = (num_cells + kPostingPartitionCells - 1) /
+                             kPostingPartitionCells;
+      BLEND_ASSIGN_OR_RETURN(auto partitions,
+                             (SectionArray<uint64_t>(st, parsed,
+                                                     kSecPostingPartitions,
+                                                     parts + 1)));
+      const uint64_t blob_size =
+          parsed.Has(kSecPostingBlob) ? parsed.SectionSize(kSecPostingBlob) : 0;
+      BLEND_RETURN_NOT_OK(
+          ValidateCsr(partitions, blob_size, "posting partition"));
+      BLEND_ASSIGN_OR_RETURN(auto blob, (SectionArray<uint8_t>(
+                                            st, parsed, kSecPostingBlob,
+                                            blob_size)));
+      // Every encoded partition is walked list by list and block by block
+      // before anything serves it: truncation at block boundaries, forged
+      // varints/tags/widths/skip tables and out-of-range or non-ascending
+      // positions all surface here as a descriptive error, never as UB on
+      // the (check-free) query path. Chunked like the other O(n) scans; the
+      // lowest failing partition's error is reported so the message is
+      // deterministic.
+      {
+        constexpr size_t kChunkParts = 16;
+        const size_t chunks =
+            (static_cast<size_t>(parts) + kChunkParts - 1) / kChunkParts;
+        std::vector<Status> chunk_err(chunks, Status::OK());
+        sched->ParallelFor(chunks, [&](size_t c) {
+          const size_t end = std::min<size_t>(parts, (c + 1) * kChunkParts);
+          for (size_t p = c * kChunkParts; p < end; ++p) {
+            const size_t begin = p * kPostingPartitionCells;
+            const size_t lists = std::min<size_t>(kPostingPartitionCells,
+                                                  num_cells - begin);
+            Status part_ok = ValidatePostingPartition(
+                blob.data() + partitions[p],
+                static_cast<size_t>(partitions[p + 1] - partitions[p]),
+                offsets.subspan(begin, lists + 1), n);
+            if (!part_ok.ok()) {
+              chunk_err[c] = Status::InvalidArgument(
+                  "invalid snapshot: postings partition " + std::to_string(p) +
+                  " (cells " + std::to_string(begin) + "..): " +
+                  part_ok.message());
+              return;
+            }
+          }
+        });
+        for (const Status& s : chunk_err) {
+          if (!s.ok()) return s;
+        }
+      }
+      FillArray(&secondary->posting_partitions, partitions, zero_copy);
+      FillArray(&secondary->posting_blob, blob, zero_copy);
+      secondary->codec = PostingCodec::kCompressed;
+    }
     BLEND_ASSIGN_OR_RETURN(auto ranges, (SectionArray<RecordPos>(
                                             st, parsed, kSecTableRanges,
                                             2 * num_tables)));
@@ -849,10 +1018,6 @@ Result<IndexBundle> SnapshotCodec::Load(std::shared_ptr<SnapshotStorage> storage
     BLEND_ASSIGN_OR_RETURN(auto quad, (SectionArray<RecordPos>(
                                           st, parsed, kSecQuadrantPositions,
                                           quad_count)));
-    if (!ParallelAllOf(positions.size(), sched,
-                       [&](size_t i) { return positions[i] < n; })) {
-      return Corrupt("posting position outside the record range");
-    }
     if (!ParallelAllOf(quad.size(), sched,
                        [&](size_t i) { return quad[i] < n; })) {
       return Corrupt("quadrant position outside the record range");
@@ -863,7 +1028,6 @@ Result<IndexBundle> SnapshotCodec::Load(std::shared_ptr<SnapshotStorage> storage
       }
     }
     FillArray(&secondary->posting_offsets, offsets, zero_copy);
-    FillArray(&secondary->posting_positions, positions, zero_copy);
     FillArray(&secondary->table_ranges, ranges, zero_copy);
     FillArray(&secondary->quadrant_positions, quad, zero_copy);
   }
@@ -904,7 +1068,7 @@ Status WriteSnapshot(const IndexBundle& bundle, const std::string& path,
                      const SnapshotOptions& options) {
   Scheduler* sched =
       options.scheduler != nullptr ? options.scheduler : Scheduler::Default();
-  return SnapshotCodec::Write(bundle, path, sched);
+  return SnapshotCodec::Write(bundle, path, options.codec, sched);
 }
 
 Result<IndexBundle> ReadSnapshot(const std::string& path,
@@ -923,8 +1087,13 @@ Result<IndexBundle> OpenSnapshot(const std::string& path,
   return SnapshotCodec::Load(std::move(storage), /*zero_copy=*/true, sched);
 }
 
-size_t SnapshotBytes(const IndexBundle& bundle) {
-  return SnapshotCodec::FileBytes(bundle);
+size_t SnapshotBytes(const IndexBundle& bundle, const SnapshotOptions& options) {
+  return SnapshotCodec::FileBytes(bundle, options.codec);
+}
+
+size_t SnapshotPostingBytes(const IndexBundle& bundle,
+                            const SnapshotOptions& options) {
+  return SnapshotCodec::PostingBytes(bundle, options.codec);
 }
 
 namespace internal {

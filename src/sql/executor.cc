@@ -8,6 +8,7 @@
 
 #include "common/scheduler.h"
 #include "common/str_util.h"
+#include "index/codec.h"
 #include "sql/planner.h"
 
 namespace blend::sql {
@@ -196,18 +197,33 @@ std::string ItemName(const SelectItem& item) {
 // ---------------------------------------------------------------------------
 
 /// One unit of scan work: either a slice of a posting/position list
-/// (`list != nullptr`, begin/end are slice indices) or a contiguous range of
-/// physical positions (begin/end are the positions themselves).
+/// (`from_list`, begin/end are ordinals within `list`) or a contiguous range
+/// of physical positions (begin/end are the positions themselves). Lists are
+/// carried as PostingListRef and consumed through PostingCursor, so a morsel
+/// neither knows nor cares whether the list is raw or block-compressed.
 struct ScanMorsel {
-  const RecordPos* list = nullptr;
+  PostingListRef list;
+  bool from_list = false;
   size_t begin = 0;
   size_t end = 0;
 };
 
-void AppendMorsels(const RecordPos* list, size_t begin, size_t end,
-                   std::vector<ScanMorsel>* morsels) {
+/// Morsel geometry note: kScanMorselRecords is a multiple of
+/// kPostingBlockLen, so list morsels start on container boundaries and each
+/// morsel decodes only its own blocks.
+static_assert(kScanMorselRecords % kPostingBlockLen == 0);
+
+void AppendListMorsels(PostingListRef list, std::vector<ScanMorsel>* morsels) {
+  for (size_t b = 0; b < list.size(); b += kScanMorselRecords) {
+    morsels->push_back(
+        {list, true, b, std::min(list.size(), b + kScanMorselRecords)});
+  }
+}
+
+void AppendRangeMorsels(size_t begin, size_t end,
+                        std::vector<ScanMorsel>* morsels) {
   for (size_t b = begin; b < end; b += kScanMorselRecords) {
-    morsels->push_back({list, b, std::min(end, b + kScanMorselRecords)});
+    morsels->push_back({{}, false, b, std::min(end, b + kScanMorselRecords)});
   }
 }
 
@@ -269,8 +285,7 @@ Result<std::vector<RecordPos>> ScanRel(const AnalyzedRel& rel, const Store& stor
                           spec.table_in->in_ints.end());
     }
     for (CellId id : ResolveCellIds(*spec.cell_in, dict)) {
-      const std::span<const RecordPos> pl = store.Postings(id);
-      AppendMorsels(pl.data(), 0, pl.size(), &morsels);
+      AppendListMorsels(store.PostingList(id), &morsels);
     }
   } else if (spec.table_in != nullptr) {
     // Access path 2: the clustered index on TableId.
@@ -281,16 +296,15 @@ Result<std::vector<RecordPos>> ScanRel(const AnalyzedRel& rel, const Store& stor
     for (int64_t id : ids) {
       if (id < 0 || static_cast<size_t>(id) >= store.NumTables()) continue;
       auto [b, e] = store.TableRange(static_cast<TableId>(id));
-      AppendMorsels(nullptr, b, e, &morsels);
+      AppendRangeMorsels(b, e, &morsels);
     }
   } else if (spec.need_quadrant) {
     // Access path 3: the partial index on Quadrant (correlation seeker's
     // numeric-cell scan).
-    const std::span<const RecordPos> qp = store.QuadrantPositions();
-    AppendMorsels(qp.data(), 0, qp.size(), &morsels);
+    AppendListMorsels(PostingListRef::Raw(store.QuadrantPositions()), &morsels);
   } else {
     // Access path 4: full scan.
-    AppendMorsels(nullptr, 0, store.NumRecords(), &morsels);
+    AppendRangeMorsels(0, store.NumRecords(), &morsels);
   }
 
   // Filter each morsel into its own buffer, then concatenate in morsel order:
@@ -306,11 +320,24 @@ Result<std::vector<RecordPos>> ScanRel(const AnalyzedRel& rel, const Store& stor
   RunTasks(scan_sched, morsels.size(), [&](size_t m) {
     const ScanMorsel& mo = morsels[m];
     std::vector<RecordPos>& out = parts[m];
-    if (mo.list != nullptr) {
-      for (size_t i = mo.begin; i < mo.end; ++i) {
-        RecordPos p = mo.list[i];
-        if (use_table_filter && table_filter.count(store.table(p)) == 0) continue;
-        if (passes(p)) out.push_back(p);
+    if (mo.from_list) {
+      // Batch-decode the morsel's own containers into the cursor's reusable
+      // scratch; raw lists come back as one zero-copy batch.
+      PostingCursor cur(mo.list);
+      cur.SeekToOrdinal(mo.begin);
+      for (auto batch = cur.NextBatch(); !batch.empty();
+           batch = cur.NextBatch()) {
+        const size_t ord = cur.batch_ordinal();
+        if (ord >= mo.end) break;
+        const size_t lo = mo.begin > ord ? mo.begin - ord : 0;
+        const size_t hi = std::min(batch.size(), mo.end - ord);
+        for (size_t i = lo; i < hi; ++i) {
+          const RecordPos p = batch[i];
+          if (use_table_filter && table_filter.count(store.table(p)) == 0) {
+            continue;
+          }
+          if (passes(p)) out.push_back(p);
+        }
       }
     } else {
       for (size_t i = mo.begin; i < mo.end; ++i) {
@@ -729,7 +756,7 @@ std::optional<QueryResult> TryFusedScanAgg(const AnalyzedQuery& q,
   const std::vector<CellId> cells = ResolveCellIds(*spec.cell_in, dict);
   std::vector<size_t> base(cells.size() + 1, 0);
   for (size_t i = 0; i < cells.size(); ++i) {
-    base[i + 1] = base[i] + store.Postings(cells[i]).size();
+    base[i + 1] = base[i] + store.PostingCount(cells[i]);
   }
 
   // Morsels cover whole cells (a posting list is never split): the
@@ -761,26 +788,35 @@ std::optional<QueryResult> TryFusedScanAgg(const AnalyzedQuery& q,
     std::vector<FusedGroup>& groups_m = parts[m];
     for (size_t ci = morsels[m].begin; ci < morsels[m].end; ++ci) {
       const CellId cell = cells[ci];
-      const std::span<const RecordPos> pl = store.Postings(cell);
-      for (size_t i = 0; i < pl.size(); ++i) {
-        const RecordPos p = pl[i];
-        if (use_table_filter && table_filter.count(store.table(p)) == 0) continue;
-        if (!passes(p)) continue;
-        const uint64_t key =
-            static_cast<uint64_t>(static_cast<uint32_t>(store.table(p))) |
-            (with_column ? static_cast<uint64_t>(
-                               static_cast<uint32_t>(store.column(p)))
-                               << 32
-                         : 0);
-        auto [it, inserted] =
-            index.try_emplace(key, static_cast<uint32_t>(groups_m.size()));
-        if (inserted) {
-          groups_m.push_back({key, base[ci] + i, 1, cell});
-        } else {
-          FusedGroup& g = groups_m[it->second];
-          if (g.last_cell != cell) {
-            ++g.count;
-            g.last_cell = cell;
+      // Container-at-a-time: each decoded batch feeds the packed counters
+      // straight from the cursor's scratch, so the fused path never
+      // materializes a posting list regardless of codec.
+      PostingCursor cur(store.PostingList(cell));
+      for (auto batch = cur.NextBatch(); !batch.empty();
+           batch = cur.NextBatch()) {
+        const size_t ord = cur.batch_ordinal();
+        for (size_t j = 0; j < batch.size(); ++j) {
+          const RecordPos p = batch[j];
+          if (use_table_filter && table_filter.count(store.table(p)) == 0) {
+            continue;
+          }
+          if (!passes(p)) continue;
+          const uint64_t key =
+              static_cast<uint64_t>(static_cast<uint32_t>(store.table(p))) |
+              (with_column ? static_cast<uint64_t>(
+                                 static_cast<uint32_t>(store.column(p)))
+                                 << 32
+                           : 0);
+          auto [it, inserted] =
+              index.try_emplace(key, static_cast<uint32_t>(groups_m.size()));
+          if (inserted) {
+            groups_m.push_back({key, base[ci] + ord + j, 1, cell});
+          } else {
+            FusedGroup& g = groups_m[it->second];
+            if (g.last_cell != cell) {
+              ++g.count;
+              g.last_cell = cell;
+            }
           }
         }
       }

@@ -30,7 +30,8 @@ void ExpectStoresEqual(const Store& a, const Store& b, size_t num_cells) {
     return std::equal(x.begin(), x.end(), y.begin(), y.end());
   };
   for (CellId id = 0; id < static_cast<CellId>(num_cells); ++id) {
-    ASSERT_TRUE(spans_equal(a.Postings(id), b.Postings(id))) << "cell " << id;
+    ASSERT_EQ(a.PostingList(id).ToVector(), b.PostingList(id).ToVector())
+        << "cell " << id;
   }
   for (TableId t = 0; t < static_cast<TableId>(a.NumTables()); ++t) {
     ASSERT_EQ(a.TableRange(t), b.TableRange(t)) << "table " << t;
@@ -108,8 +109,8 @@ TEST(IndexBuilderTest, PostingsAreComplete) {
   const auto& store = bundle.column_store();
   CellId alpha = bundle.dictionary().Find("alpha");
   ASSERT_NE(alpha, kInvalidCellId);
-  EXPECT_EQ(store.Postings(alpha).size(), 2u);
-  for (RecordPos p : store.Postings(alpha)) {
+  EXPECT_EQ(store.PostingList(alpha).size(), 2u);
+  for (RecordPos p : store.PostingList(alpha).ToVector()) {
     EXPECT_EQ(store.cell(p), alpha);
   }
 }

@@ -42,8 +42,11 @@ void ExpectStoresEqual(const Store& a, const Store& b, size_t num_cells) {
   auto spans_equal = [](std::span<const RecordPos> x, std::span<const RecordPos> y) {
     return std::equal(x.begin(), x.end(), y.begin(), y.end());
   };
+  // ToVector decodes through the codec seam, so this compares logical lists
+  // even when one side is raw and the other block-compressed.
   for (CellId id = 0; id < static_cast<CellId>(num_cells); ++id) {
-    ASSERT_TRUE(spans_equal(a.Postings(id), b.Postings(id))) << "cell " << id;
+    ASSERT_EQ(a.PostingList(id).ToVector(), b.PostingList(id).ToVector())
+        << "cell " << id;
   }
   for (TableId t = 0; t < static_cast<TableId>(a.NumTables()); ++t) {
     ASSERT_EQ(a.TableRange(t), b.TableRange(t)) << "table " << t;
@@ -115,10 +118,17 @@ void Spit(const std::string& path, const std::vector<uint8_t>& bytes) {
 constexpr size_t kVersionOffset = 8;
 constexpr size_t kEndianOffset = 12;
 constexpr size_t kLayoutOffset = 16;
+constexpr size_t kFlagsOffset = 20;
 constexpr size_t kSectionCountOffset = 48;
+constexpr size_t kSectionTableChecksumOffset = 56;
 constexpr size_t kHeaderChecksumOffset = 64;
 constexpr size_t kHeaderSize = 72;
 constexpr size_t kSectionEntrySize = 32;
+/// Section ids referenced by the codec corruption tests (snapshot.cc).
+constexpr uint32_t kSecIdPostingPartitions = 17;
+constexpr uint32_t kSecIdPostingBlob = 18;
+/// Bits 8..15 of the header flags carry the postings codec id (v2).
+constexpr size_t kFlagCodecShift = 8;
 
 struct SectionInfo {
   uint32_t id;
@@ -148,6 +158,32 @@ void ReforgeHeaderChecksum(std::vector<uint8_t>* bytes) {
   std::memcpy(bytes->data() + kHeaderChecksumOffset, &sum, sizeof(sum));
 }
 
+/// Recomputes the whole checksum chain (payload -> section table -> header)
+/// after a deliberate payload edit, so the corruption reaches the semantic
+/// validation layers instead of tripping the integrity checksums.
+void ReforgeSectionChecksum(std::vector<uint8_t>* bytes, size_t section_idx) {
+  const SectionInfo info = ParseSectionTable(*bytes)[section_idx];
+  const uint64_t sum = internal::SnapshotChecksum(
+      bytes->data() + info.offset, static_cast<size_t>(info.size));
+  std::memcpy(bytes->data() + kHeaderSize + section_idx * kSectionEntrySize + 24,
+              &sum, sizeof(sum));
+  uint64_t count = 0;
+  std::memcpy(&count, bytes->data() + kSectionCountOffset, sizeof(count));
+  const uint64_t table_sum = internal::SnapshotChecksum(
+      bytes->data() + kHeaderSize, static_cast<size_t>(count) * kSectionEntrySize);
+  std::memcpy(bytes->data() + kSectionTableChecksumOffset, &table_sum,
+              sizeof(table_sum));
+  ReforgeHeaderChecksum(bytes);
+}
+
+size_t SectionIndexOf(const std::vector<SectionInfo>& sections, uint32_t id) {
+  for (size_t s = 0; s < sections.size(); ++s) {
+    if (sections[s].id == id) return s;
+  }
+  ADD_FAILURE() << "section " << id << " not present";
+  return 0;
+}
+
 /// Both load paths must reject the file with a non-OK status whose message
 /// contains `expect_substr` (when non-empty) — and must never crash.
 void ExpectBothLoadersReject(const std::string& path,
@@ -171,42 +207,67 @@ TEST(SnapshotTest, RoundTripIsBitIdentical) {
   DataLake lake = TestLake();
   for (StoreLayout layout : {StoreLayout::kColumn, StoreLayout::kRow}) {
     for (bool shuffle : {false, true}) {
-      SCOPED_TRACE("layout=" + std::to_string(static_cast<int>(layout)) +
-                   " shuffle=" + std::to_string(shuffle));
-      IndexBundle built = BuildBundle(lake, layout, shuffle);
-      const std::string path = TempPath("roundtrip");
-      ASSERT_TRUE(WriteSnapshot(built, path).ok());
+      for (PostingCodec codec : {PostingCodec::kRaw, PostingCodec::kCompressed}) {
+        SCOPED_TRACE("layout=" + std::to_string(static_cast<int>(layout)) +
+                     " shuffle=" + std::to_string(shuffle) + " codec=" +
+                     PostingCodecName(codec));
+        IndexBundle built = BuildBundle(lake, layout, shuffle);
+        const std::string path = TempPath("roundtrip");
+        SnapshotOptions opts;
+        opts.codec = codec;
+        ASSERT_TRUE(WriteSnapshot(built, path, opts).ok());
 
-      auto heap = ReadSnapshot(path);
-      ASSERT_TRUE(heap.ok()) << heap.status().ToString();
-      EXPECT_FALSE(heap.value().IsSnapshotBacked());
-      ExpectBundlesIdentical(built, heap.value());
+        auto heap = ReadSnapshot(path);
+        ASSERT_TRUE(heap.ok()) << heap.status().ToString();
+        EXPECT_FALSE(heap.value().IsSnapshotBacked());
+        ExpectBundlesIdentical(built, heap.value());
 
-      auto mapped = OpenSnapshot(path);
-      ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
-      EXPECT_TRUE(mapped.value().IsSnapshotBacked());
-      ExpectBundlesIdentical(built, mapped.value());
-      std::remove(path.c_str());
+        auto mapped = OpenSnapshot(path);
+        ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+        EXPECT_TRUE(mapped.value().IsSnapshotBacked());
+        ExpectBundlesIdentical(built, mapped.value());
+        std::remove(path.c_str());
+      }
     }
   }
 }
 
 TEST(SnapshotTest, RewrittenSnapshotIsByteIdenticalOnDisk) {
-  // The file is a pure function of the index content: write, load (either
-  // path), write again -> identical bytes. This is what lets a fleet verify
-  // artifact integrity by hash.
+  // The file is a pure function of the index content and the chosen codec:
+  // write, load (either path), write again -> identical bytes, including
+  // write-raw -> load -> write-compressed matching a direct compressed write
+  // (transcoding is lossless in both directions). This is what lets a fleet
+  // verify artifact integrity by hash.
   DataLake lake = TestLake(13);
   for (StoreLayout layout : {StoreLayout::kColumn, StoreLayout::kRow}) {
     IndexBundle built = BuildBundle(lake, layout, /*shuffle=*/true);
-    const std::string path_a = TempPath("rewrite_a");
-    const std::string path_b = TempPath("rewrite_b");
-    ASSERT_TRUE(WriteSnapshot(built, path_a).ok());
-    auto loaded = OpenSnapshot(path_a);
-    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
-    ASSERT_TRUE(WriteSnapshot(loaded.value(), path_b).ok());
-    EXPECT_EQ(Slurp(path_a), Slurp(path_b));
-    std::remove(path_a.c_str());
-    std::remove(path_b.c_str());
+    for (PostingCodec codec : {PostingCodec::kRaw, PostingCodec::kCompressed}) {
+      SCOPED_TRACE(std::string("codec=") + PostingCodecName(codec));
+      SnapshotOptions opts;
+      opts.codec = codec;
+      const std::string path_a = TempPath("rewrite_a");
+      const std::string path_b = TempPath("rewrite_b");
+      ASSERT_TRUE(WriteSnapshot(built, path_a, opts).ok());
+      auto loaded = OpenSnapshot(path_a);
+      ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+      ASSERT_TRUE(WriteSnapshot(loaded.value(), path_b, opts).ok());
+      EXPECT_EQ(Slurp(path_a), Slurp(path_b));
+
+      // Cross-codec: a bundle loaded from the *other* codec's artifact
+      // writes this codec byte-identically to the direct write.
+      SnapshotOptions other;
+      other.codec = codec == PostingCodec::kRaw ? PostingCodec::kCompressed
+                                                : PostingCodec::kRaw;
+      const std::string path_c = TempPath("rewrite_c");
+      ASSERT_TRUE(WriteSnapshot(built, path_c, other).ok());
+      auto transcoded = OpenSnapshot(path_c);
+      ASSERT_TRUE(transcoded.ok()) << transcoded.status().ToString();
+      ASSERT_TRUE(WriteSnapshot(transcoded.value(), path_b, opts).ok());
+      EXPECT_EQ(Slurp(path_a), Slurp(path_b));
+      std::remove(path_a.c_str());
+      std::remove(path_b.c_str());
+      std::remove(path_c.c_str());
+    }
   }
 }
 
@@ -214,15 +275,33 @@ TEST(SnapshotTest, SnapshotBytesMatchesFileSize) {
   DataLake lake = TestLake(17);
   for (StoreLayout layout : {StoreLayout::kColumn, StoreLayout::kRow}) {
     for (bool shuffle : {false, true}) {
-      SCOPED_TRACE("layout=" + std::to_string(static_cast<int>(layout)) +
-                   " shuffle=" + std::to_string(shuffle));
-      IndexBundle built = BuildBundle(lake, layout, shuffle);
-      const std::string path = TempPath("size");
-      ASSERT_TRUE(WriteSnapshot(built, path).ok());
-      EXPECT_EQ(SnapshotBytes(built), Slurp(path).size());
-      std::remove(path.c_str());
+      for (PostingCodec codec : {PostingCodec::kRaw, PostingCodec::kCompressed}) {
+        SCOPED_TRACE("layout=" + std::to_string(static_cast<int>(layout)) +
+                     " shuffle=" + std::to_string(shuffle) + " codec=" +
+                     PostingCodecName(codec));
+        IndexBundle built = BuildBundle(lake, layout, shuffle);
+        const std::string path = TempPath("size");
+        SnapshotOptions opts;
+        opts.codec = codec;
+        ASSERT_TRUE(WriteSnapshot(built, path, opts).ok());
+        EXPECT_EQ(SnapshotBytes(built, opts), Slurp(path).size());
+        std::remove(path.c_str());
+      }
     }
   }
+}
+
+TEST(SnapshotTest, CompressedCodecShrinksThePostingsPayload) {
+  // The headline property on a lake-shaped index (the >= 2x acceptance bar
+  // is asserted on the benchmark lake by bench_index_snapshot; this guards
+  // the direction at test scale).
+  DataLake lake = TestLake(29);
+  IndexBundle built = BuildBundle(lake, StoreLayout::kColumn, /*shuffle=*/false);
+  SnapshotOptions raw, compressed;
+  compressed.codec = PostingCodec::kCompressed;
+  EXPECT_LT(SnapshotPostingBytes(built, compressed),
+            SnapshotPostingBytes(built, raw));
+  EXPECT_LT(SnapshotBytes(built, compressed), SnapshotBytes(built, raw));
 }
 
 // ---------------------------------------------------------------------------
@@ -268,25 +347,30 @@ TEST(SnapshotTest, LoadedBundlesAnswerQueriesByteIdentically) {
   };
   for (StoreLayout layout : {StoreLayout::kColumn, StoreLayout::kRow}) {
     for (bool shuffle : {false, true}) {
-      SCOPED_TRACE("layout=" + std::to_string(static_cast<int>(layout)) +
-                   " shuffle=" + std::to_string(shuffle));
-      IndexBundle built = BuildBundle(lake, layout, shuffle);
-      const std::string path = TempPath("queries");
-      ASSERT_TRUE(WriteSnapshot(built, path).ok());
-      auto heap = ReadSnapshot(path);
-      ASSERT_TRUE(heap.ok()) << heap.status().ToString();
-      auto mapped = OpenSnapshot(path);
-      ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+      for (PostingCodec codec : {PostingCodec::kRaw, PostingCodec::kCompressed}) {
+        SCOPED_TRACE("layout=" + std::to_string(static_cast<int>(layout)) +
+                     " shuffle=" + std::to_string(shuffle) + " codec=" +
+                     PostingCodecName(codec));
+        IndexBundle built = BuildBundle(lake, layout, shuffle);
+        const std::string path = TempPath("queries");
+        SnapshotOptions opts;
+        opts.codec = codec;
+        ASSERT_TRUE(WriteSnapshot(built, path, opts).ok());
+        auto heap = ReadSnapshot(path);
+        ASSERT_TRUE(heap.ok()) << heap.status().ToString();
+        auto mapped = OpenSnapshot(path);
+        ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
 
-      sql::Engine fresh(&built);
-      sql::Engine heap_engine(&heap.value());
-      sql::Engine mapped_engine(&mapped.value());
-      for (const auto& sqltext : sqls) {
-        const std::string want = QueryToString(fresh, sqltext);
-        EXPECT_EQ(want, QueryToString(heap_engine, sqltext)) << sqltext;
-        EXPECT_EQ(want, QueryToString(mapped_engine, sqltext)) << sqltext;
+        sql::Engine fresh(&built);
+        sql::Engine heap_engine(&heap.value());
+        sql::Engine mapped_engine(&mapped.value());
+        for (const auto& sqltext : sqls) {
+          const std::string want = QueryToString(fresh, sqltext);
+          EXPECT_EQ(want, QueryToString(heap_engine, sqltext)) << sqltext;
+          EXPECT_EQ(want, QueryToString(mapped_engine, sqltext)) << sqltext;
+        }
+        std::remove(path.c_str());
       }
-      std::remove(path.c_str());
     }
   }
 }
@@ -405,11 +489,16 @@ TEST(SnapshotTest, EmptyLakeRoundTripsAndAnswersQueries) {
 // Corruption handling: every malformed input is a descriptive error.
 // ---------------------------------------------------------------------------
 
+/// Parameterized over the corruption matrix: layout (bit 0) x postings codec
+/// (bit 1), so every tampering below is exercised against raw and compressed
+/// v2 artifacts of both physical layouts.
 class SnapshotCorruptionTest : public ::testing::TestWithParam<int> {
  protected:
   SnapshotCorruptionTest() {
     lake_ = TestLake(23);
-    layout_ = GetParam() == 0 ? StoreLayout::kColumn : StoreLayout::kRow;
+    layout_ = (GetParam() & 1) == 0 ? StoreLayout::kColumn : StoreLayout::kRow;
+    codec_ = (GetParam() & 2) == 0 ? PostingCodec::kRaw
+                                   : PostingCodec::kCompressed;
     bundle_ = BuildBundle(lake_, layout_, /*shuffle=*/true);
     // Unique per test method: ctest runs every test as its own process, and
     // concurrent methods of this fixture must not rewrite one shared file.
@@ -417,13 +506,16 @@ class SnapshotCorruptionTest : public ::testing::TestWithParam<int> {
         ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::replace(name.begin(), name.end(), '/', '_');
     path_ = TempPath("corrupt_" + name + "_" + std::to_string(GetParam()));
-    EXPECT_TRUE(WriteSnapshot(bundle_, path_).ok());
+    SnapshotOptions opts;
+    opts.codec = codec_;
+    EXPECT_TRUE(WriteSnapshot(bundle_, path_, opts).ok());
     pristine_ = Slurp(path_);
   }
   ~SnapshotCorruptionTest() override { std::remove(path_.c_str()); }
 
   DataLake lake_;
   StoreLayout layout_;
+  PostingCodec codec_ = PostingCodec::kRaw;
   IndexBundle bundle_;
   std::string path_;
   std::vector<uint8_t> pristine_;
@@ -550,7 +642,147 @@ TEST_P(SnapshotCorruptionTest, TamperedSectionTable) {
   ExpectBothLoadersReject(path_, "section table checksum");
 }
 
-INSTANTIATE_TEST_SUITE_P(Layouts, SnapshotCorruptionTest, ::testing::Values(0, 1));
+// ---------------------------------------------------------------------------
+// Codec-dimension corruption: forged version/codec headers and tampering
+// inside compressed payloads (with the checksum chain reforged, so the
+// semantic validators — not the integrity hashes — are what reject).
+// ---------------------------------------------------------------------------
+
+TEST_P(SnapshotCorruptionTest, VersionOneHeaderAcceptsRawRejectsCompressed) {
+  // A raw v2 artifact downgraded to version 1 is byte-for-byte the pre-codec
+  // v1 format, and must still load (backward compatibility). The same
+  // downgrade over a compressed payload is a forgery and must be rejected.
+  std::vector<uint8_t> bytes = pristine_;
+  const uint32_t v1 = 1;
+  std::memcpy(bytes.data() + kVersionOffset, &v1, sizeof(v1));
+  ReforgeHeaderChecksum(&bytes);
+  Spit(path_, bytes);
+  if (codec_ == PostingCodec::kCompressed) {
+    ExpectBothLoadersReject(path_, "codec flags");
+    return;
+  }
+  for (bool zero_copy : {false, true}) {
+    auto loaded = zero_copy ? OpenSnapshot(path_) : ReadSnapshot(path_);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    ExpectBundlesIdentical(bundle_, loaded.value());
+  }
+}
+
+TEST_P(SnapshotCorruptionTest, UnknownCodecBitsAreRejected) {
+  std::vector<uint8_t> bytes = pristine_;
+  uint32_t flags = 0;
+  std::memcpy(&flags, bytes.data() + kFlagsOffset, sizeof(flags));
+  flags |= 7u << kFlagCodecShift;
+  std::memcpy(bytes.data() + kFlagsOffset, &flags, sizeof(flags));
+  ReforgeHeaderChecksum(&bytes);
+  Spit(path_, bytes);
+  ExpectBothLoadersReject(path_, "unknown postings codec");
+}
+
+TEST_P(SnapshotCorruptionTest, SwappedCodecBitMissesItsSections) {
+  // Claiming the other codec over this payload passes the header checksum
+  // but trips the codec/section consistency check.
+  std::vector<uint8_t> bytes = pristine_;
+  uint32_t flags = 0;
+  std::memcpy(&flags, bytes.data() + kFlagsOffset, sizeof(flags));
+  flags ^= 1u << kFlagCodecShift;
+  std::memcpy(bytes.data() + kFlagsOffset, &flags, sizeof(flags));
+  ReforgeHeaderChecksum(&bytes);
+  Spit(path_, bytes);
+  ExpectBothLoadersReject(path_, codec_ == PostingCodec::kRaw
+                                     ? "the compressed codec"
+                                     : "the raw codec");
+}
+
+TEST_P(SnapshotCorruptionTest, ForgedBlockTagInsideCompressedPayload) {
+  if (codec_ != PostingCodec::kCompressed) return;
+  // Locate a short multi-element list via the writer-identical encoding, and
+  // overwrite its leading tag byte with the reserved container format. The
+  // checksum chain is reforged, so rejection comes from the per-partition
+  // block walk, not the integrity hashes.
+  const SecondaryIndexes& secondary = layout_ == StoreLayout::kRow
+                                          ? bundle_.row_store().secondary()
+                                          : bundle_.column_store().secondary();
+  const auto offsets = secondary.posting_offsets.span();
+  EncodedPostingsCsr encoded = EncodePostingsCsr(
+      offsets, secondary.posting_positions.span(), Scheduler::Serial());
+  const size_t num_lists = offsets.size() - 1;
+  size_t victim = num_lists;
+  for (size_t i = 0; i < num_lists; ++i) {
+    const uint64_t count = offsets[i + 1] - offsets[i];
+    if (count >= 2 && count <= kPostingBlockLen) {
+      victim = i;
+      break;
+    }
+  }
+  ASSERT_LT(victim, num_lists) << "test lake has no short posting list";
+
+  // Resolve the victim's tail within our recomputed blob: for a
+  // single-block list it starts with the tag byte.
+  const size_t part = victim / kPostingPartitionCells;
+  const size_t begin = part * kPostingPartitionCells;
+  const size_t lists = std::min(kPostingPartitionCells, num_lists - begin);
+  PostingListRef ref = FindPostingList(
+      encoded.blob.data() + encoded.partition_offsets[part],
+      offsets.subspan(begin, lists + 1), victim - begin);
+  const size_t tag_at =
+      static_cast<size_t>(ref.encoded_tail() - encoded.blob.data());
+
+  const auto sections = ParseSectionTable(pristine_);
+  const size_t blob_idx = SectionIndexOf(sections, kSecIdPostingBlob);
+  std::vector<uint8_t> bytes = pristine_;
+  ASSERT_EQ(bytes[sections[blob_idx].offset + tag_at],
+            encoded.blob[tag_at]);  // the file holds the same encoding
+  bytes[static_cast<size_t>(sections[blob_idx].offset) + tag_at] =
+      0xFF;  // format 3, the reserved container
+  ReforgeSectionChecksum(&bytes, blob_idx);
+  Spit(path_, bytes);
+  ExpectBothLoadersReject(path_, "postings partition");
+}
+
+TEST_P(SnapshotCorruptionTest, NonMonotonePartitionOffsetsAreRejected) {
+  if (codec_ != PostingCodec::kCompressed) return;
+  const auto sections = ParseSectionTable(pristine_);
+  const size_t off_idx = SectionIndexOf(sections, kSecIdPostingPartitions);
+  ASSERT_GE(sections[off_idx].size, 2 * sizeof(uint64_t));
+  std::vector<uint8_t> bytes = pristine_;
+  // Overwrite a partition offset with a huge value: non-monotone CSR (or an
+  // end offset past the blob).
+  const uint64_t huge = ~0ull >> 1;
+  std::memcpy(bytes.data() + sections[off_idx].offset + sizeof(uint64_t), &huge,
+              sizeof(huge));
+  ReforgeSectionChecksum(&bytes, off_idx);
+  Spit(path_, bytes);
+  ExpectBothLoadersReject(path_, "posting partition");
+}
+
+TEST_P(SnapshotCorruptionTest, TruncationAtCompressedPartitionBoundaries) {
+  if (codec_ != PostingCodec::kCompressed) return;
+  // Cuts landing exactly on encoded-partition (hence block) boundaries
+  // inside the blob section: the section then extends past EOF and must be
+  // rejected, a cut never being mistakable for a shorter valid artifact.
+  const SecondaryIndexes& secondary = layout_ == StoreLayout::kRow
+                                          ? bundle_.row_store().secondary()
+                                          : bundle_.column_store().secondary();
+  EncodedPostingsCsr encoded = EncodePostingsCsr(
+      secondary.posting_offsets.span(), secondary.posting_positions.span(),
+      Scheduler::Serial());
+  const auto sections = ParseSectionTable(pristine_);
+  const size_t blob_idx = SectionIndexOf(sections, kSecIdPostingBlob);
+  const size_t base = static_cast<size_t>(sections[blob_idx].offset);
+  const size_t parts = encoded.partition_offsets.size() - 1;
+  for (size_t p : {size_t{0}, parts / 4, parts / 2, parts - 1, parts}) {
+    const size_t cut = base + static_cast<size_t>(encoded.partition_offsets[p]);
+    if (cut >= pristine_.size()) continue;
+    SCOPED_TRACE("cut=" + std::to_string(cut));
+    Spit(path_, std::vector<uint8_t>(pristine_.begin(),
+                                     pristine_.begin() + static_cast<long>(cut)));
+    ExpectBothLoadersReject(path_, "");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LayoutsAndCodecs, SnapshotCorruptionTest,
+                         ::testing::Values(0, 1, 2, 3));
 
 }  // namespace
 }  // namespace blend

@@ -193,9 +193,11 @@ TEST_P(EngineDeterminismTest, NonAggregateProjectionAndTableInScan) {
 
 TEST_P(EngineDeterminismTest, SnapshotLoadedBundlesReproduceEveryShape) {
   // The persistence dimension of the determinism matrix: for both layouts x
-  // shuffle_rows on/off, an engine over a ReadSnapshot (heap) or OpenSnapshot
-  // (mmap zero-copy) bundle must answer the representative seeker shapes
-  // byte-identically to the freshly built bundle.
+  // shuffle_rows on/off x postings codec, an engine over a ReadSnapshot
+  // (heap) or OpenSnapshot (mmap zero-copy) bundle must answer the
+  // representative seeker shapes byte-identically to the freshly built
+  // bundle — i.e. the compressed cursor path reproduces the raw span path
+  // exactly.
   Rng rng(GetParam() * 59 + 7);
   const std::vector<std::string> sqls = {
       "SELECT TableId, ColumnId, COUNT(DISTINCT CellValue) AS score "
@@ -214,34 +216,44 @@ TEST_P(EngineDeterminismTest, SnapshotLoadedBundlesReproduceEveryShape) {
   };
   for (StoreLayout layout : {StoreLayout::kColumn, StoreLayout::kRow}) {
     for (bool shuffle : {false, true}) {
-      SCOPED_TRACE("layout=" + std::to_string(static_cast<int>(layout)) +
-                   " shuffle=" + std::to_string(shuffle));
-      IndexBuildOptions opts;
-      opts.layout = layout;
-      opts.shuffle_rows = shuffle;
-      IndexBundle built = IndexBuilder(opts).Build(lake_);
-      const std::string path = ::testing::TempDir() + "blend_determinism_" +
-                               std::to_string(GetParam());
-      ASSERT_TRUE(WriteSnapshot(built, path).ok());
-      auto heap = ReadSnapshot(path);
-      ASSERT_TRUE(heap.ok()) << heap.status().ToString();
-      auto mapped = OpenSnapshot(path);
-      ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+      for (PostingCodec codec : {PostingCodec::kRaw, PostingCodec::kCompressed}) {
+        SCOPED_TRACE("layout=" + std::to_string(static_cast<int>(layout)) +
+                     " shuffle=" + std::to_string(shuffle) + " codec=" +
+                     PostingCodecName(codec));
+        IndexBuildOptions opts;
+        opts.layout = layout;
+        opts.shuffle_rows = shuffle;
+        IndexBundle built = IndexBuilder(opts).Build(lake_);
+        const std::string path = ::testing::TempDir() + "blend_determinism_" +
+                                 std::to_string(GetParam());
+        SnapshotOptions snap_opts;
+        snap_opts.codec = codec;
+        ASSERT_TRUE(WriteSnapshot(built, path, snap_opts).ok());
+        auto heap = ReadSnapshot(path);
+        ASSERT_TRUE(heap.ok()) << heap.status().ToString();
+        auto mapped = OpenSnapshot(path);
+        ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
 
-      Engine fresh(&built);
-      Engine heap_engine(&heap.value());
-      Engine mapped_engine(&mapped.value());
-      for (const auto& sql : sqls) {
-        auto ref = fresh.Query(sql);
-        ASSERT_TRUE(ref.ok()) << ref.status().ToString() << "\n" << sql;
-        const std::string want = ResultToString(ref.value());
-        for (Engine* loaded : {&heap_engine, &mapped_engine}) {
-          auto got = loaded->Query(sql);
-          ASSERT_TRUE(got.ok()) << got.status().ToString() << "\n" << sql;
-          EXPECT_EQ(want, ResultToString(got.value())) << sql;
+        Engine fresh(&built);
+        Engine heap_engine(&heap.value());
+        Engine mapped_engine(&mapped.value());
+        for (const auto& sql : sqls) {
+          auto ref = fresh.Query(sql);
+          ASSERT_TRUE(ref.ok()) << ref.status().ToString() << "\n" << sql;
+          const std::string want = ResultToString(ref.value());
+          for (Engine* loaded : {&heap_engine, &mapped_engine}) {
+            for (bool fused : {true, false}) {
+              QueryOptions qo;
+              qo.enable_fused_scan_agg = fused;
+              auto got = loaded->Query(sql, qo);
+              ASSERT_TRUE(got.ok()) << got.status().ToString() << "\n" << sql;
+              EXPECT_EQ(want, ResultToString(got.value()))
+                  << "fused=" << fused << "\n" << sql;
+            }
+          }
         }
+        std::remove(path.c_str());
       }
-      std::remove(path.c_str());
     }
   }
 }
