@@ -1,0 +1,16 @@
+#pragma once
+
+// Shared helpers for the fuzz harnesses. FUZZ_CHECK is the harness analogue
+// of an assertion: a violated property aborts so the driver (libFuzzer or the
+// standalone runner) records the input as a crash.
+#include <cstdio>
+#include <cstdlib>
+
+#define FUZZ_CHECK(cond, what)                                          \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "FUZZ_CHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, what);                                     \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (0)

@@ -1,0 +1,25 @@
+// SQL parser harness. The parser consumes arbitrary query text (the serving
+// layer accepts it over the wire); it must reject malformed input with a
+// Status, never crash or read out of bounds. Accepted statements must
+// survive a basic structural walk.
+#include <cstdint>
+#include <string>
+
+#include "fuzz_util.h"
+#include "sql/parser.h"
+
+namespace {
+
+constexpr size_t kMaxInput = 1 << 16;
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > kMaxInput) return 0;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  auto parsed = blend::sql::Parse(text);
+  if (parsed.ok()) {
+    FUZZ_CHECK(parsed.value() != nullptr, "ok parse returned null statement");
+  }
+  return 0;
+}

@@ -1,0 +1,214 @@
+// Standalone fuzzing driver: a drop-in replacement for libFuzzer's runtime
+// used when the toolchain cannot link -fsanitize=fuzzer (e.g. plain GCC).
+//
+// It speaks the same harness protocol — `LLVMFuzzerTestOneInput` plus the
+// optional `LLVMFuzzerCustomMutator` — so every harness in this directory
+// builds unchanged either way. Two modes:
+//
+//   blend_*_fuzz <file-or-dir>...            replay corpus inputs once each
+//   blend_*_fuzz -runs=N [-seed=S] <dir>...  replay, then N mutated runs
+//                                            seeded from the corpus
+//
+// Mutation is deliberately simple (the real fuzzing muscle is libFuzzer in
+// CI); this driver exists so the harness properties themselves — the
+// validate/decode agreement checks, the checksum forging — stay exercised on
+// any toolchain and so that checked-in regression inputs always replay.
+#include <algorithm>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+extern "C" size_t LLVMFuzzerCustomMutator(uint8_t* data, size_t size,
+                                          size_t max_size, unsigned seed)
+    __attribute__((weak));
+
+namespace {
+
+std::mt19937_64 g_rng(0x42'1e'5d'00);
+
+size_t RandBelow(size_t n) { return n == 0 ? 0 : g_rng() % n; }
+
+// The input currently inside LLVMFuzzerTestOneInput, dumped by the abort
+// handler so a FUZZ_CHECK / sanitizer failure leaves a reproducer behind
+// (libFuzzer writes crash-* artifacts; this is the standalone equivalent).
+const uint8_t* g_current_data = nullptr;
+size_t g_current_size = 0;
+
+void DumpCurrentInput(int sig) {
+  if (g_current_data != nullptr) {
+    std::FILE* f = std::fopen("crash-standalone.bin", "wb");
+    if (f != nullptr) {
+      std::fwrite(g_current_data, 1, g_current_size, f);
+      std::fclose(f);
+    }
+    std::fprintf(stderr,
+                 "standalone-fuzz: crashing input (%zu bytes) saved to "
+                 "crash-standalone.bin\n",
+                 g_current_size);
+  }
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+int RunOne(const uint8_t* data, size_t size) {
+  g_current_data = data;
+  g_current_size = size;
+  const int rc = LLVMFuzzerTestOneInput(data, size);
+  g_current_data = nullptr;
+  return rc;
+}
+
+}  // namespace
+
+// libFuzzer's generic byte mutator, approximated: harness custom mutators
+// call this for the "scramble some bytes" step before fixing up structure.
+extern "C" size_t LLVMFuzzerMutate(uint8_t* data, size_t size,
+                                   size_t max_size) {
+  if (max_size == 0) return 0;
+  if (size == 0) {
+    data[0] = static_cast<uint8_t>(g_rng());
+    return 1;
+  }
+  const int n_ops = 1 + static_cast<int>(RandBelow(4));
+  for (int op = 0; op < n_ops; ++op) {
+    switch (RandBelow(6)) {
+      case 0: {  // flip one bit
+        data[RandBelow(size)] ^= static_cast<uint8_t>(1u << RandBelow(8));
+        break;
+      }
+      case 1: {  // overwrite one byte
+        data[RandBelow(size)] = static_cast<uint8_t>(g_rng());
+        break;
+      }
+      case 2: {  // overwrite a short run
+        const size_t at = RandBelow(size);
+        const size_t len = std::min(size - at, 1 + RandBelow(8));
+        for (size_t i = 0; i < len; ++i) {
+          data[at + i] = static_cast<uint8_t>(g_rng());
+        }
+        break;
+      }
+      case 3: {  // erase a range
+        if (size <= 1) break;
+        const size_t at = RandBelow(size - 1);
+        const size_t len = 1 + RandBelow(std::min<size_t>(size - at - 1, 16) + 1);
+        std::memmove(data + at, data + at + len, size - at - len);
+        size -= len;
+        break;
+      }
+      case 4: {  // insert random bytes
+        if (size >= max_size) break;
+        const size_t len = 1 + RandBelow(std::min<size_t>(max_size - size, 8));
+        const size_t at = RandBelow(size + 1);
+        std::memmove(data + at + len, data + at, size - at);
+        for (size_t i = 0; i < len; ++i) {
+          data[at + i] = static_cast<uint8_t>(g_rng());
+        }
+        size += len;
+        break;
+      }
+      default: {  // duplicate a range elsewhere
+        const size_t at = RandBelow(size);
+        const size_t len = std::min(size - at, 1 + RandBelow(8));
+        const size_t to = RandBelow(size - len + 1);
+        std::memmove(data + to, data + at, len);
+        break;
+      }
+    }
+  }
+  return size;
+}
+
+namespace {
+
+using Input = std::vector<uint8_t>;
+
+bool ReadWhole(const std::filesystem::path& p, Input* out) {
+  std::ifstream f(p, std::ios::binary);
+  if (!f) return false;
+  out->assign(std::istreambuf_iterator<char>(f),
+              std::istreambuf_iterator<char>());
+  return true;
+}
+
+void Collect(const std::filesystem::path& p, std::vector<Input>* corpus) {
+  std::error_code ec;
+  if (std::filesystem::is_directory(p, ec)) {
+    std::vector<std::filesystem::path> files;
+    for (const auto& e : std::filesystem::directory_iterator(p)) {
+      if (e.is_regular_file()) files.push_back(e.path());
+    }
+    // Directory order is filesystem-dependent; sort for reproducible replay.
+    std::sort(files.begin(), files.end());
+    for (const auto& f : files) {
+      Input in;
+      if (ReadWhole(f, &in)) corpus->push_back(std::move(in));
+    }
+  } else {
+    Input in;
+    if (ReadWhole(p, &in)) {
+      corpus->push_back(std::move(in));
+    } else {
+      std::fprintf(stderr, "standalone-fuzz: cannot read %s\n",
+                   p.string().c_str());
+      std::exit(2);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long runs = 0;
+  uint64_t seed = 0x42'1e'5d'00;
+  size_t max_len = 1 << 20;
+  std::vector<Input> corpus;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("-runs=", 0) == 0) {
+      runs = std::strtol(arg.c_str() + 6, nullptr, 10);
+    } else if (arg.rfind("-seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 6, nullptr, 10);
+    } else if (arg.rfind("-max_len=", 0) == 0) {
+      max_len = std::strtoull(arg.c_str() + 9, nullptr, 10);
+    } else if (arg.rfind("-", 0) == 0) {
+      // Ignore unknown libFuzzer-style flags so CI invocations stay portable.
+    } else {
+      Collect(arg, &corpus);
+    }
+  }
+  g_rng.seed(seed);
+  std::signal(SIGABRT, DumpCurrentInput);
+  std::signal(SIGSEGV, DumpCurrentInput);
+
+  for (const Input& in : corpus) {
+    RunOne(in.data(), in.size());
+  }
+  std::fprintf(stderr, "standalone-fuzz: replayed %zu corpus inputs\n",
+               corpus.size());
+
+  if (runs > 0 && !corpus.empty()) {
+    Input buf;
+    for (long r = 0; r < runs; ++r) {
+      const Input& base = corpus[RandBelow(corpus.size())];
+      buf.assign(base.begin(), base.end());
+      if (buf.size() < max_len) buf.resize(max_len);
+      size_t n = std::min(base.size(), max_len);
+      const unsigned mseed = static_cast<unsigned>(g_rng());
+      n = (LLVMFuzzerCustomMutator != nullptr)
+              ? LLVMFuzzerCustomMutator(buf.data(), n, max_len, mseed)
+              : LLVMFuzzerMutate(buf.data(), n, max_len);
+      RunOne(buf.data(), n);
+    }
+    std::fprintf(stderr, "standalone-fuzz: completed %ld mutated runs\n", runs);
+  }
+  return 0;
+}

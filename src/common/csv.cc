@@ -96,6 +96,13 @@ Result<CsvData> ReadCsvFile(const std::string& path) {
 std::string WriteCsv(const CsvData& data) {
   std::string out;
   auto write_record = [&](const std::vector<std::string>& rec) {
+    // A record of exactly one empty field would serialize to an empty line,
+    // which the reader skips as blank; quote it so it round-trips.
+    // (Found by fuzzing: see fuzz/corpus/csv/crash-lone-empty-field.)
+    if (rec.size() == 1 && rec[0].empty()) {
+      out += "\"\"\n";
+      return;
+    }
     for (size_t i = 0; i < rec.size(); ++i) {
       if (i) out += ',';
       out += QuoteField(rec[i]);

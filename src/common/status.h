@@ -20,7 +20,7 @@ enum class StatusCode {
 };
 
 /// A cheap, copyable success-or-error value.
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -75,7 +75,7 @@ class Status {
 
 /// Result<T> carries either a value or an error Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : v_(std::move(value)) {}           // NOLINT(runtime/explicit)
   Result(Status status) : v_(std::move(status)) {}    // NOLINT(runtime/explicit)

@@ -67,7 +67,7 @@ class Blend {
   /// Persists the built index as a versioned snapshot file (see
   /// index/snapshot.h), so other processes can OpenSnapshot instead of
   /// re-indexing the lake.
-  Status SaveSnapshot(const std::string& path) const;
+  [[nodiscard]] Status SaveSnapshot(const std::string& path) const;
 
   /// Serves queries off a snapshot instead of rebuilding the index: the file
   /// is mmapped and the store arrays are read zero-copy out of the mapping.
@@ -76,10 +76,10 @@ class Blend {
   /// `options.layout`, `shuffle_rows` and `shuffle_seed` are ignored: the
   /// snapshot records what the builder used. Returns a pointer (not a value)
   /// because a Blend pins internal cross-references and cannot be moved.
-  static Result<std::unique_ptr<Blend>> OpenSnapshot(const std::string& path,
+  [[nodiscard]] static Result<std::unique_ptr<Blend>> OpenSnapshot(const std::string& path,
                                                      const DataLake* lake,
                                                      Options options);
-  static Result<std::unique_ptr<Blend>> OpenSnapshot(const std::string& path,
+  [[nodiscard]] static Result<std::unique_ptr<Blend>> OpenSnapshot(const std::string& path,
                                                      const DataLake* lake);
 
   /// Runs a plan and returns the sink's top-k tables.

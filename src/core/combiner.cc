@@ -19,6 +19,8 @@ TableList IntersectCombiner::Combine(const std::vector<TableList>& inputs) const
       }
     }
   }
+  // Order-independent harvest; SortDesc below canonicalizes the result.
+  // blend-lint: allow(unordered-iter)
   for (const auto& [t, hs] : counts) {
     if (hs.first == inputs.size()) out.push_back({t, hs.second});
   }
@@ -34,6 +36,8 @@ TableList UnionCombiner::Combine(const std::vector<TableList>& inputs) const {
   }
   TableList out;
   out.reserve(scores.size());
+  // Order-independent harvest; SortDesc below canonicalizes the result.
+  // blend-lint: allow(unordered-iter)
   for (const auto& [t, s] : scores) out.push_back({t, s});
   SortDesc(&out);
   TruncateK(&out, k_);
@@ -66,6 +70,8 @@ TableList CounterCombiner::Combine(const std::vector<TableList>& inputs) const {
   }
   TableList out;
   out.reserve(counts.size());
+  // Order-independent harvest; SortDesc below canonicalizes the result.
+  // blend-lint: allow(unordered-iter)
   for (const auto& [t, c] : counts) {
     // Rank primarily by frequency; summed score breaks ties (scaled down so
     // frequency always dominates).

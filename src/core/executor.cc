@@ -30,6 +30,9 @@ std::string BuildRewrite(
         if (seen.insert(e.table).second) ++counts[e.table];
       }
     }
+    // Membership test per table, order-independent; `ids` feeds an IN-list
+    // whose scan order is fixed by the clustered index, not this loop.
+    // blend-lint: allow(unordered-iter)
     for (const auto& [t, c] : counts) {
       if (c == spec.sources.size()) ids.push_back(t);
     }

@@ -276,6 +276,8 @@ Result<TableList> MCSeeker::Execute(const DiscoveryContext& ctx,
 
   std::unordered_map<TableId, double> table_scores;
   std::vector<std::string> row_cells;
+  // Accumulates commutative per-table sums; visit order cannot change them.
+  // blend-lint: allow(unordered-iter)
   for (const auto& [key, super_key] : candidates) {
     TableId t = static_cast<TableId>(key >> 32);
     int32_t indexed_row = static_cast<int32_t>(key & 0xFFFFFFFFu);
@@ -320,6 +322,8 @@ Result<TableList> MCSeeker::Execute(const DiscoveryContext& ctx,
 
   TableList out;
   out.reserve(table_scores.size());
+  // Order-independent harvest; SortDesc below canonicalizes the result.
+  // blend-lint: allow(unordered-iter)
   for (const auto& [t, s] : table_scores) out.push_back({t, s});
   SortDesc(&out);
   TruncateK(&out, k_);

@@ -85,7 +85,7 @@ enum class PostingCodec : uint8_t {
 
 const char* PostingCodecName(PostingCodec codec);
 /// Parses "raw" / "compressed"; descriptive error for anything else.
-Result<PostingCodec> ParsePostingCodec(std::string_view name);
+[[nodiscard]] Result<PostingCodec> ParsePostingCodec(std::string_view name);
 
 // ---------------------------------------------------------------------------
 // Partition primitives. `offsets` always has one more entry than the
@@ -108,7 +108,7 @@ size_t EncodedPostingPartitionBytes(std::span<const uint64_t> offsets,
 /// every varint, skip table and block bounds-checked, values strictly
 /// ascending within each list and < `limit`. Any violation is a descriptive
 /// InvalidArgument naming what broke.
-Status ValidatePostingPartition(const uint8_t* data, size_t size,
+[[nodiscard]] Status ValidatePostingPartition(const uint8_t* data, size_t size,
                                 std::span<const uint64_t> offsets,
                                 uint64_t limit);
 

@@ -950,6 +950,19 @@ Result<IndexBundle> SnapshotCodec::Load(std::shared_ptr<SnapshotStorage> storage
                          [&](size_t i) { return positions[i] < n; })) {
         return Corrupt("posting position outside the record range");
       }
+      // Like the compressed validator, each list must be strictly ascending:
+      // the intersection / seek / fused-count paths all assume it, so a
+      // tampered raw section that kept every value in range would otherwise
+      // load "successfully" into an index that answers queries wrong.
+      // (Found by fuzzing: see fuzz/corpus/snapshot/crash-raw-nonascending.)
+      if (!ParallelAllOf(num_cells, sched, [&](size_t i) {
+            for (uint64_t j = offsets[i] + 1; j < offsets[i + 1]; ++j) {
+              if (positions[j - 1] >= positions[j]) return false;
+            }
+            return true;
+          })) {
+        return Corrupt("posting list not strictly ascending");
+      }
       FillArray(&secondary->posting_positions, positions, zero_copy);
     } else {
       if (parsed.Has(kSecPostingPositions)) {
@@ -1099,6 +1112,15 @@ size_t SnapshotPostingBytes(const IndexBundle& bundle,
 namespace internal {
 uint64_t SnapshotChecksum(const uint8_t* data, size_t size) {
   return ChecksumSerial(data, size);
+}
+
+Result<IndexBundle> LoadSnapshotFromBuffer(const uint8_t* data, size_t size,
+                                           const SnapshotOptions& options) {
+  Scheduler* sched =
+      options.scheduler != nullptr ? options.scheduler : Scheduler::Default();
+  auto storage = std::make_shared<HeapStorage>(
+      std::vector<uint8_t>(data, data + size));
+  return SnapshotCodec::Load(std::move(storage), /*zero_copy=*/false, sched);
 }
 }  // namespace internal
 

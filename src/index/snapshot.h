@@ -112,17 +112,17 @@ struct SnapshotOptions {
 /// Serializes `bundle` to `path`, replacing any existing file. Section
 /// checksums — and, for the compressed codec, the per-list block encode —
 /// run as task groups on the scheduler.
-Status WriteSnapshot(const IndexBundle& bundle, const std::string& path,
+[[nodiscard]] Status WriteSnapshot(const IndexBundle& bundle, const std::string& path,
                      const SnapshotOptions& options = {});
 
 /// Loads a snapshot onto the heap: the returned bundle owns every array and
 /// does not reference the file after the call.
-Result<IndexBundle> ReadSnapshot(const std::string& path,
+[[nodiscard]] Result<IndexBundle> ReadSnapshot(const std::string& path,
                                  const SnapshotOptions& options = {});
 
 /// Opens a snapshot zero-copy: the file is mmapped, fixed-width arrays are
 /// served directly from the mapping, and the bundle keeps the mapping alive.
-Result<IndexBundle> OpenSnapshot(const std::string& path,
+[[nodiscard]] Result<IndexBundle> OpenSnapshot(const std::string& path,
                                  const SnapshotOptions& options = {});
 
 /// Size in bytes the snapshot of `bundle` would occupy on disk (header,
@@ -143,6 +143,13 @@ namespace internal {
 /// corruption tests can forge a self-consistent header (e.g. a wrong layout
 /// with a matching checksum) and exercise the validation layers behind it.
 uint64_t SnapshotChecksum(const uint8_t* data, size_t size);
+
+/// Runs the full ReadSnapshot validation + materialization pipeline over an
+/// in-memory byte buffer instead of a file. This is the fuzzing entry point:
+/// harnesses feed arbitrary bytes here without touching the filesystem. The
+/// buffer is copied; the returned bundle does not reference `data`.
+Result<IndexBundle> LoadSnapshotFromBuffer(const uint8_t* data, size_t size,
+                                           const SnapshotOptions& options = {});
 }  // namespace internal
 
 }  // namespace blend

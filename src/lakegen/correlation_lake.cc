@@ -62,7 +62,7 @@ CorrLake MakeCorrLake(const CorrLakeSpec& spec) {
                      spec.noise * rng.Normal();
           row[key_cols + c] = std::to_string(v);
         }
-        (void)t.AppendRow(row);
+        MustAppendRow(t, row);
       }
     }
     out.lake.AddTable(std::move(t));

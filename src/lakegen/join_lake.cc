@@ -36,7 +36,7 @@ DataLake MakeJoinLake(const JoinLakeSpec& spec) {
           row[c] = Vocab::Token(col_domain[c], sampler.SampleIndex(&rng));
         }
       }
-      (void)t.AppendRow(row);
+      MustAppendRow(t, row);
     }
     lake.AddTable(std::move(t));
   }

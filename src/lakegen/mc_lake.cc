@@ -57,7 +57,7 @@ McLake MakeMcLake(const McLakeSpec& spec) {
         row[1] = PairRight(domain, i, spec.pairs_per_domain);
       }
       row[2] = std::to_string(rng.Uniform(1000));
-      (void)t.AppendRow(row);
+      MustAppendRow(t, row);
     }
     out.lake.AddTable(std::move(t));
     out.table_domain.push_back(domain);

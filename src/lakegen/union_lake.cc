@@ -38,7 +38,7 @@ UnionLake MakeUnionLake(const UnionLakeSpec& spec) {
                               : sampler.SampleIndex(&rng);
         row[c] = Vocab::Token(schema[c], idx);
       }
-      (void)t.AppendRow(row);
+      MustAppendRow(t, row);
     }
     return out.lake.AddTable(std::move(t));
   };

@@ -1,8 +1,19 @@
 #include "lakegen/vocab.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "common/hashing.h"
 
 namespace blend::lakegen {
+
+void MustAppendRow(Table& t, const std::vector<std::string>& values) {
+  Status s = t.AppendRow(values);
+  if (!s.ok()) {
+    std::fprintf(stderr, "lakegen: AppendRow failed: %s\n", s.message().c_str());
+    std::abort();
+  }
+}
 
 std::string Vocab::Token(int domain, size_t index) {
   return "d" + std::to_string(domain) + "_v" + std::to_string(index);

@@ -4,8 +4,14 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "storage/table.h"
 
 namespace blend::lakegen {
+
+/// Appends a row to `t`, aborting with the status message on failure.
+/// Generators construct their own schemas, so a failed append is a bug in the
+/// generator itself — not a condition callers can meaningfully handle.
+void MustAppendRow(Table& t, const std::vector<std::string>& values);
 
 /// Synthetic token vocabularies. Every generated lake draws its cell values
 /// from per-domain vocabularies: tokens of the same domain represent values

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/str_util.h"
+#include "lakegen/vocab.h"
 
 namespace blend::lakegen {
 
@@ -15,45 +16,45 @@ Fig1 MakeFig1Lake() {
   out.s = Table("S");
   out.s.AddColumn("Dep");
   out.s.AddColumn("Head");
-  (void)out.s.AppendRow({"HR", "Firenze"});
-  (void)out.s.AppendRow({"Marketing", ""});
-  (void)out.s.AppendRow({"Finance", ""});
-  (void)out.s.AppendRow({"IT", ""});
-  (void)out.s.AppendRow({"R&D", ""});
-  (void)out.s.AppendRow({"Sales", ""});
+  MustAppendRow(out.s, {"HR", "Firenze"});
+  MustAppendRow(out.s, {"Marketing", ""});
+  MustAppendRow(out.s, {"Finance", ""});
+  MustAppendRow(out.s, {"IT", ""});
+  MustAppendRow(out.s, {"R&D", ""});
+  MustAppendRow(out.s, {"Sales", ""});
 
   Table t1("T1");
   t1.AddColumn("Team");
   t1.AddColumn("Size");
-  (void)t1.AppendRow({"Finance", "31"});
-  (void)t1.AppendRow({"Marketing", "28"});
-  (void)t1.AppendRow({"HR", "33"});
-  (void)t1.AppendRow({"IT", "92"});
-  (void)t1.AppendRow({"Sales", "80"});
+  MustAppendRow(t1, {"Finance", "31"});
+  MustAppendRow(t1, {"Marketing", "28"});
+  MustAppendRow(t1, {"HR", "33"});
+  MustAppendRow(t1, {"IT", "92"});
+  MustAppendRow(t1, {"Sales", "80"});
   out.t1 = out.lake.AddTable(std::move(t1));
 
   Table t2("T2");
   t2.AddColumn("Lead");
   t2.AddColumn("Year");
   t2.AddColumn("Team");
-  (void)t2.AppendRow({"Tom Riddle", "2022", "IT"});
-  (void)t2.AppendRow({"Draco Malfoy", "2022", "Marketing"});
-  (void)t2.AppendRow({"Harry Potter", "2022", "Finance"});
-  (void)t2.AppendRow({"Cho Chang", "2022", "R&D"});
-  (void)t2.AppendRow({"Luna Lovegood", "2022", "Sales"});
-  (void)t2.AppendRow({"Firenze", "2022", "HR"});
+  MustAppendRow(t2, {"Tom Riddle", "2022", "IT"});
+  MustAppendRow(t2, {"Draco Malfoy", "2022", "Marketing"});
+  MustAppendRow(t2, {"Harry Potter", "2022", "Finance"});
+  MustAppendRow(t2, {"Cho Chang", "2022", "R&D"});
+  MustAppendRow(t2, {"Luna Lovegood", "2022", "Sales"});
+  MustAppendRow(t2, {"Firenze", "2022", "HR"});
   out.t2 = out.lake.AddTable(std::move(t2));
 
   Table t3("T3");
   t3.AddColumn("Lead");
   t3.AddColumn("Year");
   t3.AddColumn("Team");
-  (void)t3.AppendRow({"Ronald Weasley", "2024", "IT"});
-  (void)t3.AppendRow({"Draco Malfoy", "2024", "Marketing"});
-  (void)t3.AppendRow({"Harry Potter", "2024", "Finance"});
-  (void)t3.AppendRow({"Cho Chang", "2024", "R&D"});
-  (void)t3.AppendRow({"Luna Lovegood", "2024", "Sales"});
-  (void)t3.AppendRow({"Firenze", "2024", "HR"});
+  MustAppendRow(t3, {"Ronald Weasley", "2024", "IT"});
+  MustAppendRow(t3, {"Draco Malfoy", "2024", "Marketing"});
+  MustAppendRow(t3, {"Harry Potter", "2024", "Finance"});
+  MustAppendRow(t3, {"Cho Chang", "2024", "R&D"});
+  MustAppendRow(t3, {"Luna Lovegood", "2024", "Sales"});
+  MustAppendRow(t3, {"Firenze", "2024", "HR"});
   out.t3 = out.lake.AddTable(std::move(t3));
 
   return out;

@@ -67,6 +67,22 @@ TEST(CsvTest, WriteRoundTrip) {
   EXPECT_EQ(r.value().rows, d.rows);
 }
 
+// Fuzzer-found (fuzz/corpus/csv/crash-lone-empty-field): a record of exactly
+// one empty field used to serialize as an empty line, which the reader skips
+// as blank — parse(write(x)) dropped the row. WriteCsv now quotes it.
+TEST(CsvTest, LoneEmptyFieldRowRoundTrips) {
+  auto parsed = ParseCsv("name,dept\n\"Potter, Harry\",Finance\n\"\"\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().rows.size(), 2u);
+  EXPECT_EQ(parsed.value().rows[1], std::vector<std::string>{""});
+
+  const std::string written = WriteCsv(parsed.value());
+  auto again = ParseCsv(written);
+  ASSERT_TRUE(again.ok()) << written;
+  EXPECT_EQ(again.value().header, parsed.value().header);
+  EXPECT_EQ(again.value().rows, parsed.value().rows);
+}
+
 // Property: WriteCsv output always parses back to the same data, across
 // quoted commas, embedded quotes, CR/LF characters inside fields, and with or
 // without the trailing newline.

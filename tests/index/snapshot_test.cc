@@ -110,7 +110,11 @@ std::vector<uint8_t> Slurp(const std::string& path) {
 void Spit(const std::string& path, const std::vector<uint8_t>& bytes) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   ASSERT_NE(f, nullptr) << path;
-  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  // An empty vector's data() may be null, and fwrite's first argument is
+  // declared nonnull; the truncation sweep legitimately writes 0-byte files.
+  if (!bytes.empty()) {
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  }
   std::fclose(f);
 }
 
@@ -125,6 +129,7 @@ constexpr size_t kHeaderChecksumOffset = 64;
 constexpr size_t kHeaderSize = 72;
 constexpr size_t kSectionEntrySize = 32;
 /// Section ids referenced by the codec corruption tests (snapshot.cc).
+constexpr uint32_t kSecIdPostingPositions = 11;
 constexpr uint32_t kSecIdPostingPartitions = 17;
 constexpr uint32_t kSecIdPostingBlob = 18;
 /// Bits 8..15 of the header flags carry the postings codec id (v2).
@@ -778,6 +783,102 @@ TEST_P(SnapshotCorruptionTest, TruncationAtCompressedPartitionBoundaries) {
     Spit(path_, std::vector<uint8_t>(pristine_.begin(),
                                      pristine_.begin() + static_cast<long>(cut)));
     ExpectBothLoadersReject(path_, "");
+  }
+}
+
+TEST_P(SnapshotCorruptionTest, NonAscendingRawPostingsAreRejected) {
+  // Fuzzer-found (fuzz/corpus/snapshot/crash-raw-nonascending): the raw
+  // codec's validation only bounded positions by the record count, so a
+  // tampered positions section whose values stayed in range — but broke a
+  // list's strictly-ascending order — loaded "successfully" into an index
+  // whose intersection/seek/fused paths silently answer wrong. The loader
+  // must reject it like the compressed validator always did.
+  if (codec_ != PostingCodec::kRaw) return;
+  const SecondaryIndexes& secondary = layout_ == StoreLayout::kRow
+                                          ? bundle_.row_store().secondary()
+                                          : bundle_.column_store().secondary();
+  const auto offsets = secondary.posting_offsets.span();
+  size_t victim = offsets.size();
+  for (size_t i = 0; i + 1 < offsets.size(); ++i) {
+    if (offsets[i + 1] - offsets[i] >= 2) {
+      victim = i;
+      break;
+    }
+  }
+  ASSERT_LT(victim, offsets.size()) << "lake has no posting list of length 2";
+
+  std::vector<uint8_t> bytes = pristine_;
+  const auto sections = ParseSectionTable(bytes);
+  const size_t sec_idx = SectionIndexOf(sections, kSecIdPostingPositions);
+  uint8_t* base = bytes.data() + sections[sec_idx].offset;
+  // Swap the list's first two values: both stay in range, order breaks.
+  uint32_t a, b;
+  std::memcpy(&a, base + offsets[victim] * 4, sizeof(a));
+  std::memcpy(&b, base + (offsets[victim] + 1) * 4, sizeof(b));
+  ASSERT_LT(a, b);
+  std::memcpy(base + offsets[victim] * 4, &b, sizeof(b));
+  std::memcpy(base + (offsets[victim] + 1) * 4, &a, sizeof(a));
+  ReforgeSectionChecksum(&bytes, sec_idx);
+  Spit(path_, bytes);
+  ExpectBothLoadersReject(path_, "ascending");
+  auto from_buffer = internal::LoadSnapshotFromBuffer(bytes.data(), bytes.size());
+  ASSERT_FALSE(from_buffer.ok());
+  EXPECT_NE(from_buffer.status().message().find("ascending"), std::string::npos)
+      << from_buffer.status().message();
+}
+
+// ---------------------------------------------------------------------------
+// internal::LoadSnapshotFromBuffer — the fuzzing entry point must behave
+// exactly like the file loaders over the same bytes.
+// ---------------------------------------------------------------------------
+
+TEST_P(SnapshotCorruptionTest, BufferLoaderAcceptsPristineBytes) {
+  auto loaded =
+      internal::LoadSnapshotFromBuffer(pristine_.data(), pristine_.size());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  const IndexBundle& bundle = loaded.value();
+  EXPECT_EQ(bundle.layout(), layout_);
+  EXPECT_EQ(bundle.NumRecords(), bundle_.NumRecords());
+  EXPECT_EQ(bundle.NumTables(), bundle_.NumTables());
+  EXPECT_FALSE(bundle.IsSnapshotBacked());  // heap-materialized, like Read
+  // Spot-check the postings against the built bundle.
+  for (CellId id : {CellId{0}, CellId{1}, CellId{7}}) {
+    if (static_cast<size_t>(id) >= bundle.dictionary().Size()) continue;
+    const auto want = (layout_ == StoreLayout::kRow
+                           ? bundle_.row_store().PostingList(id)
+                           : bundle_.column_store().PostingList(id))
+                          .ToVector();
+    const auto got = (layout_ == StoreLayout::kRow
+                          ? bundle.row_store().PostingList(id)
+                          : bundle.column_store().PostingList(id))
+                         .ToVector();
+    EXPECT_EQ(want, got) << "cell " << id;
+  }
+}
+
+TEST_P(SnapshotCorruptionTest, BufferLoaderRejectsWhatFileLoadersReject) {
+  std::vector<uint8_t> bytes = pristine_;
+  bytes[0] ^= 0xFF;  // bad magic
+  auto loaded = internal::LoadSnapshotFromBuffer(bytes.data(), bytes.size());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("magic"), std::string::npos)
+      << loaded.status().message();
+}
+
+TEST_P(SnapshotCorruptionTest, BufferLoaderSurvivesTruncationSweep) {
+  // Every prefix length across the header and section table, then sampled
+  // points through the payloads: all must return a Status, never crash.
+  const size_t structured_end =
+      std::min(pristine_.size(),
+               kHeaderSize + 8 * kSectionEntrySize);
+  for (size_t cut = 0; cut < structured_end; ++cut) {
+    auto loaded = internal::LoadSnapshotFromBuffer(pristine_.data(), cut);
+    EXPECT_FALSE(loaded.ok()) << "cut=" << cut;
+  }
+  for (size_t cut = structured_end; cut < pristine_.size();
+       cut += 257) {
+    auto loaded = internal::LoadSnapshotFromBuffer(pristine_.data(), cut);
+    EXPECT_FALSE(loaded.ok()) << "cut=" << cut;
   }
 }
 

@@ -1,0 +1,33 @@
+// Fixture: the ignored-status rule. DoWork/LoadThing are picked up by the
+// declaration pass (return type Status / Result<T>), so calling either as a
+// bare statement — or discarding through (void) — must fire.
+#include "common/status.h"
+
+namespace blend {
+
+Status DoWork(int x);
+Result<int> LoadThing(const char* name);
+void SideEffect();
+
+void Bad() {
+  DoWork(1);  // expect-violation(ignored-status)
+  (void)DoWork(2);  // expect-violation(ignored-status)
+  LoadThing("x");  // expect-violation(ignored-status)
+  if (true) DoWork(3);  // expect-violation(ignored-status)
+}
+
+Status Good() {
+  Status s = DoWork(1);
+  if (!s.ok()) return s;
+  BLEND_RETURN_NOT_OK(DoWork(2));
+  SideEffect();  // void-returning calls are fine
+  return DoWork(3);
+}
+
+void GoodAllowed() {
+  // blend-lint: allow(ignored-status)
+  DoWork(4);
+  DoWork(5);  // blend-lint: allow(ignored-status)
+}
+
+}  // namespace blend

@@ -1,0 +1,35 @@
+// Fixture: the nondeterminism rule. Wall clocks and libc randomness have no
+// place in a deterministic query/index path.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace blend {
+
+int Bad() {
+  int r = rand();  // expect-violation(nondeterminism)
+  srand(42);  // expect-violation(nondeterminism)
+  r += static_cast<int>(std::time(nullptr));  // expect-violation(nondeterminism)
+  std::random_device rd;  // expect-violation(nondeterminism)
+  auto now = std::chrono::system_clock::now();  // expect-violation(nondeterminism)
+  (void)now;
+  return r + static_cast<int>(rd());
+}
+
+struct Clock {
+  int time_ = 0;
+  int time() const { return time_; }
+  int rand() const { return 4; }
+};
+
+int Good(const Clock& c) {
+  // Member functions that merely share a name are not the libc calls.
+  return c.time() + c.rand();
+}
+
+int GoodAllowed() {
+  return rand();  // blend-lint: allow(nondeterminism)
+}
+
+}  // namespace blend

@@ -1,0 +1,25 @@
+// Fixture: the raw-thread rule. Spawning threads or async tasks outside the
+// shared scheduler fires; querying hardware_concurrency does not.
+#include <future>
+#include <thread>
+
+namespace blend {
+
+void Bad() {
+  std::thread t([] {});  // expect-violation(raw-thread)
+  t.join();
+  auto f = std::async([] { return 1; });  // expect-violation(raw-thread)
+  f.get();
+}
+
+unsigned Good() {
+  // A pure capability query, not a spawn.
+  return std::thread::hardware_concurrency();
+}
+
+void GoodAllowed() {
+  std::thread t([] {});  // blend-lint: allow(raw-thread)
+  t.join();
+}
+
+}  // namespace blend

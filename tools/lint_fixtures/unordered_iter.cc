@@ -1,0 +1,48 @@
+// Fixture: the unordered-iter rule. Range-for over a hash table in a
+// deterministic path depends on implementation-defined iteration order.
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace blend {
+
+int Bad() {
+  std::unordered_map<int, int> counts;
+  counts[1] = 2;
+  int total = 0;
+  for (const auto& [k, v] : counts) {  // expect-violation(unordered-iter)
+    total += k * v;
+  }
+  std::unordered_set<int> seen;
+  for (int v : seen) {  // expect-violation(unordered-iter)
+    total += v;
+  }
+  return total;
+}
+
+int Good() {
+  // Ordered containers and plain sequences iterate deterministically.
+  std::map<int, int> ordered;
+  std::vector<int> vec{1, 2, 3};
+  int total = 0;
+  for (const auto& [k, v] : ordered) total += k * v;
+  for (int v : vec) total += v;
+  // Lookups into unordered containers are fine; only iteration is flagged.
+  std::unordered_map<int, int> counts;
+  total += static_cast<int>(counts.count(3));
+  return total;
+}
+
+int GoodAllowed() {
+  std::unordered_map<int, int> counts;
+  int total = 0;
+  // Order-independent fold (commutative +); annotated as deliberate.
+  // blend-lint: allow(unordered-iter)
+  for (const auto& [k, v] : counts) {
+    total += k + v;
+  }
+  return total;
+}
+
+}  // namespace blend
