@@ -10,16 +10,24 @@
 // `--smoke` runs a 1-iteration pass on a small lake (wired into CI so the
 // parallel and serving paths are exercised on every PR); the summaries and
 // the BENCH_query.json / BENCH_serving.json lines are emitted either way.
+// `--deadline-ms=N` attaches a per-query QueryControl deadline to every
+// serving-mode query: timed-out queries must return kDeadlineExceeded (never
+// a partial result), are counted, and are reported as "deadline_hits" in
+// BENCH_serving.json instead of failing the byte-identity gate.
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/control.h"
 #include "common/scheduler.h"
 #include "common/str_util.h"
 #include "common/table_printer.h"
@@ -104,10 +112,13 @@ BENCHMARK(BM_ScSeekerShape)
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  long deadline_ms = 0;  // 0 = unconstrained serving mode
   int out_argc = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
+      deadline_ms = std::strtol(argv[i] + 14, nullptr, 10);
     } else {
       argv[out_argc++] = argv[i];
     }
@@ -263,6 +274,7 @@ int main(int argc, char** argv) {
     const int rounds = smoke ? 1 : 4;
     bool serving_identical = true;
     double qps_1 = 0, qps_4 = 0, qps_hw = 0;
+    std::atomic<int64_t> deadline_hits{0};
     std::vector<int> client_counts = {1, 2, 4};
     if (hw > 4) client_counts.push_back(static_cast<int>(hw));
     TablePrinter sp({"Clients", "Total queries", "Wall", "QPS"});
@@ -275,8 +287,24 @@ int main(int argc, char** argv) {
         threads.emplace_back([&, c] {
           for (int r = 0; r < rounds; ++r) {
             for (size_t q = 0; q < mix.size(); ++q) {
-              auto res = engine.Query(mix[q]);
-              if (!res.ok() || ResultToString(res.value()) != reference[q]) {
+              sql::QueryOptions opts;  // default shared pool, fused on
+              QueryControl control;
+              if (deadline_ms > 0) {
+                control = QueryControl::WithDeadline(
+                    std::chrono::milliseconds(deadline_ms));
+                opts.control = &control;
+              }
+              auto res = engine.Query(mix[q], opts);
+              if (res.ok()) {
+                if (ResultToString(res.value()) != reference[q]) {
+                  ok[static_cast<size_t>(c)] = 0;
+                }
+              } else if (res.status().code() ==
+                         StatusCode::kDeadlineExceeded) {
+                // A timed-out query is a valid serving outcome under
+                // --deadline-ms; it must never surface a partial result.
+                deadline_hits.fetch_add(1, std::memory_order_relaxed);
+              } else {
                 ok[static_cast<size_t>(c)] = 0;
               }
             }
@@ -298,12 +326,22 @@ int main(int argc, char** argv) {
     std::printf("\n%s", sp.Render("Concurrent serving (shared engine + pool)").c_str());
     std::printf("Serving results are %s across client counts.\n",
                 serving_identical ? "byte-identical" : "DIVERGENT (BUG)");
+    if (deadline_ms > 0) {
+      std::printf("Deadline %ld ms: %lld queries timed out (descriptive "
+                  "Status, no partial results).\n",
+                  deadline_ms,
+                  static_cast<long long>(
+                      deadline_hits.load(std::memory_order_relaxed)));
+    }
     std::printf(
         "BENCH_serving.json {\"bench\":\"serving\",\"smoke\":%s,"
         "\"hw_threads\":%u,\"mix_size\":%zu,\"qps_1_client\":%.2f,"
         "\"qps_4_clients\":%.2f,\"qps_max_clients\":%.2f,"
+        "\"deadline_ms\":%ld,\"deadline_hits\":%lld,"
         "\"identical_across_clients\":%s}\n",
         smoke ? "true" : "false", hw, mix.size(), qps_1, qps_4, qps_hw,
+        deadline_ms,
+        static_cast<long long>(deadline_hits.load(std::memory_order_relaxed)),
         serving_identical ? "true" : "false");
     identical = identical && serving_identical;
   }

@@ -1,0 +1,87 @@
+#include "common/fault.h"
+
+#include <map>
+#include <mutex>
+
+namespace blend::fault {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Schedule> by_point;
+  uint64_t hits = 0;
+  bool ordinal_armed = false;
+  uint64_t fail_ordinal = 0;
+  int ordinal_error = 0;
+};
+
+Registry& GetRegistry() {
+  static Registry* r = new Registry();  // leaked: outlives all test threads
+  return *r;
+}
+
+}  // namespace
+
+void Arm() { internal::g_enabled.store(true, std::memory_order_relaxed); }
+
+void Inject(const std::string& point, const Schedule& schedule) {
+  Registry& r = GetRegistry();
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.by_point[point] = schedule;
+  }
+  Arm();
+}
+
+void FailAtOrdinal(uint64_t ordinal, int error) {
+  Registry& r = GetRegistry();
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.ordinal_armed = true;
+    r.fail_ordinal = ordinal;
+    r.ordinal_error = error;
+  }
+  Arm();
+}
+
+uint64_t Hits() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.hits;
+}
+
+void Reset() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  internal::g_enabled.store(false, std::memory_order_relaxed);
+  r.by_point.clear();
+  r.hits = 0;
+  r.ordinal_armed = false;
+}
+
+int Check(const char* point) {
+  if (!Enabled()) return 0;
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const uint64_t ordinal = r.hits++;
+  if (r.ordinal_armed && ordinal == r.fail_ordinal) return r.ordinal_error;
+  auto it = r.by_point.find(point);
+  if (it == r.by_point.end()) return 0;
+  Schedule& s = it->second;
+  if (s.skip > 0) {
+    --s.skip;
+    return 0;
+  }
+  if (s.count > 0) {
+    --s.count;
+    return s.error;
+  }
+  return 0;
+}
+
+}  // namespace blend::fault

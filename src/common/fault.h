@@ -1,0 +1,65 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace blend::fault {
+
+/// Test-controlled fault injection for I/O seams. Production code marks each
+/// fallible operation with a named injection point; tests arm failure
+/// schedules against those names (or against global hit ordinals) to prove
+/// every failure path returns a descriptive Status, retries transients, and
+/// never publishes a partial artifact.
+///
+/// The registry is process-global and mutex-protected; the inert fast path
+/// (nothing armed, the production case) is a single relaxed atomic load.
+
+/// Sentinel Schedule::error value: instead of failing, the operation
+/// transfers only half the requested bytes — exercises short-read/short-write
+/// resume loops with real data, so a retried transfer still produces correct
+/// file contents.
+inline constexpr int kShortIo = -1;
+
+struct Schedule {
+  int skip = 0;   // successful passes before the first injected fault
+  int count = 1;  // number of consecutive injected faults (then clean again)
+  int error = 5;  // errno to simulate (EIO), or kShortIo
+};
+
+/// True when any schedule (or hit counting) is armed.
+bool Enabled();
+
+/// Arms hit counting with no scheduled failures: every injection point passes
+/// but increments Hits(). Sizes an ordinal sweep.
+void Arm();
+
+/// Arms a failure schedule against the named injection point.
+void Inject(const std::string& point, const Schedule& schedule);
+
+/// Arms a single failure at the `ordinal`-th injection-point hit (0-based,
+/// counted globally across all points since the last Reset) — the sweep mode:
+/// count a clean run's Hits(), then fail each ordinal in turn.
+void FailAtOrdinal(uint64_t ordinal, int error);
+
+/// Injection-point hits since the last Reset (counted only while armed).
+uint64_t Hits();
+
+/// Disarms everything and zeroes the hit counter.
+void Reset();
+
+/// Called by production code at each injection point. Returns 0 to proceed,
+/// kShortIo to simulate a partial transfer, or an errno value to simulate
+/// failure (the caller sets errno and takes its normal error path). Inert
+/// unless armed.
+int Check(const char* point);
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+}  // namespace internal
+
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+}  // namespace blend::fault

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <variant>
@@ -17,7 +19,28 @@ enum class StatusCode {
   kPlanError,
   kExecutionError,
   kInternal,
+  kDeadlineExceeded,
+  kCancelled,
+  kResourceExhausted,
 };
+
+/// Stable human-readable name of a StatusCode; also used by
+/// Status::ToString, so error strings stay greppable across logs and tests.
+constexpr const char* StatusCodeName(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kParseError: return "ParseError";
+    case StatusCode::kPlanError: return "PlanError";
+    case StatusCode::kExecutionError: return "ExecutionError";
+    case StatusCode::kInternal: return "Internal";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case StatusCode::kCancelled: return "Cancelled";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
+  }
+  return "Unknown";
+}
 
 /// A cheap, copyable success-or-error value.
 class [[nodiscard]] Status {
@@ -45,6 +68,15 @@ class [[nodiscard]] Status {
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
   }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -52,23 +84,10 @@ class [[nodiscard]] Status {
 
   std::string ToString() const {
     if (ok()) return "OK";
-    return CodeName(code_) + ": " + message_;
+    return std::string(StatusCodeName(code_)) + ": " + message_;
   }
 
  private:
-  static std::string CodeName(StatusCode c) {
-    switch (c) {
-      case StatusCode::kOk: return "OK";
-      case StatusCode::kInvalidArgument: return "InvalidArgument";
-      case StatusCode::kNotFound: return "NotFound";
-      case StatusCode::kParseError: return "ParseError";
-      case StatusCode::kPlanError: return "PlanError";
-      case StatusCode::kExecutionError: return "ExecutionError";
-      case StatusCode::kInternal: return "Internal";
-    }
-    return "Unknown";
-  }
-
   StatusCode code_;
   std::string message_;
 };
@@ -99,6 +118,33 @@ class [[nodiscard]] Result {
  private:
   std::variant<T, Status> v_;
 };
+
+namespace internal {
+
+/// Terminates with the failing condition and location visible; the single
+/// funnel for intentional process-fatal asserts (see BLEND_CHECK).
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition,
+                                     const std::string& detail) {
+  std::fprintf(stderr, "BLEND_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               condition, detail.empty() ? "" : " — ", detail.c_str());
+  std::abort();
+}
+
+}  // namespace internal
+
+/// Intentional invariant assert: aborts (in every build type) with the
+/// condition and location when `cond` is false. Use it where a violated
+/// invariant means a bug, not a recoverable error — recoverable paths return
+/// Status instead. An optional string-literal message adds context:
+/// BLEND_CHECK(parts == n, "merge lost a partition").
+#define BLEND_CHECK(cond, ...)                                        \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::blend::internal::CheckFailed(__FILE__, __LINE__, #cond,       \
+                                     ::std::string("" __VA_ARGS__));  \
+    }                                                                 \
+  } while (0)
 
 #define BLEND_RETURN_NOT_OK(expr)            \
   do {                                       \

@@ -110,25 +110,66 @@ Result<TableList> Blend::Run(const Plan& plan) const {
   return report.output;
 }
 
+Result<TableList> Blend::Run(const Plan& plan, const QueryControl& control) const {
+  BLEND_ASSIGN_OR_RETURN(auto report, RunReport(plan, control));
+  return report.output;
+}
+
 Result<std::vector<TableList>> Blend::RunMany(std::span<const Plan> plans) const {
+  return RunMany(plans, QueryControl());
+}
+
+Result<std::vector<TableList>> Blend::RunMany(std::span<const Plan> plans,
+                                              const QueryControl& control) const {
   // One task per plan on the engine scheduler; nested submission lets each
   // plan's own morsel-parallel queries fan out on the same pool without
   // oversubscribing. Slots are task-indexed, so output order (and the
   // selected error on failure) is independent of completion order.
+  //
+  // Every plan runs under a batch control nested below the caller's handle:
+  // the first failing plan cancels its siblings through it, so an
+  // already-doomed batch stops burning pool time instead of completing
+  // results that would be thrown away.
+  const QueryControl batch = QueryControl::Nested(control);
   std::vector<std::optional<Result<TableList>>> slots(plans.size());
-  scheduler_->ParallelFor(plans.size(),
-                          [&](size_t i) { slots[i] = Run(plans[i]); });
+  scheduler_->ParallelFor(plans.size(), [&](size_t i) {
+    slots[i] = Run(plans[i], batch);
+    if (!slots[i]->ok()) batch.Cancel();
+  });
+  // Error selection: the lowest-indexed genuine failure wins. Siblings that
+  // report kCancelled only because the batch abort reached them first are
+  // skipped — unless every failure is a cancellation (the caller's own
+  // handle was cancelled), in which case the lowest-indexed one is returned.
+  // With several genuine failures racing the abort, the one reported may
+  // differ from a strict lowest-index rule only when a lower-indexed plan
+  // was converted to kCancelled by the abort itself.
+  const Status* first_cancelled = nullptr;
+  for (const auto& slot : slots) {
+    if (slot->ok()) continue;
+    if (slot->status().code() != StatusCode::kCancelled) return slot->status();
+    if (first_cancelled == nullptr) first_cancelled = &slot->status();
+  }
+  if (first_cancelled != nullptr) return *first_cancelled;
   std::vector<TableList> outputs;
   outputs.reserve(plans.size());
-  for (auto& slot : slots) {
-    BLEND_ASSIGN_OR_RETURN(auto out, std::move(*slot));
-    outputs.push_back(std::move(out));
-  }
+  for (auto& slot : slots) outputs.push_back(std::move(*slot).take());
   return outputs;
 }
 
 Result<ExecutionReport> Blend::RunReport(const Plan& plan) const {
   PlanExecutor executor(&ctx_, model_ ? model_.get() : nullptr);
+  return executor.Run(plan, options_.optimize);
+}
+
+Result<ExecutionReport> Blend::RunReport(const Plan& plan,
+                                         const QueryControl& control) const {
+  if (!control.active()) return RunReport(plan);
+  // Per-query context copy: the shared ctx_ stays control-free (Blend is
+  // shared-immutable across serving threads), the copy carries the caller's
+  // handle down through QueryOptions into every executor stage and seeker.
+  DiscoveryContext ctx = ctx_;
+  ctx.query_options.control = &control;
+  PlanExecutor executor(&ctx, model_ ? model_.get() : nullptr);
   return executor.Run(plan, options_.optimize);
 }
 

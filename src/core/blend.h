@@ -85,15 +85,33 @@ class Blend {
   /// Runs a plan and returns the sink's top-k tables.
   Result<TableList> Run(const Plan& plan) const;
 
+  /// Runs a plan under a QueryControl (deadline / cancellation / memory
+  /// budget; see common/control.h). The control is checked cooperatively at
+  /// every plan step and morsel boundary: a tripped constraint returns a
+  /// descriptive kDeadlineExceeded / kCancelled / kResourceExhausted, never a
+  /// partial result, and a run that completes is byte-identical to an
+  /// unconstrained run. The control must outlive the call.
+  Result<TableList> Run(const Plan& plan, const QueryControl& control) const;
+
   /// Runs a batch of plans concurrently on the engine scheduler, returning
   /// one TableList per plan in input order (byte-identical to running each
-  /// plan serially). On failure the error of the lowest-indexed failing plan
-  /// is returned, regardless of completion order.
+  /// plan serially). When any plan fails, the batch cancels its remaining
+  /// sibling plans instead of burning pool time, and the error of the
+  /// lowest-indexed *genuinely* failing plan is returned (sibling
+  /// cancellations triggered by the batch abort never mask the root error).
   Result<std::vector<TableList>> RunMany(std::span<const Plan> plans) const;
+
+  /// RunMany under a caller QueryControl: every plan observes the caller's
+  /// deadline/cancellation/budget via a nested batch control, and a failing
+  /// plan still cancels its siblings without cancelling the caller's handle.
+  Result<std::vector<TableList>> RunMany(std::span<const Plan> plans,
+                                         const QueryControl& control) const;
 
   /// Runs a plan and returns the full execution report (per-node outputs,
   /// timings, executed step order).
   Result<ExecutionReport> RunReport(const Plan& plan) const;
+  Result<ExecutionReport> RunReport(const Plan& plan,
+                                    const QueryControl& control) const;
 
   /// Trains the learned cost model by sampling random inputs from the lake
   /// (paper: offline, once per lake installation). Not thread-safe against

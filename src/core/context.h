@@ -11,7 +11,9 @@ namespace blend::core {
 /// validation), the unified index, the SQL engine hosting it, the token
 /// statistics used by the optimizer's cost model, and the execution knobs
 /// every seeker passes to Engine::Query (the work-stealing scheduler handle,
-/// fused fast path).
+/// fused fast path, and the per-query QueryControl — seekers inherit the
+/// plan's deadline/cancellation/budget automatically through
+/// query_options.control).
 ///
 /// The context is shared-immutable during execution: many plans may run
 /// against one context concurrently (the serving layer's contract), so

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "common/control.h"
 #include "common/str_util.h"
 #include "common/timer.h"
 
@@ -69,6 +70,10 @@ Result<ExecutionReport> PlanExecutor::Run(const Plan& plan, bool optimize) const
 
   StopWatch run_watch;
   for (const ExecutionStep& step : report.executed_plan.steps) {
+    // Plan-step control boundary: a tripped deadline/cancel/budget stops the
+    // plan before its next seeker or combiner, complementing the finer-grained
+    // morsel checks inside each seeker's queries.
+    BLEND_RETURN_NOT_OK(CheckControl(ctx_->query_options.control, "plan step"));
     const Plan::Node& node = plan.node(step.node);
     if (node.is_seeker()) {
       std::string rewrite = BuildRewrite(step.rewrite, report.node_outputs);

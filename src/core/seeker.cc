@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/control.h"
 #include "common/scheduler.h"
 #include "common/str_util.h"
 #include "common/xash.h"
@@ -65,6 +66,11 @@ Result<TableList> RunDedupTopK(const DiscoveryContext& ctx,
   const int64_t first_fetch = k < 0 ? -1 : std::max<int64_t>(4LL * k, k + 16);
   BLEND_ASSIGN_OR_RETURN(auto first, run_attempt(first_fetch));
   if (first.second) return std::move(first.first);
+
+  // Attempt-boundary control check: a tripped deadline/cancel stops the
+  // widening before speculating two more full scans (each attempt also
+  // checks cooperatively inside its own query).
+  BLEND_RETURN_NOT_OK(CheckControl(ctx.query_options.control, "seeker retry"));
 
   const int64_t widened[2] = {first_fetch * 8, -1};
   std::optional<Result<Attempt>> slots[2];
@@ -265,6 +271,11 @@ Result<TableList> MCSeeker::Execute(const DiscoveryContext& ctx,
     candidates.emplace(key, static_cast<uint64_t>(res.Int(r, 2)));
   }
   stats.candidate_rows = candidates.size();
+  // The candidate map is this seeker's dominant materialization beyond the
+  // phase-1 query itself (already budgeted inside the executor).
+  ScopedMemoryCharge mem(ctx.query_options.control);
+  BLEND_RETURN_NOT_OK(mem.ChargeTo(static_cast<int64_t>(
+      candidates.size() * sizeof(std::pair<const uint64_t, uint64_t>))));
 
   // Query tuple super keys for the Bloom-filter stage.
   std::vector<uint64_t> tuple_hashes;
@@ -276,9 +287,15 @@ Result<TableList> MCSeeker::Execute(const DiscoveryContext& ctx,
 
   std::unordered_map<TableId, double> table_scores;
   std::vector<std::string> row_cells;
+  size_t visited = 0;
   // Accumulates commutative per-table sums; visit order cannot change them.
   // blend-lint: allow(unordered-iter)
   for (const auto& [key, super_key] : candidates) {
+    // Validation touches the raw lake tables and can dominate MC runtime on
+    // dirty candidates; check the control at a coarse stride.
+    if ((++visited & 1023) == 0) {
+      BLEND_RETURN_NOT_OK(CheckControl(ctx.query_options.control, "mc validation"));
+    }
     TableId t = static_cast<TableId>(key >> 32);
     int32_t indexed_row = static_cast<int32_t>(key & 0xFFFFFFFFu);
 

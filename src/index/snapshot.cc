@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/hashing.h"
 
 #if !defined(_WIN32)
@@ -228,27 +229,166 @@ class MmapStorage : public SnapshotStorage {
  private:
   void* base_;
 };
+
+/// Transient errors a syscall loop may retry; everything else is final. The
+/// retry budget is capped so a persistently interrupting environment still
+/// surfaces a descriptive error instead of spinning.
+constexpr int kMaxIoRetries = 4;
+
+bool RetryableErrno(int err) { return err == EINTR || err == EAGAIN; }
+
+void IoBackoff(int attempt) {
+  // 100us, 200us, 400us, ... — enough to let a transient condition clear
+  // without adding visible latency to the capped retry budget.
+  ::usleep(100u << attempt);
+}
+
+/// Runs a syscall (returning >= 0 on success) under a named fault-injection
+/// point, retrying transient errno values with capped backoff. The fault
+/// point is consulted before each attempt, so an injected EINTR exercises
+/// the retry loop and an injected EIO the failure path.
+template <typename Op>
+int RetrySyscall(const char* point, const Op& op) {
+  for (int attempt = 0;; ++attempt) {
+    int rc;
+    if (const int injected = fault::Check(point);
+        injected != 0 && injected != fault::kShortIo) {
+      errno = injected;
+      rc = -1;
+    } else {
+      rc = op();
+    }
+    if (rc >= 0) return rc;
+    if (!RetryableErrno(errno) || attempt >= kMaxIoRetries) return -1;
+    IoBackoff(attempt);
+  }
+}
+
+/// Closes `fd` unconditionally (even when a fault is injected: the kernel
+/// releases the descriptor regardless of close's return value, so close is
+/// never retried) and reports the injected or real error.
+int CloseChecked(int fd, const char* point) {
+  const int injected = fault::Check(point);
+  const int rc = ::close(fd);
+  if (injected != 0 && injected != fault::kShortIo) {
+    errno = injected;
+    return -1;
+  }
+  return rc;
+}
+
+/// Loops write(2) until every byte is transferred: short writes resume where
+/// the kernel stopped, EINTR/EAGAIN retry with capped backoff (the budget
+/// resets on forward progress), and anything else surfaces as a descriptive
+/// error. An injected kShortIo shrinks one chunk — the bytes really land, so
+/// a resumed write still produces the exact artifact.
+Status WriteFully(int fd, const uint8_t* data, size_t size,
+                  const std::string& path) {
+  size_t done = 0;
+  int retries = 0;
+  while (done < size) {
+    size_t chunk = size - done;
+    if (const int injected = fault::Check("snapshot.write.write");
+        injected != 0) {
+      if (injected == fault::kShortIo) {
+        chunk = std::max<size_t>(1, chunk / 2);
+      } else {
+        errno = injected;
+        if (!RetryableErrno(injected) || ++retries > kMaxIoRetries) {
+          return IoError("write", path);
+        }
+        IoBackoff(retries);
+        continue;
+      }
+    }
+    const ssize_t w = ::write(fd, data + done, chunk);
+    if (w < 0) {
+      if (!RetryableErrno(errno) || ++retries > kMaxIoRetries) {
+        return IoError("write", path);
+      }
+      IoBackoff(retries);
+      continue;
+    }
+    done += static_cast<size_t>(w);
+    retries = 0;
+  }
+  return Status::OK();
+}
+
+/// read(2) counterpart of WriteFully; an unexpected EOF (the file shrank
+/// under us) is final, not retryable.
+Status ReadFully(int fd, uint8_t* data, size_t size, const std::string& path) {
+  size_t done = 0;
+  int retries = 0;
+  while (done < size) {
+    size_t chunk = size - done;
+    if (const int injected = fault::Check("snapshot.read.read");
+        injected != 0) {
+      if (injected == fault::kShortIo) {
+        chunk = std::max<size_t>(1, chunk / 2);
+      } else {
+        errno = injected;
+        if (!RetryableErrno(injected) || ++retries > kMaxIoRetries) {
+          return IoError("read", path);
+        }
+        IoBackoff(retries);
+        continue;
+      }
+    }
+    const ssize_t r = ::read(fd, data + done, chunk);
+    if (r < 0) {
+      if (!RetryableErrno(errno) || ++retries > kMaxIoRetries) {
+        return IoError("read", path);
+      }
+      IoBackoff(retries);
+      continue;
+    }
+    if (r == 0) {
+      return Status::ExecutionError("snapshot read failed for '" + path +
+                                    "': unexpected end of file");
+    }
+    done += static_cast<size_t>(r);
+    retries = 0;
+  }
+  return Status::OK();
+}
 #endif
 
 }  // namespace
 
 Result<std::shared_ptr<SnapshotStorage>> SnapshotStorage::ReadFile(
     const std::string& path) {
+#if !defined(_WIN32)
+  const int fd = RetrySyscall("snapshot.read.open",
+                              [&] { return ::open(path.c_str(), O_RDONLY); });
+  if (fd < 0) {
+    return Status::NotFound("cannot open snapshot '" + path +
+                            "': " + std::strerror(errno));
+  }
+  // stat, not ftell: long is 32 bits on some ABIs and large lakes produce
+  // multi-GiB snapshots.
+  struct stat st;
+  if (RetrySyscall("snapshot.read.stat", [&] { return ::fstat(fd, &st); }) !=
+      0) {
+    ::close(fd);
+    return IoError("stat", path);
+  }
+  std::vector<uint8_t> bytes(static_cast<size_t>(st.st_size));
+  if (!bytes.empty()) {
+    Status io = ReadFully(fd, bytes.data(), bytes.size(), path);
+    if (!io.ok()) {
+      ::close(fd);
+      return io;
+    }
+  }
+  ::close(fd);
+  return std::shared_ptr<SnapshotStorage>(new HeapStorage(std::move(bytes)));
+#else
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return Status::NotFound("cannot open snapshot '" + path +
                             "': " + std::strerror(errno));
   }
-#if !defined(_WIN32)
-  // stat, not ftell: long is 32 bits on some ABIs and large lakes produce
-  // multi-GiB snapshots.
-  struct stat st;
-  if (::fstat(fileno(f), &st) != 0) {
-    std::fclose(f);
-    return IoError("stat", path);
-  }
-  const auto end = static_cast<uint64_t>(st.st_size);
-#else
   if (std::fseek(f, 0, SEEK_END) != 0) {
     std::fclose(f);
     return IoError("seek", path);
@@ -258,15 +398,14 @@ Result<std::shared_ptr<SnapshotStorage>> SnapshotStorage::ReadFile(
     std::fclose(f);
     return IoError("size query", path);
   }
-  const auto end = static_cast<uint64_t>(told);
-#endif
-  std::vector<uint8_t> bytes(static_cast<size_t>(end));
+  std::vector<uint8_t> bytes(static_cast<size_t>(told));
   if (!bytes.empty() && std::fread(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
     std::fclose(f);
     return IoError("read", path);
   }
   std::fclose(f);
   return std::shared_ptr<SnapshotStorage>(new HeapStorage(std::move(bytes)));
+#endif
 }
 
 Result<std::shared_ptr<SnapshotStorage>> SnapshotStorage::MapFile(
@@ -275,13 +414,15 @@ Result<std::shared_ptr<SnapshotStorage>> SnapshotStorage::MapFile(
   return Status::ExecutionError("mmap-backed snapshots are not supported on "
                                 "this platform; use ReadSnapshot");
 #else
-  const int fd = ::open(path.c_str(), O_RDONLY);
+  const int fd = RetrySyscall("snapshot.mmap.open",
+                              [&] { return ::open(path.c_str(), O_RDONLY); });
   if (fd < 0) {
     return Status::NotFound("cannot open snapshot '" + path +
                             "': " + std::strerror(errno));
   }
   struct stat st;
-  if (::fstat(fd, &st) != 0) {
+  if (RetrySyscall("snapshot.mmap.stat", [&] { return ::fstat(fd, &st); }) !=
+      0) {
     ::close(fd);
     return IoError("stat", path);
   }
@@ -291,7 +432,13 @@ Result<std::shared_ptr<SnapshotStorage>> SnapshotStorage::MapFile(
     return Status::InvalidArgument("truncated snapshot '" + path +
                                    "': empty file");
   }
-  void* base = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+  void* base = MAP_FAILED;
+  if (const int injected = fault::Check("snapshot.mmap.map");
+      injected != 0 && injected != fault::kShortIo) {
+    errno = injected;
+  } else {
+    base = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+  }
   ::close(fd);
   if (base == MAP_FAILED) {
     return IoError("mmap", path);
@@ -576,9 +723,53 @@ Status SnapshotCodec::Write(const IndexBundle& bundle, const std::string& path,
       ChecksumSerial(reinterpret_cast<const uint8_t*>(&header),
                      offsetof(FileHeader, header_checksum));
 
-  // Write to a sibling temp file and rename into place, so a crash mid-write
-  // never leaves a truncated file under the published name.
+  // Write to a sibling temp file and rename into place, so a crash or a
+  // failure at any point mid-write never leaves anything but a complete old
+  // or complete new file under the published name.
   const std::string tmp = path + ".tmp";
+#if !defined(_WIN32)
+  const int fd = RetrySyscall("snapshot.write.open", [&] {
+    return ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  });
+  if (fd < 0) return IoError("create", tmp);
+
+  Status io = WriteFully(fd, reinterpret_cast<const uint8_t*>(&header),
+                         sizeof(header), tmp);
+  if (io.ok() && !entries.empty()) {
+    io = WriteFully(fd, reinterpret_cast<const uint8_t*>(entries.data()),
+                    entries.size() * sizeof(SectionEntry), tmp);
+  }
+  size_t pos = sizeof(FileHeader) + entries.size() * sizeof(SectionEntry);
+  static constexpr uint8_t kPad[kAlign] = {0};
+  for (size_t s = 0; io.ok() && s < g.specs.size(); ++s) {
+    const size_t aligned = Align8(pos);
+    if (aligned > pos) io = WriteFully(fd, kPad, aligned - pos, tmp);
+    pos = aligned;
+    if (io.ok() && g.specs[s].size != 0) {
+      io = WriteFully(fd, g.specs[s].data, g.specs[s].size, tmp);
+    }
+    pos += g.specs[s].size;
+  }
+  // Push the bytes to stable storage before publishing the name: rename
+  // atomicity alone only survives process crashes, not power loss.
+  if (io.ok() &&
+      RetrySyscall("snapshot.write.fsync", [&] { return ::fsync(fd); }) != 0) {
+    io = IoError("fsync", tmp);
+  }
+  if (CloseChecked(fd, "snapshot.write.close") != 0 && io.ok()) {
+    io = IoError("close", tmp);
+  }
+  if (!io.ok()) {
+    std::remove(tmp.c_str());
+    return io;
+  }
+  if (RetrySyscall("snapshot.write.rename", [&] {
+        return ::rename(tmp.c_str(), path.c_str());
+      }) != 0) {
+    std::remove(tmp.c_str());
+    return IoError("rename", path);
+  }
+#else
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) return IoError("create", tmp);
   bool ok = std::fwrite(&header, sizeof(header), 1, f) == 1;
@@ -597,24 +788,18 @@ Status SnapshotCodec::Write(const IndexBundle& bundle, const std::string& path,
     pos += g.specs[s].size;
   }
   ok = ok && std::fflush(f) == 0;
-#if !defined(_WIN32)
-  // Push the bytes to stable storage before publishing the name: rename
-  // atomicity alone only survives process crashes, not power loss.
-  ok = ok && ::fsync(fileno(f)) == 0;
-#endif
   if (std::fclose(f) != 0) ok = false;
   if (!ok) {
     std::remove(tmp.c_str());
     return IoError("write", tmp);
   }
-#if defined(_WIN32)
   // POSIX rename replaces an existing destination; Windows rename does not.
   std::remove(path.c_str());
-#endif
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return IoError("rename", path);
   }
+#endif
   return Status::OK();
 }
 
@@ -1096,8 +1281,20 @@ Result<IndexBundle> OpenSnapshot(const std::string& path,
                                  const SnapshotOptions& options) {
   Scheduler* sched =
       options.scheduler != nullptr ? options.scheduler : Scheduler::Default();
-  BLEND_ASSIGN_OR_RETURN(auto storage, SnapshotStorage::MapFile(path));
-  return SnapshotCodec::Load(std::move(storage), /*zero_copy=*/true, sched);
+  auto storage = SnapshotStorage::MapFile(path);
+  if (storage.ok()) {
+    return SnapshotCodec::Load(std::move(storage).take(), /*zero_copy=*/true,
+                               sched);
+  }
+  // A missing or empty file is final, but an mmap-layer failure (address
+  // space exhaustion, a filesystem without mmap support) still has a working
+  // plain-read path: fall back to a heap load so serving degrades to higher
+  // memory use instead of an error. Both paths parse and validate the same
+  // bytes, so results are byte-identical either way.
+  if (storage.status().code() != StatusCode::kExecutionError) {
+    return storage.status();
+  }
+  return ReadSnapshot(path, options);
 }
 
 size_t SnapshotBytes(const IndexBundle& bundle, const SnapshotOptions& options) {

@@ -37,14 +37,37 @@ constexpr size_t kMergePartitions = 16;
 /// scheduler; a null scheduler is the serial configuration and runs inline.
 /// Each ParallelFor-era call site keeps its determinism contract unchanged:
 /// tasks write only task-indexed slots, merges happen in fixed order.
+///
+/// This is also the cooperative control point of the scheduler's task loops:
+/// the query's QueryControl is checked at every morsel boundary (task entry)
+/// and once more after the group completes. Tasks skipped after a trip leave
+/// their slots empty, which is safe precisely because the post-group Check
+/// fails and the whole query returns a Status — partial buffers are never
+/// merged into a result, so a query that completes is byte-identical to an
+/// unconstrained run (the control never alters morsel geometry or merge
+/// order).
 template <typename Fn>
-void RunTasks(Scheduler* sched, size_t num_tasks, const Fn& fn) {
+[[nodiscard]] Status RunTasks(Scheduler* sched, const QueryControl* control,
+                              const char* stage, size_t num_tasks,
+                              const Fn& fn) {
+  BLEND_RETURN_NOT_OK(CheckControl(control, stage));
   if (sched == nullptr) {
-    for (size_t t = 0; t < num_tasks; ++t) fn(t);
-    return;
+    for (size_t t = 0; t < num_tasks; ++t) {
+      if (ShouldStop(control)) break;
+      fn(t);
+    }
+  } else {
+    sched->ParallelFor(num_tasks, [&](size_t t) {
+      if (ShouldStop(control)) return;
+      fn(t);
+    });
   }
-  sched->ParallelFor(num_tasks, fn);
+  return CheckControl(control, stage);
 }
+
+/// Interval (in serial-loop iterations) between control checks inside loops
+/// that cannot be morselized (exact-bucket-order hash-table builds).
+constexpr size_t kSerialCheckInterval = 64 * 1024;
 
 Binder::RelColumns AllFields(const std::string& alias) {
   Binder::RelColumns rc;
@@ -245,7 +268,8 @@ std::vector<CellId> ResolveCellIds(const Expr& cell_in, const Dictionary& dict) 
 
 template <typename Store>
 Result<std::vector<RecordPos>> ScanRel(const AnalyzedRel& rel, const Store& store,
-                                       const Dictionary& dict, Scheduler* sched) {
+                                       const Dictionary& dict, Scheduler* sched,
+                                       const QueryControl* control) {
   const ScanSpec spec = ClassifyScan(rel.scan_pred);
 
   // Bind residual predicates once; evaluation is read-only and thread-safe.
@@ -317,7 +341,7 @@ Result<std::vector<RecordPos>> ScanRel(const AnalyzedRel& rel, const Store& stor
   for (const ScanMorsel& mo : morsels) total_records += mo.end - mo.begin;
   Scheduler* scan_sched = total_records > kScanMorselRecords ? sched : nullptr;
   std::vector<std::vector<RecordPos>> parts(morsels.size());
-  RunTasks(scan_sched, morsels.size(), [&](size_t m) {
+  BLEND_RETURN_NOT_OK(RunTasks(scan_sched, control, "scan", morsels.size(), [&](size_t m) {
     const ScanMorsel& mo = morsels[m];
     std::vector<RecordPos>& out = parts[m];
     if (mo.from_list) {
@@ -345,7 +369,7 @@ Result<std::vector<RecordPos>> ScanRel(const AnalyzedRel& rel, const Store& stor
         if (passes(p)) out.push_back(p);
       }
     }
-  });
+  }));
 
   return ConcatParts(std::move(parts));
 }
@@ -398,7 +422,8 @@ Result<std::vector<RowCtx>> HashJoinStep(const Store& store,
                                          const std::vector<RowCtx>& rows,
                                          const std::vector<RecordPos>& scan,
                                          const StepKeys& keys, uint8_t step_side,
-                                         Scheduler* sched) {
+                                         Scheduler* sched,
+                                         const QueryControl* control) {
   auto left_hash = [&](const RowCtx& ctx, bool* has_null) {
     uint64_t h = 0x243F6A8885A308D3ULL;
     *has_null = false;
@@ -453,7 +478,7 @@ Result<std::vector<RowCtx>> HashJoinStep(const Store& store,
     std::vector<uint8_t> nulls(scan.size());
     const size_t build_chunks =
         (scan.size() + kScanMorselRecords - 1) / kScanMorselRecords;
-    RunTasks(sched, build_chunks, [&](size_t c) {
+    BLEND_RETURN_NOT_OK(RunTasks(sched, control, "join build", build_chunks, [&](size_t c) {
       const size_t b = c * kScanMorselRecords;
       const size_t e = std::min(scan.size(), b + kScanMorselRecords);
       for (size_t i = b; i < e; ++i) {
@@ -461,15 +486,18 @@ Result<std::vector<RowCtx>> HashJoinStep(const Store& store,
         hashes[i] = right_hash(scan[i], &has_null);
         nulls[i] = has_null ? 1 : 0;
       }
-    });
+    }));
     std::unordered_map<uint64_t, std::vector<RecordPos>> ht;
     ht.reserve(scan.size() * 2);
     for (size_t i = 0; i < scan.size(); ++i) {
+      if ((i % kSerialCheckInterval) == kSerialCheckInterval - 1) {
+        BLEND_RETURN_NOT_OK(CheckControl(control, "join build"));
+      }
       if (!nulls[i]) ht[hashes[i]].push_back(scan[i]);
     }
     const size_t probe_chunks = (rows.size() + num_chunks_of - 1) / num_chunks_of;
     std::vector<std::vector<RowCtx>> parts(probe_chunks);
-    RunTasks(sched, probe_chunks, [&](size_t c) {
+    BLEND_RETURN_NOT_OK(RunTasks(sched, control, "join probe", probe_chunks, [&](size_t c) {
       const size_t b = c * num_chunks_of;
       const size_t e = std::min(rows.size(), b + num_chunks_of);
       for (size_t i = b; i < e; ++i) {
@@ -482,7 +510,7 @@ Result<std::vector<RowCtx>> HashJoinStep(const Store& store,
           if (keys_equal(rows[i], p)) emit(rows[i], p, &parts[c]);
         }
       }
-    });
+    }));
     return ConcatParts(std::move(parts));
   }
 
@@ -491,7 +519,7 @@ Result<std::vector<RowCtx>> HashJoinStep(const Store& store,
   std::vector<uint8_t> nulls(rows.size());
   const size_t build_chunks =
       (rows.size() + kScanMorselRecords - 1) / kScanMorselRecords;
-  RunTasks(sched, build_chunks, [&](size_t c) {
+  BLEND_RETURN_NOT_OK(RunTasks(sched, control, "join build", build_chunks, [&](size_t c) {
     const size_t b = c * kScanMorselRecords;
     const size_t e = std::min(rows.size(), b + kScanMorselRecords);
     for (size_t i = b; i < e; ++i) {
@@ -499,15 +527,18 @@ Result<std::vector<RowCtx>> HashJoinStep(const Store& store,
       hashes[i] = left_hash(rows[i], &has_null);
       nulls[i] = has_null ? 1 : 0;
     }
-  });
+  }));
   std::unordered_map<uint64_t, std::vector<uint32_t>> ht;
   ht.reserve(rows.size() * 2);
   for (uint32_t i = 0; i < rows.size(); ++i) {
+    if ((i % kSerialCheckInterval) == kSerialCheckInterval - 1) {
+      BLEND_RETURN_NOT_OK(CheckControl(control, "join build"));
+    }
     if (!nulls[i]) ht[hashes[i]].push_back(i);
   }
   const size_t probe_chunks = (scan.size() + num_chunks_of - 1) / num_chunks_of;
   std::vector<std::vector<RowCtx>> parts(probe_chunks);
-  RunTasks(sched, probe_chunks, [&](size_t c) {
+  BLEND_RETURN_NOT_OK(RunTasks(sched, control, "join probe", probe_chunks, [&](size_t c) {
     const size_t b = c * num_chunks_of;
     const size_t e = std::min(scan.size(), b + num_chunks_of);
     for (size_t i = b; i < e; ++i) {
@@ -521,7 +552,7 @@ Result<std::vector<RowCtx>> HashJoinStep(const Store& store,
         if (keys_equal(rows[r], p)) emit(rows[r], p, &parts[c]);
       }
     }
-  });
+  }));
   return ConcatParts(std::move(parts));
 }
 
@@ -658,13 +689,16 @@ Status BindAggOrderBy(const SelectStmt& stmt, const Binder& binder,
 
 /// Attempts the fused path. Returns nullopt when the statement does not have
 /// the fused shape (including any bind failure — the generic pipeline then
-/// re-binds and reports the real error).
+/// re-binds and reports the real error). An engaged return is the query's
+/// outcome: the result, or the control Status that stopped the cursor
+/// batches.
 template <typename Store>
-std::optional<QueryResult> TryFusedScanAgg(const AnalyzedQuery& q,
-                                           const SelectStmt& stmt,
-                                           const Store& store,
-                                           const Dictionary& dict,
-                                           Scheduler* sched) {
+std::optional<Result<QueryResult>> TryFusedScanAgg(const AnalyzedQuery& q,
+                                                   const SelectStmt& stmt,
+                                                   const Store& store,
+                                                   const Dictionary& dict,
+                                                   const QueryOptions& options) {
+  Scheduler* sched = options.scheduler;
   if (q.rels.size() != 1 || !q.join_ons.empty() || q.residual_where != nullptr) {
     return std::nullopt;
   }
@@ -783,7 +817,8 @@ std::optional<QueryResult> TryFusedScanAgg(const AnalyzedQuery& q,
     CellId last_cell;  // per-posting-list dedup marker
   };
   std::vector<std::vector<FusedGroup>> parts(morsels.size());
-  RunTasks(sched, morsels.size(), [&](size_t m) {
+  Status fused_scan = RunTasks(sched, options.control, "fused scan",
+                               morsels.size(), [&](size_t m) {
     std::unordered_map<uint64_t, uint32_t> index;
     std::vector<FusedGroup>& groups_m = parts[m];
     for (size_t ci = morsels[m].begin; ci < morsels[m].end; ++ci) {
@@ -822,6 +857,7 @@ std::optional<QueryResult> TryFusedScanAgg(const AnalyzedQuery& q,
       }
     }
   });
+  if (!fused_scan.ok()) return Result<QueryResult>(std::move(fused_scan));
 
   // Merge morsel-local groups in morsel order (group counts are bounded by
   // tables x columns, so this stays cheap), then order groups by first
@@ -857,7 +893,7 @@ std::optional<QueryResult> TryFusedScanAgg(const AnalyzedQuery& q,
     groups.push_back(std::move(out));
   }
   EmitGroups(groups, items, sort_ref, sort_exprs, desc, stmt, &result);
-  return result;
+  return Result<QueryResult>(std::move(result));
 }
 
 }  // namespace
@@ -868,18 +904,29 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
                                   const QueryOptions& options) {
   BLEND_ASSIGN_OR_RETURN(AnalyzedQuery q, Analyze(stmt));
   Scheduler* sched = options.scheduler;
+  const QueryControl* control = options.control;
+  BLEND_RETURN_NOT_OK(CheckControl(control, "query start"));
 
   // Fused fast path for the dominant seeker shape.
   if (options.enable_fused_scan_agg) {
-    if (auto fused = TryFusedScanAgg(q, stmt, store, dict, sched)) {
+    if (auto fused = TryFusedScanAgg(q, stmt, store, dict, options)) {
       return std::move(*fused);
     }
   }
 
+  // Budget accounting covers the pipeline's dominant materializations (scan
+  // position vectors, the joined row stream); the estimates are peak live
+  // bytes, released when the query finishes.
+  ScopedMemoryCharge mem(control);
+
   // 1. Scans.
   std::vector<std::vector<RecordPos>> scans;
+  int64_t scan_bytes = 0;
   for (const auto& rel : q.rels) {
-    BLEND_ASSIGN_OR_RETURN(auto positions, ScanRel(rel, store, dict, sched));
+    BLEND_ASSIGN_OR_RETURN(auto positions,
+                           ScanRel(rel, store, dict, sched, control));
+    scan_bytes += static_cast<int64_t>(positions.size() * sizeof(RecordPos));
+    BLEND_RETURN_NOT_OK(mem.ChargeTo(scan_bytes));
     scans.push_back(std::move(positions));
   }
 
@@ -896,12 +943,16 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
     ctx.pos[0] = p;
     rows.push_back(ctx);
   }
+  BLEND_RETURN_NOT_OK(
+      mem.ChargeTo(scan_bytes + static_cast<int64_t>(rows.size() * sizeof(RowCtx))));
   for (size_t j = 0; j < q.join_ons.size(); ++j) {
     const uint8_t step_side = static_cast<uint8_t>(j + 1);
     BLEND_ASSIGN_OR_RETURN(StepKeys keys,
                            ExtractStepKeys(q.join_ons[j], binder, step_side));
     BLEND_ASSIGN_OR_RETURN(rows, HashJoinStep(store, rows, scans[step_side], keys,
-                                              step_side, sched));
+                                              step_side, sched, control));
+    BLEND_RETURN_NOT_OK(mem.ChargeTo(
+        scan_bytes + static_cast<int64_t>(rows.size() * sizeof(RowCtx))));
   }
 
   // 3. Residual WHERE, chunk-parallel: per-chunk surviving-row buffers
@@ -912,7 +963,7 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
     const size_t n = rows.size();
     const size_t num_chunks = (n + kAggChunkRows - 1) / kAggChunkRows;
     std::vector<std::vector<RowCtx>> parts(num_chunks);
-    RunTasks(sched, num_chunks, [&](size_t c) {
+    BLEND_RETURN_NOT_OK(RunTasks(sched, control, "filter", num_chunks, [&](size_t c) {
       const size_t b = c * kAggChunkRows;
       const size_t e = std::min(n, b + kAggChunkRows);
       std::vector<RowCtx>& kept = parts[c];
@@ -923,7 +974,7 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
         });
         if (v.IsTruthy()) kept.push_back(ctx);
       }
-    });
+    }));
     rows = ConcatParts(std::move(parts));
   }
 
@@ -1010,7 +1061,7 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
     const size_t num_chunks = (n + kAggChunkRows - 1) / kAggChunkRows;
     std::vector<std::vector<std::vector<SqlValue>>> row_parts(num_chunks);
     std::vector<std::vector<std::vector<SqlValue>>> sort_parts(num_chunks);
-    RunTasks(sched, num_chunks, [&](size_t c) {
+    BLEND_RETURN_NOT_OK(RunTasks(sched, control, "projection", num_chunks, [&](size_t c) {
       const size_t b = c * kAggChunkRows;
       const size_t e = std::min(n, b + kAggChunkRows);
       row_parts[c].reserve(e - b);
@@ -1029,7 +1080,7 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
         }
         row_parts[c].push_back(std::move(vals));
       }
-    });
+    }));
     std::vector<std::vector<SqlValue>> out_rows;
     std::vector<std::vector<SqlValue>> sort_vals;
     out_rows.reserve(n);
@@ -1135,7 +1186,7 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
     const size_t num_chunks = (n + kAggChunkRows - 1) / kAggChunkRows;
     std::vector<std::vector<LocalGroup>> chunk_groups(num_chunks);
     std::vector<uint8_t> overflowed(num_chunks, 0);
-    RunTasks(sched, num_chunks, [&](size_t c) {
+    BLEND_RETURN_NOT_OK(RunTasks(sched, control, "aggregation", num_chunks, [&](size_t c) {
       const size_t b = c * kAggChunkRows;
       const size_t e = std::min(n, b + kAggChunkRows);
       std::unordered_map<uint64_t, uint32_t> index;
@@ -1174,13 +1225,14 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
         }
         update_states(groups_c[it->second].states, ctx);
       }
-    });
+    }));
     bool any_overflow = false;
     for (uint8_t f : overflowed) any_overflow = any_overflow || f != 0;
     if (!any_overflow) {
       fast_done = true;
       std::vector<std::vector<LocalGroup>> part_groups(kMergePartitions);
-      RunTasks(sched, kMergePartitions, [&](size_t part) {
+      BLEND_RETURN_NOT_OK(RunTasks(sched, control, "aggregation merge",
+                                   kMergePartitions, [&](size_t part) {
         std::unordered_map<uint64_t, uint32_t> part_index;
         std::vector<LocalGroup>& merged = part_groups[part];
         for (size_t c = 0; c < num_chunks; ++c) {
@@ -1199,7 +1251,7 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
             }
           }
         }
-      });
+      }));
       std::vector<LocalGroup> all;
       for (auto& pg : part_groups) {
         for (auto& g : pg) all.push_back(std::move(g));
@@ -1232,7 +1284,7 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
     const size_t n = rows.size();
     const size_t num_chunks = (n + kAggChunkRows - 1) / kAggChunkRows;
     std::vector<std::vector<GenGroup>> chunk_groups(num_chunks);
-    RunTasks(sched, num_chunks, [&](size_t c) {
+    BLEND_RETURN_NOT_OK(RunTasks(sched, control, "aggregation", num_chunks, [&](size_t c) {
       const size_t b = c * kAggChunkRows;
       const size_t e = std::min(n, b + kAggChunkRows);
       std::unordered_map<uint64_t, std::vector<uint32_t>> index;
@@ -1267,7 +1319,7 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
         }
         update_states(groups_c[gi].states, ctx);
       }
-    });
+    }));
     if (num_chunks == 1) {
       // Single chunk: already in first-appearance order; skip the merge.
       groups.reserve(chunk_groups[0].size());
@@ -1278,7 +1330,8 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
       // Merge with each worker owning a disjoint hash partition, folding
       // chunks in ascending chunk order (the double-sum rounding order).
       std::vector<std::vector<GenGroup>> part_groups(kMergePartitions);
-      RunTasks(sched, kMergePartitions, [&](size_t part) {
+      BLEND_RETURN_NOT_OK(RunTasks(sched, control, "aggregation merge",
+                                   kMergePartitions, [&](size_t part) {
         std::unordered_map<uint64_t, std::vector<uint32_t>> part_index;
         std::vector<GenGroup>& merged = part_groups[part];
         for (size_t c = 0; c < num_chunks; ++c) {
@@ -1304,7 +1357,7 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
             }
           }
         }
-      });
+      }));
       std::vector<GenGroup> all;
       for (auto& pg : part_groups) {
         for (auto& g : pg) all.push_back(std::move(g));

@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "common/control.h"
 #include "common/status.h"
 #include "sql/ast.h"
 #include "sql/expr_eval.h"
@@ -42,6 +43,14 @@ struct QueryOptions {
   /// CellValue IN-list). Switchable so benches can report the fused-vs-generic
   /// ratio and tests can cross-check the two paths.
   bool enable_fused_scan_agg = true;
+  /// Optional per-query deadline / cancellation / memory-budget handle,
+  /// checked cooperatively at morsel boundaries. Not owned; the caller keeps
+  /// the QueryControl alive for the duration of the query. nullptr (the
+  /// default) means unconstrained. A query that completes under its controls
+  /// is byte-identical to an unconstrained run; a tripped control returns a
+  /// descriptive kDeadlineExceeded / kCancelled / kResourceExhausted Status,
+  /// never a partial result.
+  const QueryControl* control = nullptr;
 };
 
 /// Executes an analyzed-and-parseable statement against a physical store.

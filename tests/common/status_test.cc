@@ -26,6 +26,40 @@ TEST(StatusTest, AllFactoryCodes) {
   EXPECT_EQ(Status::PlanError("x").code(), StatusCode::kPlanError);
   EXPECT_EQ(Status::ExecutionError("x").code(), StatusCode::kExecutionError);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(StatusTest, StatusCodeNameCoversEveryCode) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument), "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "ParseError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kPlanError), "PlanError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kExecutionError), "ExecutionError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "Cancelled");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+}
+
+TEST(StatusTest, ControlCodesRenderDescriptively) {
+  EXPECT_EQ(Status::DeadlineExceeded("2 ms elapsed").ToString(),
+            "DeadlineExceeded: 2 ms elapsed");
+  EXPECT_EQ(Status::Cancelled("by client").ToString(), "Cancelled: by client");
+  EXPECT_EQ(Status::ResourceExhausted("budget 1024 B").ToString(),
+            "ResourceExhausted: budget 1024 B");
+}
+
+TEST(StatusDeathTest, BlendCheckAbortsWithLocation) {
+  BLEND_CHECK(1 + 1 == 2);  // passing check is a no-op
+  BLEND_CHECK(true, "with detail");
+  EXPECT_DEATH(BLEND_CHECK(false), "BLEND_CHECK failed");
+  EXPECT_DEATH(BLEND_CHECK(2 < 1, "math holds"), "math holds");
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 #include <vector>
 
 #include <cstdio>
 
+#include "common/control.h"
 #include "common/rng.h"
 #include "common/scheduler.h"
 #include "common/str_util.h"
@@ -183,6 +185,52 @@ TEST_P(EngineDeterminismTest, FullScanAggregatesWithDoubleSums) {
   ExpectDeterministic(
       "SELECT TableId, COUNT(*), SUM(RowId), AVG(RowId * 1.5), "
       "MIN(ColumnId), MAX(RowId) FROM AllTables GROUP BY TableId;");
+}
+
+TEST_P(EngineDeterminismTest, QueryControlPreservesByteIdentity) {
+  // The control dimension of the determinism matrix: a query that completes
+  // under a generous deadline (and memory budget) must be byte-identical to
+  // the unconstrained serial run across pools and fused settings — the
+  // cooperative checks may not alter morsel geometry or merge order — and an
+  // already-expired deadline must return kDeadlineExceeded, never a partial
+  // result.
+  Rng rng(GetParam() * 61 + 8);
+  const std::string sql =
+      "SELECT TableId, ColumnId, COUNT(DISTINCT CellValue) AS score "
+      "FROM AllTables WHERE CellValue IN (" +
+      RandomInList(&rng, 30) +
+      ") GROUP BY TableId, ColumnId ORDER BY score DESC LIMIT 25;";
+  for (Engine* engine : {row_engine_.get(), col_engine_.get()}) {
+    QueryOptions serial;
+    serial.scheduler = Scheduler::Serial();
+    auto ref = engine->Query(sql, serial);
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString() << "\n" << sql;
+    const std::string want = ResultToString(ref.value());
+    for (Scheduler* pool : TestPools()) {
+      for (bool fused : {true, false}) {
+        QueryOptions opts;
+        opts.scheduler = pool;
+        opts.enable_fused_scan_agg = fused;
+
+        QueryControl generous =
+            QueryControl::WithDeadline(std::chrono::seconds(300));
+        generous.SetMemoryBudget(int64_t{1} << 40);
+        opts.control = &generous;
+        auto got = engine->Query(sql, opts);
+        ASSERT_TRUE(got.ok()) << got.status().ToString() << "\n" << sql;
+        EXPECT_EQ(want, ResultToString(got.value()))
+            << "pool=" << pool->parallelism() << " fused=" << fused;
+
+        const QueryControl expired =
+            QueryControl::WithDeadline(std::chrono::nanoseconds(0));
+        opts.control = &expired;
+        auto dead = engine->Query(sql, opts);
+        ASSERT_FALSE(dead.ok());
+        EXPECT_EQ(dead.status().code(), StatusCode::kDeadlineExceeded)
+            << dead.status().ToString();
+      }
+    }
+  }
 }
 
 TEST_P(EngineDeterminismTest, NonAggregateProjectionAndTableInScan) {

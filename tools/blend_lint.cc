@@ -26,6 +26,11 @@
 //   unchecked-cast    reinterpret_cast outside index/snapshot.cc and
 //                     index/codec.cc, the two files whose byte-level casts
 //                     sit behind exhaustive validation.
+//   unchecked-value   .value() / .ValueOrDie() on a Result in non-test code
+//                     without a same-statement ok() check or BLEND_CHECK.
+//                     An error Status reaching ValueOrDie aborts with no
+//                     diagnostic context; production paths must branch on
+//                     ok() (or prove the invariant with BLEND_CHECK) first.
 //
 // Escape hatch: `// blend-lint: allow(rule)` on the offending line or the
 // line directly above suppresses that rule there (comma-separate several
@@ -279,6 +284,7 @@ struct FileContext {
   bool deterministic_scope = false;  // src/core, src/sql, src/index
   bool allow_raw_thread = false;     // common/scheduler.{h,cc}
   bool allow_reinterpret = false;    // index/snapshot.cc, index/codec.cc
+  bool checked_value_scope = false;  // non-test code: .value() needs a guard
 };
 
 bool Allowed(const LexedFile& lf, int line, const std::string& rule) {
@@ -494,6 +500,39 @@ void RuleUnorderedIter(const FileContext& ctx, const LexedFile& lf,
   }
 }
 
+void RuleUncheckedValue(const FileContext& ctx, const LexedFile& lf,
+                        std::vector<Violation>* out) {
+  if (!ctx.checked_value_scope) return;
+  const auto& toks = lf.tokens;
+  for (size_t i = 1; i + 1 < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t != "value" && t != "ValueOrDie") continue;
+    const std::string& prev = toks[i - 1].text;
+    if (prev != "." && prev != "->") continue;
+    if (toks[i + 1].text != "(") continue;
+    // A same-statement guard proves the access: an ok() member call (the
+    // `a.ok() && a.value()` / `if (!a.ok() || ...)` idioms) or a BLEND_CHECK
+    // wrapping the whole expression. `;`/`{`/`}` bound the statement.
+    bool guarded = false;
+    for (size_t j = i; j-- > 0;) {
+      const std::string& b = toks[j].text;
+      if (b == ";" || b == "{" || b == "}") break;
+      if ((b == "ok" && j > 0 &&
+           (toks[j - 1].text == "." || toks[j - 1].text == "->")) ||
+          b == "BLEND_CHECK") {
+        guarded = true;
+        break;
+      }
+    }
+    if (guarded) continue;
+    Report(ctx, lf, toks[i].line, "unchecked-value",
+           "'" + t + "()' on a Result without a same-statement ok() check or "
+           "BLEND_CHECK; an error Status here aborts with no diagnostic "
+           "context (branch on ok(), prove it with BLEND_CHECK, or annotate)",
+           out);
+  }
+}
+
 void RuleUncheckedCast(const FileContext& ctx, const LexedFile& lf,
                        std::vector<Violation>* out) {
   if (ctx.allow_reinterpret) return;
@@ -526,6 +565,7 @@ FileContext MakeContext(const fs::path& path, bool fixture_mode) {
   const std::string base = path.filename().string();
   if (fixture_mode) {
     ctx.deterministic_scope = true;
+    ctx.checked_value_scope = true;
     return ctx;
   }
   ctx.deterministic_scope = p.find("/core/") != std::string::npos ||
@@ -535,6 +575,8 @@ FileContext MakeContext(const fs::path& path, bool fixture_mode) {
   ctx.allow_reinterpret =
       p.find("/index/") != std::string::npos &&
       (base == "snapshot.cc" || base == "codec.cc");
+  ctx.checked_value_scope = p.find("/tests/") == std::string::npos &&
+                            base.find("_test.") == std::string::npos;
   return ctx;
 }
 
@@ -548,6 +590,7 @@ void LintFile(const fs::path& path, const std::string& src,
   RuleRawThread(ctx, lf, out);
   RuleNondeterminism(ctx, lf, out);
   RuleUnorderedIter(ctx, lf, header_toks, out);
+  RuleUncheckedValue(ctx, lf, out);
   RuleUncheckedCast(ctx, lf, out);
 }
 
@@ -678,7 +721,8 @@ int RunSelfTest(const std::string& fixtures_dir) {
   // Every rule must be exercised by at least one known-bad fixture, so a
   // rule that silently stops matching cannot pass the self-test.
   for (const char* rule : {"ignored-status", "raw-thread", "nondeterminism",
-                           "unordered-iter", "unchecked-cast"}) {
+                           "unordered-iter", "unchecked-value",
+                           "unchecked-cast"}) {
     if (rules_fired.count(rule) == 0) {
       std::fprintf(stderr, "SELF-TEST FAIL: no fixture exercises [%s]\n", rule);
       ++failures;

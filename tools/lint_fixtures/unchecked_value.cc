@@ -1,0 +1,38 @@
+// Fixture: the unchecked-value rule. Dereferencing a Result with .value() /
+// .ValueOrDie() in non-test code must carry a same-statement ok() guard (or
+// a BLEND_CHECK proving the invariant); an error Status reaching ValueOrDie
+// aborts with no diagnostic context.
+#include "common/status.h"
+
+namespace blend {
+
+Result<int> LoadThing(const char* name);
+
+int Bad() {
+  auto r = LoadThing("x");
+  int a = r.value();  // expect-violation(unchecked-value)
+  a += LoadThing("y").ValueOrDie();  // expect-violation(unchecked-value)
+  auto* p = &r;
+  if (p->value() > 0) --a;  // expect-violation(unchecked-value)
+  return a;
+}
+
+int Good() {
+  auto r = LoadThing("x");
+  // Branching on ok() in the same statement proves the access.
+  if (r.ok() && r.value() > 0) return r.status().ok() ? 1 : 0;
+  if (!r.ok() || r.value() == 0) return -1;
+  BLEND_CHECK(r.ok() && r.value() > 0, "loader invariant");
+  return 0;
+}
+
+int GoodAllowed() {
+  auto r = LoadThing("x");
+  // Probed by the caller already; annotated as deliberate.
+  // blend-lint: allow(unchecked-value)
+  int a = r.value();
+  a += r.value();  // blend-lint: allow(unchecked-value)
+  return a;
+}
+
+}  // namespace blend
