@@ -17,6 +17,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -24,6 +25,7 @@
 #include <cstring>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "bench_util.h"
@@ -67,6 +69,32 @@ std::string KwSql(const std::vector<std::string>& values, int limit) {
          "FROM AllTables WHERE CellValue IN (" +
          SqlInList(values) + ") GROUP BY TableId ORDER BY score DESC LIMIT " +
          std::to_string(limit) + ";";
+}
+
+/// The MC seeker's phase-1 join shape (seeker.cc GenerateSql): posting-backed
+/// derived tables joined on (TableId, RowId). This is the shape the galloping
+/// cursor×cursor intersection replaces the materialized hash join for.
+std::string McJoinSql(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b) {
+  return "SELECT T0.TableId AS TableId, T0.RowId AS RowId, T0.SuperKey AS "
+         "SuperKey FROM (SELECT TableId, RowId, SuperKey FROM AllTables "
+         "WHERE CellValue IN (" +
+         SqlInList(a) +
+         ")) AS T0 INNER JOIN (SELECT TableId, RowId FROM AllTables WHERE "
+         "CellValue IN (" +
+         SqlInList(b) +
+         ")) AS T1 ON T0.TableId = T1.TableId AND T0.RowId = T1.RowId;";
+}
+
+/// Bytes of the posting payload actually resident for the store's codec:
+/// flat positions for raw, partition offsets + encoded blob for compressed.
+/// (CSR offsets are common to both and excluded.)
+size_t ResidentPostingBytes(const SecondaryIndexes& s) {
+  if (s.codec == PostingCodec::kRaw) {
+    return s.posting_positions.size() * sizeof(RecordPos);
+  }
+  return s.posting_partitions.size() * sizeof(uint64_t) +
+         s.posting_blob.size() * sizeof(uint8_t);
 }
 
 /// Canonical dump used to assert byte-identity across thread counts.
@@ -345,5 +373,167 @@ int main(int argc, char** argv) {
         serving_identical ? "true" : "false");
     identical = identical && serving_identical;
   }
-  return identical ? 0 : 1;
+
+  // -------------------------------------------------------------------------
+  // Compressed-domain execution: the MC phase-1 join served by the galloping
+  // cursor×cursor intersection vs the materialized hash join, on the raw
+  // bundle and on a serve_compressed twin, plus the resident posting
+  // footprint per codec. `--smoke` enforces the acceptance thresholds
+  // (gallop >= 2x on the selective-key shape, compressed resident posting
+  // bytes <= 0.5x raw) so CI fails if either regresses — including the
+  // silent-fallback failure mode where the gallop gate stops matching this
+  // shape and the "speedup" collapses to ~1x.
+  // -------------------------------------------------------------------------
+  bool thresholds_ok = true;
+  {
+    IndexBuildOptions comp_opts;
+    comp_opts.serve_compressed = true;
+    IndexBundle comp_bundle = IndexBuilder(comp_opts).Build(lake);
+
+    // Smoke queries are tens of microseconds; average more reps so the
+    // threshold gate measures the join path, not timer noise.
+    const int mc_reps = smoke ? 30 : 10;
+    // Selective-key shape: a handful of rare probe keys against the lake's
+    // most frequent values. The materialized join decodes and hashes every
+    // posting of both derived tables — dominated by the wide side — while
+    // the gallop is bounded by the tiny probe side and skips (never decodes)
+    // the wide side's non-matching blocks. This is the MC tuple-search
+    // sweet spot: specific example tuples filtered against broad columns.
+    const size_t wide = smoke ? 384 : 1024;
+    const size_t probe = smoke ? 12 : 24;
+    std::unordered_map<std::string, size_t> freq;
+    for (TableId t = 0; t < static_cast<TableId>(lake.NumTables()); ++t) {
+      const Table& tab = lake.table(t);
+      for (size_t c = 0; c < tab.NumColumns(); ++c) {
+        for (const std::string& cell : tab.column(c).cells) {
+          if (!cell.empty()) ++freq[cell];
+        }
+      }
+    }
+    std::vector<std::pair<std::string, size_t>> by_freq(freq.begin(),
+                                                        freq.end());
+    std::sort(by_freq.begin(), by_freq.end(),
+              [](const auto& a, const auto& b) {
+                return a.second != b.second ? a.second > b.second
+                                            : a.first < b.first;
+              });
+    std::vector<std::string> side_a, side_b;
+    for (size_t i = 0; i < by_freq.size() && side_b.size() < wide; ++i) {
+      side_b.push_back(by_freq[i].first);
+    }
+    for (size_t i = by_freq.size(); i-- > 0 && side_a.size() < probe;) {
+      side_a.push_back(by_freq[i].first);
+    }
+    const std::string mc_sql = McJoinSql(side_a, side_b);
+
+    sql::QueryOptions gallop;
+    gallop.scheduler = Scheduler::Serial();
+    sql::QueryOptions materialized = gallop;
+    materialized.enable_galloping_join = false;
+    sql::QueryOptions gallop_pool;  // morsel-parallel gallop, shared pool
+
+    sql::Engine raw_engine(g_col_bundle);
+    sql::Engine comp_engine(&comp_bundle);
+
+    std::string reference;
+    bool mc_identical = true;
+    double mat_raw = 0, gal_raw = 0, gal_comp = 0, gal_pool_s = 0;
+    TablePrinter mp({"Codec", "Join path", "Threads", "Query", "Speedup"});
+    struct Combo {
+      const char* codec;
+      sql::Engine* engine;
+      const sql::QueryOptions* opts;
+      const char* path;
+      const char* threads;
+      double* slot;
+    };
+    const Combo combos[] = {
+        {"raw", &raw_engine, &materialized, "materialized", "1", &mat_raw},
+        {"raw", &raw_engine, &gallop, "galloping", "1", &gal_raw},
+        {"compressed", &comp_engine, &gallop, "galloping", "1", &gal_comp},
+        {"compressed", &comp_engine, &gallop_pool, "galloping", "pool",
+         &gal_pool_s},
+    };
+    for (const Combo& c : combos) {
+      auto res = c.engine->Query(mc_sql, *c.opts);
+      if (!res.ok()) {
+        std::fprintf(stderr, "MC query failed: %s\n",
+                     res.status().ToString().c_str());
+        return 1;
+      }
+      const std::string dump = ResultToString(res.value());
+      if (reference.empty()) {
+        reference = dump;
+      } else if (dump != reference) {
+        mc_identical = false;
+      }
+      // Min-of-3 means: the minimum is the contention-robust estimator for
+      // microsecond-scale queries on a shared CI runner, and the threshold
+      // gate below needs a stable ratio, not a throughput estimate.
+      *c.slot = bench::MeasureSeconds(
+          [&] { (void)c.engine->Query(mc_sql, *c.opts); }, mc_reps);
+      for (int repeat = 0; repeat < 2; ++repeat) {
+        *c.slot = std::min(
+            *c.slot, bench::MeasureSeconds(
+                         [&] { (void)c.engine->Query(mc_sql, *c.opts); },
+                         mc_reps));
+      }
+      mp.AddRow({c.codec, c.path, c.threads, bench::FmtSeconds(*c.slot),
+                 TablePrinter::Fmt(mat_raw / *c.slot, 2) + "x"});
+    }
+
+    const size_t raw_posting =
+        ResidentPostingBytes(g_col_bundle->column_store().secondary());
+    const size_t comp_posting =
+        ResidentPostingBytes(comp_bundle.column_store().secondary());
+    const double posting_ratio =
+        raw_posting > 0 ? static_cast<double>(comp_posting) /
+                              static_cast<double>(raw_posting)
+                        : 1.0;
+    const double gallop_speedup = gal_raw > 0 ? mat_raw / gal_raw : 0.0;
+
+    std::printf("\n%s", mp.Render("MC join: galloping intersection vs "
+                                  "materialized hash join")
+                            .c_str());
+    std::printf("MC join results are %s across codecs and join paths.\n",
+                mc_identical ? "byte-identical" : "DIVERGENT (BUG)");
+    std::printf("Resident postings: raw %s, compressed %s (%.2fx); "
+                "whole index %s -> %s.\n",
+                bench::FmtBytes(raw_posting).c_str(),
+                bench::FmtBytes(comp_posting).c_str(), posting_ratio,
+                bench::FmtBytes(g_col_bundle->ApproxBytes()).c_str(),
+                bench::FmtBytes(comp_bundle.ApproxBytes()).c_str());
+    std::printf(
+        "BENCH_compressed_exec.json {\"bench\":\"compressed_exec\","
+        "\"smoke\":%s,\"mc_probe_keys\":%zu,\"mc_wide_keys\":%zu,"
+        "\"materialized_seconds\":%.6f,\"gallop_seconds\":%.6f,"
+        "\"gallop_compressed_seconds\":%.6f,\"gallop_pool_seconds\":%.6f,"
+        "\"gallop_speedup\":%.2f,"
+        "\"raw_posting_bytes\":%zu,\"compressed_posting_bytes\":%zu,"
+        "\"posting_ratio\":%.3f,\"raw_index_bytes\":%zu,"
+        "\"compressed_index_bytes\":%zu,\"identical\":%s}\n",
+        smoke ? "true" : "false", probe, wide, mat_raw, gal_raw, gal_comp,
+        gal_pool_s, gallop_speedup, raw_posting, comp_posting, posting_ratio,
+        g_col_bundle->ApproxBytes(), comp_bundle.ApproxBytes(),
+        mc_identical ? "true" : "false");
+    identical = identical && mc_identical;
+
+    if (smoke) {
+      if (gallop_speedup < 2.0) {
+        std::fprintf(stderr,
+                     "THRESHOLD FAIL: gallop speedup %.2fx < 2x (did the "
+                     "galloping gate stop matching the MC shape?)\n",
+                     gallop_speedup);
+        thresholds_ok = false;
+      }
+      if (posting_ratio > 0.5) {
+        std::fprintf(stderr,
+                     "THRESHOLD FAIL: compressed/raw resident posting bytes "
+                     "%.3f > 0.5\n",
+                     posting_ratio);
+        thresholds_ok = false;
+      }
+    }
+  }
+  return identical && thresholds_ok ? 0 : 1;
 }

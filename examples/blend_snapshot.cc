@@ -10,7 +10,13 @@
 // round-trip smoke check.
 //
 // Usage: blend_snapshot [--tables=N] [--layout=row|column]
-//                       [--codec=raw|compressed] [--path=FILE]
+//                       [--codec=raw|compressed] [--serve-compressed]
+//                       [--path=FILE]
+//
+// --serve-compressed builds and serves the in-memory index on the
+// block-compressed postings (Blend::Options::serve_compressed), so the smoke
+// check also pins that a compressed-served bundle snapshots and round-trips
+// byte-identically.
 
 #include <cstdio>
 #include <cstring>
@@ -61,6 +67,7 @@ int main(int argc, char** argv) {
   size_t num_tables = 60;
   StoreLayout layout = StoreLayout::kColumn;
   PostingCodec codec = PostingCodec::kRaw;
+  bool serve_compressed = false;
   std::string path = "blend_index.snapshot";
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--tables=", 9) == 0) {
@@ -77,12 +84,15 @@ int main(int argc, char** argv) {
         return 2;
       }
       codec = parsed.value();
+    } else if (std::strcmp(argv[i], "--serve-compressed") == 0) {
+      serve_compressed = true;
     } else if (std::strncmp(argv[i], "--path=", 7) == 0) {
       path = argv[i] + 7;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--tables=N] [--layout=row|column] "
-                   "[--codec=raw|compressed] [--path=FILE]\n",
+                   "[--codec=raw|compressed] [--serve-compressed] "
+                   "[--path=FILE]\n",
                    argv[0]);
       return 2;
     }
@@ -99,6 +109,7 @@ int main(int argc, char** argv) {
   core::Blend::Options options;
   options.layout = layout;
   options.snapshot_codec = codec;
+  options.serve_compressed = serve_compressed;
   StopWatch build_sw;
   core::Blend built(&lake, options);
   const double build_s = build_sw.ElapsedSeconds();

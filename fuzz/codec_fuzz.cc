@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <iterator>
 #include <vector>
 
 #include "fuzz_util.h"
@@ -58,6 +59,8 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   }
 
   // Per-list lookup and cursor iteration must agree with the bulk decode.
+  blend::PostingListRef prev_list;
+  std::vector<blend::PostingValue> prev_values;
   for (size_t i = 0; i < num_lists; ++i) {
     const blend::PostingListRef list =
         blend::FindPostingList(part, offsets, i);
@@ -97,6 +100,22 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
       FUZZ_CHECK(!batch2.empty() && batch2.back() >= values[count / 2],
                  "SeekAtLeast overshot the target");
     }
+
+    // Cursor x cursor galloping intersection must agree with the intersection
+    // of the decoded sets — adjacent fuzzer lists make adversarial pairings
+    // (wildly different lengths, interleavings, and skip-table shapes).
+    if (i > 0) {
+      const std::vector<blend::PostingValue> gallop =
+          blend::GallopIntersect(prev_list, list);
+      std::vector<blend::PostingValue> expect;
+      std::set_intersection(prev_values.begin(), prev_values.end(),
+                            values.begin(), values.end(),
+                            std::back_inserter(expect));
+      FUZZ_CHECK(gallop == expect,
+                 "GallopIntersect disagrees with decoded-set intersection");
+    }
+    prev_list = list;
+    prev_values = values;
   }
 
   // The canonical re-encoding of the decoded lists must itself validate and

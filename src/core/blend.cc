@@ -8,11 +8,19 @@
 
 namespace blend::core {
 
+namespace {
+IndexBuildOptions BuildOptionsFor(const Blend::Options& options) {
+  IndexBuildOptions build;
+  build.layout = options.layout;
+  build.shuffle_rows = options.shuffle_rows;
+  build.shuffle_seed = options.shuffle_seed;
+  build.serve_compressed = options.serve_compressed;
+  return build;
+}
+}  // namespace
+
 Blend::Blend(const DataLake* lake, Options options)
-    : Blend(lake, options,
-            IndexBuilder(IndexBuildOptions{options.layout, options.shuffle_rows,
-                                           options.shuffle_seed})
-                .Build(*lake)) {}
+    : Blend(lake, options, IndexBuilder(BuildOptionsFor(options)).Build(*lake)) {}
 
 Blend::Blend(const DataLake* lake, Options options, IndexBundle bundle)
     : options_(options),
@@ -34,7 +42,7 @@ Blend::Blend(const DataLake* lake, Options options, IndexBundle bundle)
   ctx_.stats = &stats_;
   ctx_.query_options.scheduler = scheduler_;
   ctx_.query_options.enable_fused_scan_agg = options.enable_fused_scan_agg;
-  ctx_.speculate_retries = options.speculate_seeker_retries;
+  ctx_.query_options.enable_galloping_join = options.enable_galloping_join;
 }
 
 Status Blend::SaveSnapshot(const std::string& path) const {

@@ -46,17 +46,25 @@ class Blend {
     /// byte-identical for every setting.
     Scheduler* scheduler = nullptr;
     int query_threads = 0;
-    /// Let seekers speculate widened-LIMIT retries as parallel tasks (see
-    /// DiscoveryContext::speculate_retries).
-    bool speculate_seeker_retries = true;
-    /// Fused scan->aggregate fast path for the SC/KW seeker shape;
-    /// switchable so ablations can compare against the generic pipeline.
+    /// Fused scan->aggregate / scan->project fast paths for the seeker
+    /// shapes; switchable so ablations can compare against the generic
+    /// pipeline.
     bool enable_fused_scan_agg = true;
+    /// Galloping compressed-domain intersection for the MC join shape
+    /// (sql::QueryOptions::enable_galloping_join); switchable so ablations
+    /// can compare against the materialized hash join.
+    bool enable_galloping_join = true;
     /// Postings codec SaveSnapshot writes (index/codec.h): kCompressed
     /// shrinks the artifact's dominant section via block containers at the
     /// cost of per-block decode on the serving path. Loading discovers the
     /// codec from the snapshot header, so this only affects writes.
     PostingCodec snapshot_codec = PostingCodec::kRaw;
+    /// In-memory compressed serving: the builder transcodes postings to the
+    /// compressed codec and the engine serves the encoded blob directly
+    /// (~2.4× smaller resident postings on the bench lake, byte-identical
+    /// results). Build path only — snapshots record their own codec, so
+    /// OpenSnapshot ignores this.
+    bool serve_compressed = false;
   };
 
   /// Builds the index for the lake (the offline phase, paper Fig. 2e). The

@@ -24,10 +24,6 @@ struct DiscoveryContext {
   const sql::Engine* engine = nullptr;
   const IndexStats* stats = nullptr;
   sql::QueryOptions query_options;
-  /// When the scheduler has spare parallelism, seekers speculate their
-  /// widened-LIMIT retry attempts as parallel tasks instead of retrying
-  /// serially (the selected attempt is deterministic either way).
-  bool speculate_retries = true;
 };
 
 /// Engine parallelism a query issued with `options` runs under (pool workers

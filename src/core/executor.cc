@@ -69,6 +69,7 @@ Result<ExecutionReport> PlanExecutor::Run(const Plan& plan, bool optimize) const
   report.optimize_seconds = opt_watch.ElapsedSeconds();
 
   StopWatch run_watch;
+  const uint64_t queries_before = ctx_->engine->QueriesServed();
   for (const ExecutionStep& step : report.executed_plan.steps) {
     // Plan-step control boundary: a tripped deadline/cancel/budget stops the
     // plan before its next seeker or combiner, complementing the finer-grained
@@ -94,6 +95,7 @@ Result<ExecutionReport> PlanExecutor::Run(const Plan& plan, bool optimize) const
     }
   }
   report.seconds = run_watch.ElapsedSeconds();
+  report.engine_queries = ctx_->engine->QueriesServed() - queries_before;
 
   BLEND_ASSIGN_OR_RETURN(auto sink, plan.SinkId());
   report.output = report.node_outputs.at(sink);

@@ -21,6 +21,13 @@ struct ExecutionReport {
   /// separately; see `optimize_seconds`).
   double seconds = 0;
   double optimize_seconds = 0;
+  /// SQL statements the engine served during this run (the delta of
+  /// sql::Engine::QueriesServed around execution). Exact when the engine
+  /// serves only this plan; approximate under concurrent serving, where
+  /// other threads' queries land in the same counter. Tests use it to pin
+  /// per-operator query budgets, e.g. that a dedup-top-k seeker issues one
+  /// exhaustive statement instead of a widening retry loop.
+  uint64_t engine_queries = 0;
   /// The steps that were executed, in order (for inspection and tests).
   ExecutionPlan executed_plan;
 };

@@ -1,14 +1,11 @@
 #include "core/seeker.h"
 
 #include <algorithm>
-#include <functional>
-#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
 #include "common/control.h"
-#include "common/scheduler.h"
 #include "common/str_util.h"
 #include "common/xash.h"
 
@@ -30,68 +27,27 @@ std::vector<std::string> NormalizeDistinct(const std::vector<std::string>& raw) 
   return out;
 }
 
-/// Runs an adaptive top-k-tables query: the SQL groups at sub-table
-/// granularity (table+column), so the LIMIT is widened until k distinct
-/// tables are found or the result is exhausted. At most three attempts ever
-/// run — the initial LIMIT, an 8x-widened LIMIT, and an exhaustive
-/// (LIMIT-less) query, which is terminal by construction, so there is no
-/// "did not converge" outcome. When the first attempt falls short, the two
-/// widened attempts are speculated as parallel tasks on the engine
-/// scheduler (they re-run the same scan anyway), and the first converged
-/// attempt in attempt order is selected — speculation changes latency,
-/// never bytes.
-Result<TableList> RunDedupTopK(const DiscoveryContext& ctx,
-                               const std::function<std::string(int64_t)>& make_sql,
-                               int k, size_t table_col, size_t score_col) {
-  /// One attempt's outcome: the deduplicated top-k tables plus whether this
-  /// attempt settles the query (k tables found, or the result exhausted).
-  using Attempt = std::pair<TableList, bool>;
-  auto run_attempt = [&](int64_t fetch) -> Result<Attempt> {
-    BLEND_ASSIGN_OR_RETURN(auto res,
-                           ctx.engine->Query(make_sql(fetch), ctx.query_options));
-    TableList out;
-    std::unordered_set<TableId> seen;
-    for (size_t r = 0; r < res.NumRows(); ++r) {
-      TableId t = static_cast<TableId>(res.Int(r, table_col));
-      if (!seen.insert(t).second) continue;
-      out.push_back({t, res.Double(r, score_col)});
-      if (k >= 0 && out.size() == static_cast<size_t>(k)) break;
-    }
-    const bool exhausted = fetch < 0 || res.NumRows() < static_cast<size_t>(fetch);
-    const bool converged =
-        k < 0 || out.size() == static_cast<size_t>(k) || exhausted;
-    return Attempt{std::move(out), converged};
-  };
-
-  const int64_t first_fetch = k < 0 ? -1 : std::max<int64_t>(4LL * k, k + 16);
-  BLEND_ASSIGN_OR_RETURN(auto first, run_attempt(first_fetch));
-  if (first.second) return std::move(first.first);
-
-  // Attempt-boundary control check: a tripped deadline/cancel stops the
-  // widening before speculating two more full scans (each attempt also
-  // checks cooperatively inside its own query).
-  BLEND_RETURN_NOT_OK(CheckControl(ctx.query_options.control, "seeker retry"));
-
-  const int64_t widened[2] = {first_fetch * 8, -1};
-  std::optional<Result<Attempt>> slots[2];
-  Scheduler* sched = ctx.query_options.scheduler;
-  if (ctx.speculate_retries && sched != nullptr && sched->parallelism() > 1) {
-    sched->ParallelFor(2, [&](size_t i) { slots[i] = run_attempt(widened[i]); });
-  } else {
-    for (size_t i = 0; i < 2; ++i) {
-      slots[i] = run_attempt(widened[i]);
-      if (!slots[i]->ok() || slots[i]->value().second) break;
-    }
+/// Runs a seeker's top-k-tables query as ONE exhaustive statement. The SQL
+/// groups at sub-table granularity (table+column), so k result rows are not
+/// k tables; instead of the retired client-side widened-LIMIT retry loop,
+/// the engine's dedup-top-k tail (sql::QueryOptions::dedup_column) keeps the
+/// first-ranked row per distinct TableId and stops once k distinct tables
+/// are emitted. The scan runs exactly once and the result arrives already
+/// deduplicated, one row per table in score order.
+Result<TableList> RunTopKTables(const DiscoveryContext& ctx,
+                                const std::string& sql, int k,
+                                size_t table_col, size_t score_col) {
+  sql::QueryOptions opts = ctx.query_options;
+  opts.dedup_column = static_cast<int>(table_col);
+  opts.dedup_limit = k < 0 ? -1 : k;
+  BLEND_ASSIGN_OR_RETURN(auto res, ctx.engine->Query(sql, opts));
+  TableList out;
+  out.reserve(res.NumRows());
+  for (size_t r = 0; r < res.NumRows(); ++r) {
+    out.push_back({static_cast<TableId>(res.Int(r, table_col)),
+                   res.Double(r, score_col)});
   }
-  // Deterministic selection: first error or first converged attempt, in
-  // attempt order — exactly what a serial widening loop would surface. The
-  // exhaustive attempt always converges, so the loop always returns.
-  for (auto& slot : slots) {
-    if (!slot.has_value()) continue;
-    BLEND_ASSIGN_OR_RETURN(auto attempt, std::move(*slot));
-    if (attempt.second) return std::move(attempt.first);
-  }
-  return Status::Internal("exhaustive attempt missing");  // unreachable
+  return out;
 }
 
 std::string LimitClause(int64_t fetch) {
@@ -132,10 +88,8 @@ Result<TableList> SCSeeker::Execute(const DiscoveryContext& ctx,
   // All input values normalized to empty: no overlap is possible, and the
   // generated `CellValue IN ()` would not even parse.
   if (values_.empty()) return TableList{};
-  return RunDedupTopK(
-      ctx,
-      [&](int64_t fetch) { return GenerateSql(rewrite, static_cast<int>(fetch)); }, k_,
-      /*table_col=*/0, /*score_col=*/2);
+  return RunTopKTables(ctx, GenerateSql(rewrite, /*fetch_limit=*/-1), k_,
+                       /*table_col=*/0, /*score_col=*/2);
 }
 
 SeekerFeatures SCSeeker::ComputeFeatures(const IndexStats& stats) const {
@@ -420,10 +374,8 @@ Result<TableList> CorrelationSeeker::Execute(const DiscoveryContext& ctx,
   // Every join key normalized to empty: the keys-side scan would be
   // `CellValue IN ()`, which the parser rejects; no join is possible.
   if (all_keys_.empty()) return TableList{};
-  return RunDedupTopK(
-      ctx,
-      [&](int64_t fetch) { return GenerateSql(rewrite, static_cast<int>(fetch)); }, k_,
-      /*table_col=*/0, /*score_col=*/3);
+  return RunTopKTables(ctx, GenerateSql(rewrite, /*fetch_limit=*/-1), k_,
+                       /*table_col=*/0, /*score_col=*/3);
 }
 
 SeekerFeatures CorrelationSeeker::ComputeFeatures(const IndexStats& stats) const {

@@ -616,6 +616,25 @@ void PostingCursor::SeekAtLeast(PostingValue target) {
   next_block_ = lo;
 }
 
+std::vector<PostingValue> GallopIntersect(PostingListRef a, PostingListRef b) {
+  std::vector<PostingValue> out;
+  if (a.empty() || b.empty()) return out;
+  PostingIterator ia(a), ib(b);
+  while (!ia.AtEnd() && !ib.AtEnd()) {
+    const PostingValue va = ia.Value(), vb = ib.Value();
+    if (va == vb) {
+      out.push_back(va);
+      ia.Next();
+      ib.Next();
+    } else if (va < vb) {
+      ia.SeekAtLeast(vb);
+    } else {
+      ib.SeekAtLeast(va);
+    }
+  }
+  return out;
+}
+
 namespace {
 /// Partitions per task of the whole-index conversions. Fixed geometry: the
 /// chunk decomposition depends only on the list count, never on the pool.

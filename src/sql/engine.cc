@@ -10,6 +10,7 @@ Result<QueryResult> Engine::Query(const std::string& sql) const {
 
 Result<QueryResult> Engine::Query(const std::string& sql,
                                   const QueryOptions& options) const {
+  queries_.fetch_add(1, std::memory_order_relaxed);
   BLEND_ASSIGN_OR_RETURN(auto stmt, Parse(sql));
   QueryOptions effective = options;
   if (effective.scheduler == nullptr) effective.scheduler = scheduler_;

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <string>
 
 #include "common/scheduler.h"
@@ -43,9 +45,21 @@ class Engine {
   const Dictionary& dictionary() const { return bundle_->dictionary(); }
   Scheduler* scheduler() const { return scheduler_; }
 
+  /// Total statements this engine has executed (parsed or not), monotonically
+  /// increasing. Counting is exact; a *delta* taken around a plan step is
+  /// approximate when other threads serve queries on the same engine
+  /// concurrently. Plan reports use it to pin per-operator query budgets
+  /// (e.g. the SC seeker's one-exhaustive-query contract).
+  uint64_t QueriesServed() const {
+    return queries_.load(std::memory_order_relaxed);
+  }
+
  private:
   const IndexBundle* bundle_;
   Scheduler* scheduler_;
+  /// mutable + relaxed: Query is logically const (shared-immutable serving);
+  /// the counter is observability, not synchronization.
+  mutable std::atomic<uint64_t> queries_{0};
 };
 
 }  // namespace blend::sql

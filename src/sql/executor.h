@@ -40,9 +40,27 @@ struct QueryOptions {
   Scheduler* scheduler = nullptr;
   /// Enables the fused scan->aggregate operator for the SC/KW seeker shape
   /// (COUNT(DISTINCT CellValue) grouped by TableId[, ColumnId] over a
-  /// CellValue IN-list). Switchable so benches can report the fused-vs-generic
-  /// ratio and tests can cross-check the two paths.
+  /// CellValue IN-list) and the fused scan->project operator for the MC
+  /// phase-1 projection shape. Switchable so benches can report the
+  /// fused-vs-generic ratio and tests can cross-check the two paths.
   bool enable_fused_scan_agg = true;
+  /// Enables the galloping compressed-domain intersection for the MC join
+  /// shape (pure posting-backed equi-joins on (TableId, RowId)): instead of
+  /// materializing both sides and hash-joining, per-relation posting cursors
+  /// leapfrog in key space via skip-table SeekAtLeast, never decoding blocks
+  /// that cannot contain a match. Results — values and row order — are
+  /// byte-identical to the materialized join. Switchable so benches can
+  /// report the galloping-vs-materialized speedup.
+  bool enable_galloping_join = true;
+  /// Engine-side dedup-top-k: when dedup_column >= 0, after the final
+  /// ORDER BY sort only the first row per distinct value of output column
+  /// `dedup_column` is kept, and emission stops once `dedup_limit` distinct
+  /// values have been seen (dedup_limit < 0 = unbounded). Replaces the
+  /// seekers' client-side widened-LIMIT retry loop with one exhaustive
+  /// query whose sort/dedup happens inside the engine (shared by the
+  /// generic and fused paths, so results stay byte-identical).
+  int dedup_column = -1;
+  int64_t dedup_limit = -1;
   /// Optional per-query deadline / cancellation / memory-budget handle,
   /// checked cooperatively at morsel boundaries. Not owned; the caller keeps
   /// the QueryControl alive for the duration of the query. nullptr (the

@@ -73,6 +73,33 @@ TEST_P(PlanExecutorFig1Test, ReportContainsAllNodeOutputs) {
 INSTANTIATE_TEST_SUITE_P(OptimizeOnOff, PlanExecutorFig1Test,
                          ::testing::Values(true, false));
 
+TEST(PlanExecutorTest, DedupTopKSeekersIssueExactlyOneEngineQuery) {
+  // SC and correlation seekers push dedup-top-k into the engine: one
+  // exhaustive statement per execution, no client-side widening/retry loop.
+  // The report's engine-query counter pins that budget.
+  auto fig1 = lakegen::MakeFig1Lake();
+  Blend blend(&fig1.lake);
+  {
+    Plan plan;
+    ASSERT_TRUE(plan.Add("sc", std::make_shared<SCSeeker>(
+                                   std::vector<std::string>{"HR", "IT"}, 2))
+                    .ok());
+    auto report = blend.RunReport(plan);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report.value().engine_queries, 1u);
+  }
+  {
+    Plan plan;
+    ASSERT_TRUE(plan.Add("corr", std::make_shared<CorrelationSeeker>(
+                                     std::vector<std::string>{"HR", "IT", "Sales"},
+                                     std::vector<double>{1.0, 2.0, 3.0}, 2))
+                    .ok());
+    auto report = blend.RunReport(plan);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report.value().engine_queries, 1u);
+  }
+}
+
 TEST(TasksTest, UnionSearchPlanRetrievesGroupMembers) {
   lakegen::UnionLakeSpec spec;
   spec.num_groups = 8;

@@ -309,6 +309,39 @@ TEST(SnapshotTest, CompressedCodecShrinksThePostingsPayload) {
   EXPECT_LT(SnapshotBytes(built, compressed), SnapshotBytes(built, raw));
 }
 
+TEST(SnapshotTest, ServeCompressedBundlesReuseEncodedPartitionsOnSave) {
+  // Incremental transcoding: a bundle already serving compressed postings in
+  // memory saves a compressed snapshot by windowing its partitions and blob
+  // verbatim — no re-encode — so the artifact must be byte-identical to the
+  // raw-built twin's compressed write (the encoder is a pure function of the
+  // list values). The raw save of the same bundle pins the reverse
+  // transcode. Byte-identity is the observable contract that the reused and
+  // re-encoded sections can never drift apart.
+  DataLake lake = TestLake(31);
+  for (StoreLayout layout : {StoreLayout::kColumn, StoreLayout::kRow}) {
+    SCOPED_TRACE("layout=" + std::to_string(static_cast<int>(layout)));
+    IndexBuildOptions raw_opts;
+    raw_opts.layout = layout;
+    IndexBuildOptions comp_opts = raw_opts;
+    comp_opts.serve_compressed = true;
+    IndexBundle raw_built = IndexBuilder(raw_opts).Build(lake);
+    IndexBundle comp_built = IndexBuilder(comp_opts).Build(lake);
+
+    for (PostingCodec codec : {PostingCodec::kCompressed, PostingCodec::kRaw}) {
+      SCOPED_TRACE(std::string("codec=") + PostingCodecName(codec));
+      SnapshotOptions snap;
+      snap.codec = codec;
+      const std::string path_raw = TempPath("serve_comp_raw");
+      const std::string path_comp = TempPath("serve_comp_comp");
+      ASSERT_TRUE(WriteSnapshot(raw_built, path_raw, snap).ok());
+      ASSERT_TRUE(WriteSnapshot(comp_built, path_comp, snap).ok());
+      EXPECT_EQ(Slurp(path_raw), Slurp(path_comp));
+      std::remove(path_raw.c_str());
+      std::remove(path_comp.c_str());
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Query byte-identity on loaded bundles.
 // ---------------------------------------------------------------------------

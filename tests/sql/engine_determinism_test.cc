@@ -33,8 +33,9 @@ std::vector<Scheduler*> TestPools() {
 /// Property suite for the engine's determinism contract: for representative
 /// seeker-shaped SQL, Query over a pool of N threads must return rows
 /// byte-identical (values *and* order) to the serial run, for N in
-/// {2, 4, hardware}, on both physical layouts, and with the fused
-/// scan->aggregate path on or off.
+/// {2, 4, hardware}, on both physical layouts, with the fused fast paths on
+/// or off, with the galloping join on or off (join shapes), and when the
+/// bundle serves block-compressed postings in memory instead of raw ones.
 class EngineDeterminismTest : public ::testing::TestWithParam<uint64_t> {
  protected:
   EngineDeterminismTest() {
@@ -49,8 +50,16 @@ class EngineDeterminismTest : public ::testing::TestWithParam<uint64_t> {
     row_opts.layout = StoreLayout::kRow;
     row_bundle_ = IndexBuilder(row_opts).Build(lake_);
     col_bundle_ = IndexBuilder().Build(lake_);
+    IndexBuildOptions row_copts = row_opts;
+    row_copts.serve_compressed = true;
+    row_c_bundle_ = IndexBuilder(row_copts).Build(lake_);
+    IndexBuildOptions col_copts;
+    col_copts.serve_compressed = true;
+    col_c_bundle_ = IndexBuilder(col_copts).Build(lake_);
     row_engine_ = std::make_unique<Engine>(&row_bundle_);
     col_engine_ = std::make_unique<Engine>(&col_bundle_);
+    row_c_engine_ = std::make_unique<Engine>(&row_c_bundle_);
+    col_c_engine_ = std::make_unique<Engine>(&col_c_bundle_);
   }
 
   static std::string ResultToString(const QueryResult& r) {
@@ -76,25 +85,48 @@ class EngineDeterminismTest : public ::testing::TestWithParam<uint64_t> {
     return out;
   }
 
-  /// Runs `sql` serially as the reference, then asserts every (pool, fused)
-  /// combination reproduces it exactly on both engines.
+  /// Per-layout engine pair: the same physical record order served raw and
+  /// block-compressed, so one serial raw run is the reference for both.
+  struct EnginePair {
+    Engine* raw;
+    Engine* compressed;
+  };
+  std::vector<EnginePair> EnginePairs() {
+    return {{row_engine_.get(), row_c_engine_.get()},
+            {col_engine_.get(), col_c_engine_.get()}};
+  }
+
+  /// Runs `sql` serially on the raw-served engine as the reference, then
+  /// asserts every (serving codec, pool, fused, galloping) combination
+  /// reproduces it exactly on both layouts. The galloping dimension is only
+  /// swept for join statements — it cannot engage anywhere else.
   void ExpectDeterministic(const std::string& sql) {
-    for (Engine* engine : {row_engine_.get(), col_engine_.get()}) {
+    const bool has_join = sql.find("JOIN") != std::string::npos;
+    const std::vector<bool> gallop_dims =
+        has_join ? std::vector<bool>{true, false} : std::vector<bool>{true};
+    for (const EnginePair& pair : EnginePairs()) {
       QueryOptions serial;
       serial.scheduler = Scheduler::Serial();
-      auto ref = engine->Query(sql, serial);
+      auto ref = pair.raw->Query(sql, serial);
       ASSERT_TRUE(ref.ok()) << ref.status().ToString() << "\n" << sql;
       const std::string want = ResultToString(ref.value());
-      for (Scheduler* pool : TestPools()) {
-        for (bool fused : {true, false}) {
-          QueryOptions opts;
-          opts.scheduler = pool;
-          opts.enable_fused_scan_agg = fused;
-          auto got = engine->Query(sql, opts);
-          ASSERT_TRUE(got.ok()) << got.status().ToString() << "\n" << sql;
-          EXPECT_EQ(want, ResultToString(got.value()))
-              << "pool=" << pool->parallelism() << " fused=" << fused << "\n"
-              << sql;
+      for (Engine* engine : {pair.raw, pair.compressed}) {
+        for (Scheduler* pool : TestPools()) {
+          for (bool fused : {true, false}) {
+            for (bool gallop : gallop_dims) {
+              QueryOptions opts;
+              opts.scheduler = pool;
+              opts.enable_fused_scan_agg = fused;
+              opts.enable_galloping_join = gallop;
+              auto got = engine->Query(sql, opts);
+              ASSERT_TRUE(got.ok()) << got.status().ToString() << "\n" << sql;
+              EXPECT_EQ(want, ResultToString(got.value()))
+                  << "compressed=" << (engine == pair.compressed)
+                  << " pool=" << pool->parallelism() << " fused=" << fused
+                  << " gallop=" << gallop << "\n"
+                  << sql;
+            }
+          }
         }
       }
     }
@@ -109,7 +141,9 @@ class EngineDeterminismTest : public ::testing::TestWithParam<uint64_t> {
 
   DataLake lake_;
   IndexBundle row_bundle_, col_bundle_;
+  IndexBundle row_c_bundle_, col_c_bundle_;
   std::unique_ptr<Engine> row_engine_, col_engine_;
+  std::unique_ptr<Engine> row_c_engine_, col_c_engine_;
 };
 
 TEST_P(EngineDeterminismTest, ScShape) {
@@ -158,6 +192,33 @@ TEST_P(EngineDeterminismTest, McJoinShape) {
   }
 }
 
+TEST_P(EngineDeterminismTest, McJoinShapeWithLimitAndThreeRelations) {
+  // LIMIT exercises the galloping join's run-capped emission; the three-way
+  // join exercises its later leapfrog steps (keys-vs-cursors) and both
+  // orientations of the step replay.
+  Rng rng(GetParam() * 67 + 9);
+  ExpectDeterministic(
+      "SELECT a.TableId, a.RowId, a.SuperKey FROM "
+      "(SELECT TableId, RowId, SuperKey FROM AllTables WHERE CellValue IN (" +
+      RandomInList(&rng, 25) +
+      ")) AS a INNER JOIN (SELECT TableId, RowId FROM AllTables "
+      "WHERE CellValue IN (" +
+      RandomInList(&rng, 25) +
+      ")) AS b ON a.TableId = b.TableId AND a.RowId = b.RowId LIMIT 100;");
+  ExpectDeterministic(
+      "SELECT a.TableId, a.RowId, a.SuperKey FROM "
+      "(SELECT TableId, RowId, SuperKey FROM AllTables WHERE CellValue IN (" +
+      RandomInList(&rng, 20) +
+      ")) AS a INNER JOIN (SELECT TableId, RowId FROM AllTables "
+      "WHERE CellValue IN (" +
+      RandomInList(&rng, 20) +
+      ")) AS b ON a.TableId = b.TableId AND a.RowId = b.RowId "
+      "INNER JOIN (SELECT TableId, RowId FROM AllTables "
+      "WHERE CellValue IN (" +
+      RandomInList(&rng, 20) +
+      ")) AS c ON a.TableId = c.TableId AND a.RowId = c.RowId;");
+}
+
 TEST_P(EngineDeterminismTest, CorrelationShape) {
   Rng rng(GetParam() * 47 + 5);
   std::string keys = RandomInList(&rng, 25);
@@ -190,47 +251,75 @@ TEST_P(EngineDeterminismTest, FullScanAggregatesWithDoubleSums) {
 TEST_P(EngineDeterminismTest, QueryControlPreservesByteIdentity) {
   // The control dimension of the determinism matrix: a query that completes
   // under a generous deadline (and memory budget) must be byte-identical to
-  // the unconstrained serial run across pools and fused settings — the
-  // cooperative checks may not alter morsel geometry or merge order — and an
-  // already-expired deadline must return kDeadlineExceeded, never a partial
-  // result.
+  // the unconstrained serial run across serving codecs, pools, and fused /
+  // galloping settings — the cooperative checks may not alter morsel
+  // geometry or merge order — and an already-expired deadline must return
+  // kDeadlineExceeded, never a partial result. The MC join statement routes
+  // through the galloping intersection when it is enabled, so both the fused
+  // and the compressed-domain operators run under the control here.
   Rng rng(GetParam() * 61 + 8);
-  const std::string sql =
+  const std::vector<std::string> sqls = {
       "SELECT TableId, ColumnId, COUNT(DISTINCT CellValue) AS score "
       "FROM AllTables WHERE CellValue IN (" +
-      RandomInList(&rng, 30) +
-      ") GROUP BY TableId, ColumnId ORDER BY score DESC LIMIT 25;";
-  for (Engine* engine : {row_engine_.get(), col_engine_.get()}) {
-    QueryOptions serial;
-    serial.scheduler = Scheduler::Serial();
-    auto ref = engine->Query(sql, serial);
-    ASSERT_TRUE(ref.ok()) << ref.status().ToString() << "\n" << sql;
-    const std::string want = ResultToString(ref.value());
-    for (Scheduler* pool : TestPools()) {
-      for (bool fused : {true, false}) {
-        QueryOptions opts;
-        opts.scheduler = pool;
-        opts.enable_fused_scan_agg = fused;
+          RandomInList(&rng, 30) +
+          ") GROUP BY TableId, ColumnId ORDER BY score DESC LIMIT 25;",
+      "SELECT a.TableId, a.RowId, a.SuperKey FROM "
+      "(SELECT TableId, RowId, SuperKey FROM AllTables WHERE CellValue IN (" +
+          RandomInList(&rng, 20) +
+          ")) AS a INNER JOIN (SELECT TableId, RowId FROM AllTables "
+          "WHERE CellValue IN (" +
+          RandomInList(&rng, 20) +
+          ")) AS b ON a.TableId = b.TableId AND a.RowId = b.RowId;",
+  };
+  for (const std::string& sql : sqls) {
+    for (const EnginePair& pair : EnginePairs()) {
+      QueryOptions serial;
+      serial.scheduler = Scheduler::Serial();
+      auto ref = pair.raw->Query(sql, serial);
+      ASSERT_TRUE(ref.ok()) << ref.status().ToString() << "\n" << sql;
+      const std::string want = ResultToString(ref.value());
+      for (Engine* engine : {pair.raw, pair.compressed}) {
+        for (Scheduler* pool : TestPools()) {
+          for (bool fused : {true, false}) {
+            QueryOptions opts;
+            opts.scheduler = pool;
+            opts.enable_fused_scan_agg = fused;
 
-        QueryControl generous =
-            QueryControl::WithDeadline(std::chrono::seconds(300));
-        generous.SetMemoryBudget(int64_t{1} << 40);
-        opts.control = &generous;
-        auto got = engine->Query(sql, opts);
-        ASSERT_TRUE(got.ok()) << got.status().ToString() << "\n" << sql;
-        EXPECT_EQ(want, ResultToString(got.value()))
-            << "pool=" << pool->parallelism() << " fused=" << fused;
+            QueryControl generous =
+                QueryControl::WithDeadline(std::chrono::seconds(300));
+            generous.SetMemoryBudget(int64_t{1} << 40);
+            opts.control = &generous;
+            auto got = engine->Query(sql, opts);
+            ASSERT_TRUE(got.ok()) << got.status().ToString() << "\n" << sql;
+            EXPECT_EQ(want, ResultToString(got.value()))
+                << "compressed=" << (engine == pair.compressed)
+                << " pool=" << pool->parallelism() << " fused=" << fused;
 
-        const QueryControl expired =
-            QueryControl::WithDeadline(std::chrono::nanoseconds(0));
-        opts.control = &expired;
-        auto dead = engine->Query(sql, opts);
-        ASSERT_FALSE(dead.ok());
-        EXPECT_EQ(dead.status().code(), StatusCode::kDeadlineExceeded)
-            << dead.status().ToString();
+            const QueryControl expired =
+                QueryControl::WithDeadline(std::chrono::nanoseconds(0));
+            opts.control = &expired;
+            auto dead = engine->Query(sql, opts);
+            ASSERT_FALSE(dead.ok());
+            EXPECT_EQ(dead.status().code(), StatusCode::kDeadlineExceeded)
+                << dead.status().ToString();
+          }
+        }
       }
     }
   }
+}
+
+TEST_P(EngineDeterminismTest, ServeCompressedActuallyServesCompressed) {
+  // Guard against the dimension silently testing raw-vs-raw: the
+  // serve_compressed builds must hold block-compressed postings and a
+  // smaller resident index than their raw twins.
+  EXPECT_EQ(row_c_bundle_.row_store().secondary().codec,
+            PostingCodec::kCompressed);
+  EXPECT_EQ(col_c_bundle_.column_store().secondary().codec,
+            PostingCodec::kCompressed);
+  EXPECT_EQ(row_bundle_.row_store().secondary().codec, PostingCodec::kRaw);
+  EXPECT_LT(row_c_bundle_.ApproxBytes(), row_bundle_.ApproxBytes());
+  EXPECT_LT(col_c_bundle_.ApproxBytes(), col_bundle_.ApproxBytes());
 }
 
 TEST_P(EngineDeterminismTest, NonAggregateProjectionAndTableInScan) {
