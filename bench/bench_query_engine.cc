@@ -14,6 +14,11 @@
 // serving-mode query: timed-out queries must return kDeadlineExceeded (never
 // a partial result), are counted, and are reported as "deadline_hits" in
 // BENCH_serving.json instead of failing the byte-identity gate.
+// `--serving` runs only the concurrent-serving section. Serving latency
+// percentiles (p50/p95/p99 in BENCH_serving.json) are derived from the
+// metrics registry's `blend_sql_query_seconds` histogram — the same series a
+// production scrape would read — not from a bench-private sample sort, so
+// the bench exercises and validates the telemetry path it reports from.
 
 #include <benchmark/benchmark.h>
 
@@ -33,6 +38,7 @@
 #include "common/scheduler.h"
 #include "common/str_util.h"
 #include "common/table_printer.h"
+#include "common/telemetry.h"
 #include "index/builder.h"
 #include "sql/engine.h"
 
@@ -140,11 +146,14 @@ BENCHMARK(BM_ScSeekerShape)
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool serving_only = false;
   long deadline_ms = 0;  // 0 = unconstrained serving mode
   int out_argc = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--serving") == 0) {
+      serving_only = true;
     } else if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
       deadline_ms = std::strtol(argv[i] + 14, nullptr, 10);
     } else {
@@ -172,7 +181,7 @@ int main(int argc, char** argv) {
       bench::SampleDomainQuery(lake, smoke ? 8 : 24, &rng);
   g_sc_values = &sc_values;
 
-  if (!smoke) {
+  if (!smoke && !serving_only) {
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
   }
@@ -190,86 +199,88 @@ int main(int argc, char** argv) {
   double fused_vs_generic = 0;
   bool identical = true;
 
-  TablePrinter tp({"Shape", "Layout", "Threads", "Fused", "Query", "QPS", "Speedup"});
-  for (StoreLayout layout : {StoreLayout::kColumn, StoreLayout::kRow}) {
-    const IndexBundle* bundle =
-        layout == StoreLayout::kColumn ? &col_bundle : &row_bundle;
-    sql::Engine engine(bundle);
-    const char* layout_name = layout == StoreLayout::kColumn ? "column" : "row";
+  if (!serving_only) {
+    TablePrinter tp({"Shape", "Layout", "Threads", "Fused", "Query", "QPS", "Speedup"});
+    for (StoreLayout layout : {StoreLayout::kColumn, StoreLayout::kRow}) {
+      const IndexBundle* bundle =
+          layout == StoreLayout::kColumn ? &col_bundle : &row_bundle;
+      sql::Engine engine(bundle);
+      const char* layout_name = layout == StoreLayout::kColumn ? "column" : "row";
 
-    for (const auto& [shape, sqltext] :
-         {std::pair<const char*, const std::string*>{"SC", &sc_sql},
-          std::pair<const char*, const std::string*>{"KW", &kw_sql}}) {
-      std::string reference;
-      double serial_seconds = 0;
-      for (int threads : thread_counts) {
-        sql::QueryOptions opts;
-        opts.scheduler = PoolFor(threads);
-        auto res = engine.Query(*sqltext, opts);
-        if (!res.ok()) {
-          std::fprintf(stderr, "query failed: %s\n", res.status().ToString().c_str());
-          return 1;
+      for (const auto& [shape, sqltext] :
+           {std::pair<const char*, const std::string*>{"SC", &sc_sql},
+            std::pair<const char*, const std::string*>{"KW", &kw_sql}}) {
+        std::string reference;
+        double serial_seconds = 0;
+        for (int threads : thread_counts) {
+          sql::QueryOptions opts;
+          opts.scheduler = PoolFor(threads);
+          auto res = engine.Query(*sqltext, opts);
+          if (!res.ok()) {
+            std::fprintf(stderr, "query failed: %s\n", res.status().ToString().c_str());
+            return 1;
+          }
+          const std::string dump = ResultToString(res.value());
+          if (threads == 1) {
+            reference = dump;
+          } else if (dump != reference) {
+            identical = false;
+          }
+          double seconds = bench::MeasureSeconds(
+              [&] { (void)engine.Query(*sqltext, opts); }, reps);
+          if (threads == 1) serial_seconds = seconds;
+          tp.AddRow({shape, layout_name, std::to_string(threads), "on",
+                     bench::FmtSeconds(seconds),
+                     TablePrinter::Fmt(1.0 / seconds, 1),
+                     TablePrinter::Fmt(serial_seconds / seconds, 2) + "x"});
+          if (layout == StoreLayout::kColumn && std::strcmp(shape, "SC") == 0) {
+            if (threads == 1) sc_serial_seconds = seconds;
+            if (threads == 2) sc_speedup_2t = serial_seconds / seconds;
+            if (threads == 4) sc_speedup_4t = serial_seconds / seconds;
+          }
+          if (layout == StoreLayout::kColumn && std::strcmp(shape, "KW") == 0 &&
+              threads == 1) {
+            kw_serial_seconds = seconds;
+          }
         }
-        const std::string dump = ResultToString(res.value());
-        if (threads == 1) {
-          reference = dump;
-        } else if (dump != reference) {
-          identical = false;
-        }
-        double seconds = bench::MeasureSeconds(
-            [&] { (void)engine.Query(*sqltext, opts); }, reps);
-        if (threads == 1) serial_seconds = seconds;
-        tp.AddRow({shape, layout_name, std::to_string(threads), "on",
-                   bench::FmtSeconds(seconds),
-                   TablePrinter::Fmt(1.0 / seconds, 1),
-                   TablePrinter::Fmt(serial_seconds / seconds, 2) + "x"});
-        if (layout == StoreLayout::kColumn && std::strcmp(shape, "SC") == 0) {
-          if (threads == 1) sc_serial_seconds = seconds;
-          if (threads == 2) sc_speedup_2t = serial_seconds / seconds;
-          if (threads == 4) sc_speedup_4t = serial_seconds / seconds;
-        }
-        if (layout == StoreLayout::kColumn && std::strcmp(shape, "KW") == 0 &&
-            threads == 1) {
-          kw_serial_seconds = seconds;
-        }
-      }
 
-      // Generic (fused off) at 1 thread: isolates the operator fusion win
-      // from the parallelism win.
-      sql::QueryOptions generic;
-      generic.scheduler = Scheduler::Serial();
-      generic.enable_fused_scan_agg = false;
-      auto res = engine.Query(*sqltext, generic);
-      if (res.ok() && ResultToString(res.value()) != reference) identical = false;
-      double generic_seconds = bench::MeasureSeconds(
-          [&] { (void)engine.Query(*sqltext, generic); }, reps);
-      tp.AddRow({shape, layout_name, "1", "off", bench::FmtSeconds(generic_seconds),
-                 TablePrinter::Fmt(1.0 / generic_seconds, 1),
-                 TablePrinter::Fmt(serial_seconds / generic_seconds, 2) + "x"});
-      if (layout == StoreLayout::kColumn && std::strcmp(shape, "SC") == 0 &&
-          sc_serial_seconds > 0) {
-        fused_vs_generic = generic_seconds / sc_serial_seconds;
+        // Generic (fused off) at 1 thread: isolates the operator fusion win
+        // from the parallelism win.
+        sql::QueryOptions generic;
+        generic.scheduler = Scheduler::Serial();
+        generic.enable_fused_scan_agg = false;
+        auto res = engine.Query(*sqltext, generic);
+        if (res.ok() && ResultToString(res.value()) != reference) identical = false;
+        double generic_seconds = bench::MeasureSeconds(
+            [&] { (void)engine.Query(*sqltext, generic); }, reps);
+        tp.AddRow({shape, layout_name, "1", "off", bench::FmtSeconds(generic_seconds),
+                   TablePrinter::Fmt(1.0 / generic_seconds, 1),
+                   TablePrinter::Fmt(serial_seconds / generic_seconds, 2) + "x"});
+        if (layout == StoreLayout::kColumn && std::strcmp(shape, "SC") == 0 &&
+            sc_serial_seconds > 0) {
+          fused_vs_generic = generic_seconds / sc_serial_seconds;
+        }
       }
     }
-  }
 
-  std::printf("\n%s",
-              tp.Render("Seeker-shape query execution (lake cells: " +
-                        std::to_string(lake.TotalCells()) +
-                        ", hardware threads: " + std::to_string(hw) + ")")
-                  .c_str());
-  std::printf("Results are %s across thread counts and the fused/generic paths.\n",
-              identical ? "byte-identical" : "DIVERGENT (BUG)");
-  std::printf(
-      "BENCH_query.json {\"bench\":\"query_engine\",\"smoke\":%s,"
-      "\"lake_cells\":%zu,\"hw_threads\":%u,"
-      "\"sc_serial_qps\":%.2f,\"sc_speedup_2t\":%.2f,\"sc_speedup_4t\":%.2f,"
-      "\"kw_serial_qps\":%.2f,\"fused_vs_generic\":%.2f,"
-      "\"identical_across_threads\":%s}\n",
-      smoke ? "true" : "false", lake.TotalCells(), hw,
-      sc_serial_seconds > 0 ? 1.0 / sc_serial_seconds : 0.0, sc_speedup_2t,
-      sc_speedup_4t, kw_serial_seconds > 0 ? 1.0 / kw_serial_seconds : 0.0,
-      fused_vs_generic, identical ? "true" : "false");
+    std::printf("\n%s",
+                tp.Render("Seeker-shape query execution (lake cells: " +
+                          std::to_string(lake.TotalCells()) +
+                          ", hardware threads: " + std::to_string(hw) + ")")
+                    .c_str());
+    std::printf("Results are %s across thread counts and the fused/generic paths.\n",
+                identical ? "byte-identical" : "DIVERGENT (BUG)");
+    std::printf(
+        "BENCH_query.json {\"bench\":\"query_engine\",\"smoke\":%s,"
+        "\"lake_cells\":%zu,\"hw_threads\":%u,"
+        "\"sc_serial_qps\":%.2f,\"sc_speedup_2t\":%.2f,\"sc_speedup_4t\":%.2f,"
+        "\"kw_serial_qps\":%.2f,\"fused_vs_generic\":%.2f,"
+        "\"identical_across_threads\":%s}\n",
+        smoke ? "true" : "false", lake.TotalCells(), hw,
+        sc_serial_seconds > 0 ? 1.0 / sc_serial_seconds : 0.0, sc_speedup_2t,
+        sc_speedup_4t, kw_serial_seconds > 0 ? 1.0 / kw_serial_seconds : 0.0,
+        fused_vs_generic, identical ? "true" : "false");
+  }
 
   // -------------------------------------------------------------------------
   // Concurrent-QPS serving mode: M client threads replay a mixed SC/KW
@@ -302,12 +313,22 @@ int main(int argc, char** argv) {
     const int rounds = smoke ? 1 : 4;
     bool serving_identical = true;
     double qps_1 = 0, qps_4 = 0, qps_hw = 0;
+    double p50_ms = 0, p95_ms = 0, p99_ms = 0;
     std::atomic<int64_t> deadline_hits{0};
     std::vector<int> client_counts = {1, 2, 4};
     if (hw > 4) client_counts.push_back(static_cast<int>(hw));
-    TablePrinter sp({"Clients", "Total queries", "Wall", "QPS"});
+    // Latency percentiles come from the registry histogram the engine itself
+    // records into (the production telemetry path), never a bench-private
+    // sample sort. Per-client-count stats are interval deltas of the
+    // process-wide cumulative series.
+    Histogram* latency = MetricsRegistry::Global().GetHistogram(
+        "blend_sql_query_seconds",
+        "End-to-end sql::Engine::Query latency (parse through execute).");
+    TablePrinter sp(
+        {"Clients", "Total queries", "Wall", "QPS", "p50", "p95", "p99"});
     for (int clients : client_counts) {
       std::vector<uint8_t> ok(static_cast<size_t>(clients), 1);
+      const HistogramSnapshot lat_before = latency->Snapshot();
       StopWatch sw;
       std::vector<std::thread> threads;
       threads.reserve(static_cast<size_t>(clients));
@@ -345,11 +366,20 @@ int main(int argc, char** argv) {
                            static_cast<size_t>(rounds);
       const double qps = wall > 0 ? static_cast<double>(total) / wall : 0;
       for (uint8_t o : ok) serving_identical = serving_identical && o != 0;
+      const HistogramSnapshot lat = latency->Snapshot().Delta(lat_before);
       sp.AddRow({std::to_string(clients), std::to_string(total),
-                 bench::FmtSeconds(wall), TablePrinter::Fmt(qps, 1)});
+                 bench::FmtSeconds(wall), TablePrinter::Fmt(qps, 1),
+                 bench::FmtSeconds(lat.Quantile(0.50)),
+                 bench::FmtSeconds(lat.Quantile(0.95)),
+                 bench::FmtSeconds(lat.Quantile(0.99))});
       if (clients == 1) qps_1 = qps;
       if (clients == 4) qps_4 = qps;
-      if (clients == client_counts.back()) qps_hw = qps;
+      if (clients == client_counts.back()) {
+        qps_hw = qps;
+        p50_ms = lat.Quantile(0.50) * 1e3;
+        p95_ms = lat.Quantile(0.95) * 1e3;
+        p99_ms = lat.Quantile(0.99) * 1e3;
+      }
     }
     std::printf("\n%s", sp.Render("Concurrent serving (shared engine + pool)").c_str());
     std::printf("Serving results are %s across client counts.\n",
@@ -365,10 +395,11 @@ int main(int argc, char** argv) {
         "BENCH_serving.json {\"bench\":\"serving\",\"smoke\":%s,"
         "\"hw_threads\":%u,\"mix_size\":%zu,\"qps_1_client\":%.2f,"
         "\"qps_4_clients\":%.2f,\"qps_max_clients\":%.2f,"
+        "\"p50_ms\":%.4f,\"p95_ms\":%.4f,\"p99_ms\":%.4f,"
         "\"deadline_ms\":%ld,\"deadline_hits\":%lld,"
         "\"identical_across_clients\":%s}\n",
-        smoke ? "true" : "false", hw, mix.size(), qps_1, qps_4, qps_hw,
-        deadline_ms,
+        smoke ? "true" : "false", hw, mix.size(), qps_1, qps_4, qps_hw, p50_ms,
+        p95_ms, p99_ms, deadline_ms,
         static_cast<long long>(deadline_hits.load(std::memory_order_relaxed)),
         serving_identical ? "true" : "false");
     identical = identical && serving_identical;
@@ -385,7 +416,7 @@ int main(int argc, char** argv) {
   // shape and the "speedup" collapses to ~1x.
   // -------------------------------------------------------------------------
   bool thresholds_ok = true;
-  {
+  if (!serving_only) {
     IndexBuildOptions comp_opts;
     comp_opts.serve_compressed = true;
     IndexBundle comp_bundle = IndexBuilder(comp_opts).Build(lake);

@@ -11,12 +11,20 @@
 //
 // Usage: blend_snapshot [--tables=N] [--layout=row|column]
 //                       [--codec=raw|compressed] [--serve-compressed]
-//                       [--path=FILE]
+//                       [--path=FILE] [--stats]
 //
 // --serve-compressed builds and serves the in-memory index on the
 // block-compressed postings (Blend::Options::serve_compressed), so the smoke
 // check also pins that a compressed-served bundle snapshots and round-trips
 // byte-identically.
+//
+// --stats replaces the snapshot round-trip with the observability smoke
+// check: it serves a small discovery workload off the built index, samples
+// the metrics registry into the StatsTimeSeries ring between rounds, prints
+// the per-interval serving-stats table, one query's trace anatomy, and the
+// full Prometheus text exposition — which the binary itself validates
+// (well-formed lines, legal names, no duplicates), exiting non-zero if the
+// scrape surface is malformed.
 
 #include <cstdio>
 #include <cstring>
@@ -25,6 +33,7 @@
 
 #include "common/rng.h"
 #include "common/str_util.h"
+#include "common/telemetry.h"
 #include "common/timer.h"
 #include "core/blend.h"
 #include "index/snapshot.h"
@@ -61,6 +70,60 @@ std::string SqlResult(const sql::Engine& engine, const std::string& sqltext) {
   return out;
 }
 
+/// The observability smoke check behind `--stats` (see file header).
+int RunStatsMode(const core::Blend& blend, const DataLake& lake) {
+  StatsTimeSeries series(16);
+  series.Sample(MetricsRegistry::Global());
+  Rng rng(5);
+  const int rounds = 3, queries_per_round = 6;
+  for (int round = 0; round < rounds; ++round) {
+    for (int q = 0; q < queries_per_round; ++q) {
+      std::vector<std::string> values = lakegen::SampleColumnQuery(lake, 12, &rng);
+      if (values.empty()) continue;
+      core::Plan plan;
+      (void)plan.Add("sc", std::make_shared<core::SCSeeker>(values, 10));
+      auto res = blend.Run(plan);
+      if (!res.ok()) {
+        std::fprintf(stderr, "stats workload query failed: %s\n",
+                     res.status().ToString().c_str());
+        return 1;
+      }
+    }
+    series.Sample(MetricsRegistry::Global());
+  }
+  std::printf("%s\n", series
+                          .RenderTable("blend_sql_queries_total",
+                                       "blend_sql_query_seconds")
+                          .c_str());
+
+  // Trace anatomy of one representative run: RunReport carries the finished
+  // per-query trace (stage wall times, rows, posting blocks decoded, gallop
+  // seeks) in the report.
+  std::vector<std::string> values = lakegen::SampleColumnQuery(lake, 12, &rng);
+  core::Plan plan;
+  (void)plan.Add("sc", std::make_shared<core::SCSeeker>(values, 10));
+  auto report = blend.RunReport(plan);
+  if (!report.ok()) {
+    std::fprintf(stderr, "trace run failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", report.value().trace.ToString().c_str());
+
+  // The scrape surface, self-validated: CI fails if the exposition ever
+  // degrades (bad name, duplicate series, unparseable value).
+  const std::string text = MetricsRegistry::Global().RenderPrometheus();
+  std::printf("%s", text.c_str());
+  Status valid = ValidatePrometheusText(text);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "INVALID Prometheus exposition: %s\n",
+                 valid.ToString().c_str());
+    return 1;
+  }
+  std::printf("# Prometheus exposition: %zu bytes, validated OK\n", text.size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -68,10 +131,13 @@ int main(int argc, char** argv) {
   StoreLayout layout = StoreLayout::kColumn;
   PostingCodec codec = PostingCodec::kRaw;
   bool serve_compressed = false;
+  bool stats_mode = false;
   std::string path = "blend_index.snapshot";
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--tables=", 9) == 0) {
       num_tables = static_cast<size_t>(std::atoi(argv[i] + 9));
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      stats_mode = true;
     } else if (std::strcmp(argv[i], "--layout=row") == 0) {
       layout = StoreLayout::kRow;
     } else if (std::strcmp(argv[i], "--layout=column") == 0) {
@@ -92,7 +158,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--tables=N] [--layout=row|column] "
                    "[--codec=raw|compressed] [--serve-compressed] "
-                   "[--path=FILE]\n",
+                   "[--path=FILE] [--stats]\n",
                    argv[0]);
       return 2;
     }
@@ -116,6 +182,8 @@ int main(int argc, char** argv) {
   std::printf("Built index: %zu records, %zu distinct values (%.1f ms)\n",
               built.bundle().NumRecords(), built.bundle().dictionary().Size(),
               build_s * 1e3);
+
+  if (stats_mode) return RunStatsMode(built, lake);
 
   // 2. save.
   StopWatch save_sw;

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <exception>
 
+#include "common/telemetry.h"
+
 namespace blend {
 
 namespace {
@@ -12,6 +14,39 @@ namespace {
 /// threads are "external" and steal instead of owning a deque.
 thread_local const Scheduler* tls_owner = nullptr;
 thread_local size_t tls_index = 0;
+
+/// Pool utilization metrics, summed over every live Scheduler in the
+/// process. Cached pointers: registration happens once, recording is a
+/// relaxed sharded add.
+struct SchedulerMetrics {
+  Counter* tasks;
+  Counter* local_pops;
+  Counter* steals;
+  Gauge* workers;
+  Gauge* sleeping;
+
+  static const SchedulerMetrics& Get() {
+    static const SchedulerMetrics m = [] {
+      auto& reg = MetricsRegistry::Global();
+      SchedulerMetrics out;
+      out.tasks = reg.GetCounter("blend_scheduler_tasks_total",
+                                 "Tasks executed by scheduler task groups.");
+      out.local_pops = reg.GetCounter(
+          "blend_scheduler_local_pops_total",
+          "Chunks a worker claimed from its own deque (LIFO pop).");
+      out.steals = reg.GetCounter(
+          "blend_scheduler_steals_total",
+          "Chunks claimed from another worker's deque (FIFO steal).");
+      out.workers = reg.GetGauge("blend_scheduler_workers",
+                                 "Pool worker threads currently alive.");
+      out.sleeping = reg.GetGauge(
+          "blend_scheduler_sleeping_workers",
+          "Pool workers currently blocked on the idle condvar.");
+      return out;
+    }();
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -44,6 +79,7 @@ Scheduler::Scheduler(int num_threads) {
   for (size_t w = 0; w < num_workers; ++w) {
     workers_.emplace_back([this, w] { WorkerLoop(w); });
   }
+  SchedulerMetrics::Get().workers->Add(static_cast<int64_t>(num_workers));
 }
 
 Scheduler::~Scheduler() {
@@ -53,6 +89,7 @@ Scheduler::~Scheduler() {
   }
   idle_cv_.notify_all();
   for (auto& w : workers_) w.join();
+  SchedulerMetrics::Get().workers->Add(-static_cast<int64_t>(workers_.size()));
 }
 
 Scheduler* Scheduler::Default() {
@@ -102,6 +139,7 @@ bool Scheduler::TryAcquire(size_t self, const Group* filter, Chunk* out) {
         *out = *it;
         q.items.erase(std::next(it).base());
         pending_.fetch_sub(1);
+        SchedulerMetrics::Get().local_pops->Increment();
         return true;
       }
     }
@@ -117,6 +155,7 @@ bool Scheduler::TryAcquire(size_t self, const Group* filter, Chunk* out) {
         *out = *it;
         q.items.erase(it);
         pending_.fetch_sub(1);
+        SchedulerMetrics::Get().steals->Increment();
         return true;
       }
     }
@@ -125,6 +164,7 @@ bool Scheduler::TryAcquire(size_t self, const Group* filter, Chunk* out) {
 }
 
 bool Scheduler::RunTask(Group* g, size_t index) {
+  SchedulerMetrics::Get().tasks->Increment();
   if (!g->failed.load(std::memory_order_acquire)) {
     try {
       g->invoke(g->ctx, index);
@@ -211,8 +251,10 @@ void Scheduler::WorkerLoop(size_t self) {
     }
     std::unique_lock<std::mutex> lk(idle_mu_);
     sleepers_.fetch_add(1);
+    SchedulerMetrics::Get().sleeping->Add(1);
     idle_cv_.wait(lk, [&] { return stop_ || pending_.load() > 0; });
     sleepers_.fetch_sub(1);
+    SchedulerMetrics::Get().sleeping->Add(-1);
     if (stop_) return;
   }
 }

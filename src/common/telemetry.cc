@@ -1,0 +1,452 @@
+#include "common/telemetry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/table_printer.h"
+
+namespace blend {
+
+namespace telemetry_internal {
+
+size_t ShardIndex() {
+  // Distinct threads get consecutive shard slots; the counter only matters
+  // for distribution, so relaxed is enough.
+  static std::atomic<size_t> next{0};
+  thread_local const size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+HotPathCounters& ThreadHotPathCounters() {
+  thread_local HotPathCounters counters;
+  return counters;
+}
+
+}  // namespace telemetry_internal
+
+namespace {
+
+std::array<double, kHistogramFiniteBounds> MakeBounds() {
+  // √2-multiplicative ladder from 1µs: bounds[k] = 1e-6 * 2^(k/2).
+  std::array<double, kHistogramFiniteBounds> b{};
+  const double sqrt2 = std::sqrt(2.0);
+  double v = 1e-6;
+  for (size_t i = 0; i < b.size(); ++i) {
+    b[i] = v;
+    v *= sqrt2;
+  }
+  return b;
+}
+
+/// Shortest round-trippable rendering for bucket bounds and sample values.
+std::string FmtDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+int64_t SteadyNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool IsValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  auto tail = [&](char c) {
+    return head(c) || std::isdigit(static_cast<unsigned char>(c));
+  };
+  if (!head(name[0])) return false;
+  for (size_t i = 1; i < name.size(); ++i) {
+    if (!tail(name[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::array<double, kHistogramFiniteBounds>& HistogramBounds() {
+  static const std::array<double, kHistogramFiniteBounds> bounds = MakeBounds();
+  return bounds;
+}
+
+HistogramSnapshot HistogramSnapshot::Delta(
+    const HistogramSnapshot& earlier) const {
+  HistogramSnapshot d;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    d.buckets[i] = buckets[i] - earlier.buckets[i];
+  }
+  d.count = count - earlier.count;
+  d.sum_seconds = sum_seconds - earlier.sum_seconds;
+  return d;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count <= 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(count);
+  const auto& bounds = HistogramBounds();
+  double cum = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const double in_bucket = static_cast<double>(buckets[i]);
+    if (in_bucket <= 0) continue;
+    if (cum + in_bucket >= target) {
+      // +Inf bucket: no finite upper edge, report the largest finite bound.
+      if (i >= bounds.size()) return bounds.back();
+      const double lower = (i == 0) ? 0.0 : bounds[i - 1];
+      const double upper = bounds[i];
+      const double frac = (target - cum) / in_bucket;
+      return lower + frac * (upper - lower);
+    }
+    cum += in_bucket;
+  }
+  return bounds.back();
+}
+
+void Histogram::Observe(double seconds) {
+  if constexpr (!kTelemetryEnabled) return;
+  const auto& bounds = HistogramBounds();
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds.begin(), bounds.end(), seconds) - bounds.begin());
+  Shard& s = shards_[telemetry_internal::ShardIndex()];
+  s.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  s.sum_nanos.fetch_add(static_cast<int64_t>(seconds * 1e9),
+                        std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  int64_t sum_nanos = 0;
+  for (const Shard& s : shards_) {
+    for (size_t i = 0; i < kHistogramBuckets; ++i) {
+      snap.buckets[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+    sum_nanos += s.sum_nanos.load(std::memory_order_relaxed);
+  }
+  for (int64_t b : snap.buckets) snap.count += b;
+  snap.sum_seconds = static_cast<double>(sum_nanos) * 1e-9;
+  return snap;
+}
+
+const MetricSample* RegistrySnapshot::Find(const std::string& name) const {
+  for (const auto& s : samples) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry e;
+    e.kind = MetricKind::kCounter;
+    e.help = help;
+    e.counter = std::make_unique<Counter>();
+    it = entries_.emplace(name, std::move(e)).first;
+  }
+  BLEND_CHECK(it->second.kind == MetricKind::kCounter,
+              "metric re-registered with a different kind");
+  return it->second.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry e;
+    e.kind = MetricKind::kGauge;
+    e.help = help;
+    e.gauge = std::make_unique<Gauge>();
+    it = entries_.emplace(name, std::move(e)).first;
+  }
+  BLEND_CHECK(it->second.kind == MetricKind::kGauge,
+              "metric re-registered with a different kind");
+  return it->second.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry e;
+    e.kind = MetricKind::kHistogram;
+    e.help = help;
+    e.histogram = std::make_unique<Histogram>();
+    it = entries_.emplace(name, std::move(e)).first;
+  }
+  BLEND_CHECK(it->second.kind == MetricKind::kHistogram,
+              "metric re-registered with a different kind");
+  return it->second.histogram.get();
+}
+
+RegistrySnapshot MetricsRegistry::Collect() const {
+  RegistrySnapshot snap;
+  snap.steady_nanos = SteadyNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.samples.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    MetricSample s;
+    s.name = name;
+    s.help = entry.help;
+    s.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::kCounter: s.value = entry.counter->Value(); break;
+      case MetricKind::kGauge: s.value = entry.gauge->Value(); break;
+      case MetricKind::kHistogram: s.hist = entry.histogram->Snapshot(); break;
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  const RegistrySnapshot snap = Collect();
+  std::string out;
+  for (const MetricSample& s : snap.samples) {
+    out += "# HELP " + s.name + " " + s.help + "\n";
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        out += "# TYPE " + s.name + " counter\n";
+        out += s.name + " " + std::to_string(s.value) + "\n";
+        break;
+      case MetricKind::kGauge:
+        out += "# TYPE " + s.name + " gauge\n";
+        out += s.name + " " + std::to_string(s.value) + "\n";
+        break;
+      case MetricKind::kHistogram: {
+        out += "# TYPE " + s.name + " histogram\n";
+        const auto& bounds = HistogramBounds();
+        int64_t cum = 0;
+        for (size_t i = 0; i < kHistogramBuckets; ++i) {
+          cum += s.hist.buckets[i];
+          const std::string le =
+              i < bounds.size() ? FmtDouble(bounds[i]) : "+Inf";
+          out += s.name + "_bucket{le=\"" + le + "\"} " + std::to_string(cum) +
+                 "\n";
+        }
+        out += s.name + "_sum " + FmtDouble(s.hist.sum_seconds) + "\n";
+        out += s.name + "_count " + std::to_string(s.hist.count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked intentionally: instrument pointers cached by call sites must
+  // outlive every thread, including detached static-teardown order.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Status ValidatePrometheusText(const std::string& text) {
+  std::map<std::string, std::string> typed;  // base name -> type
+  std::map<std::string, int> sample_lines;   // name+labels -> occurrences
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t eol = text.find('\n', pos);
+    const std::string line = text.substr(
+        pos, eol == std::string::npos ? std::string::npos : eol - pos);
+    pos = eol == std::string::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    const std::string where = "line " + std::to_string(line_no);
+    if (line[0] == '#') {
+      // Only "# HELP <name> ..." and "# TYPE <name> <type>" comments.
+      if (line.rfind("# HELP ", 0) == 0) continue;
+      if (line.rfind("# TYPE ", 0) != 0) {
+        return Status::InvalidArgument(where + ": unknown comment: " + line);
+      }
+      const std::string rest = line.substr(7);
+      const size_t sp = rest.find(' ');
+      if (sp == std::string::npos) {
+        return Status::InvalidArgument(where + ": malformed TYPE line");
+      }
+      const std::string name = rest.substr(0, sp);
+      const std::string type = rest.substr(sp + 1);
+      if (!IsValidMetricName(name)) {
+        return Status::InvalidArgument(where + ": bad metric name: " + name);
+      }
+      if (type != "counter" && type != "gauge" && type != "histogram" &&
+          type != "summary" && type != "untyped") {
+        return Status::InvalidArgument(where + ": bad metric type: " + type);
+      }
+      if (!typed.emplace(name, type).second) {
+        return Status::InvalidArgument(where +
+                                       ": duplicate TYPE for metric: " + name);
+      }
+      continue;
+    }
+    // Sample line: name[{labels}] value
+    size_t name_end = 0;
+    while (name_end < line.size() && line[name_end] != '{' &&
+           line[name_end] != ' ') {
+      ++name_end;
+    }
+    const std::string name = line.substr(0, name_end);
+    if (!IsValidMetricName(name)) {
+      return Status::InvalidArgument(where + ": bad metric name: " + name);
+    }
+    size_t value_start = name_end;
+    std::string key = name;
+    if (value_start < line.size() && line[value_start] == '{') {
+      const size_t close = line.find('}', value_start);
+      if (close == std::string::npos) {
+        return Status::InvalidArgument(where + ": unterminated label set");
+      }
+      key += line.substr(value_start, close - value_start + 1);
+      value_start = close + 1;
+    }
+    if (value_start >= line.size() || line[value_start] != ' ') {
+      return Status::InvalidArgument(where + ": missing sample value");
+    }
+    const std::string value = line.substr(value_start + 1);
+    if (value != "+Inf" && value != "-Inf" && value != "NaN") {
+      char* end = nullptr;
+      std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument(where + ": unparseable value: " + value);
+      }
+    }
+    if (++sample_lines[key] > 1) {
+      return Status::InvalidArgument(where + ": duplicate sample: " + key);
+    }
+  }
+  return Status::OK();
+}
+
+StatsTimeSeries::StatsTimeSeries(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void StatsTimeSeries::Sample(const MetricsRegistry& registry) {
+  RegistrySnapshot snap = registry.Collect();
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(std::move(snap));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+size_t StatsTimeSeries::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+RegistrySnapshot StatsTimeSeries::at(size_t i) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  BLEND_CHECK(i < ring_.size(), "StatsTimeSeries index out of range");
+  return ring_[i];
+}
+
+std::string StatsTimeSeries::RenderTable(
+    const std::string& counter_name, const std::string& histogram_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TablePrinter table({"interval", "span_ms", counter_name, "rate_per_s",
+                      "hist_count", "p50_ms", "p95_ms", "p99_ms"});
+  for (size_t i = 1; i < ring_.size(); ++i) {
+    const RegistrySnapshot& prev = ring_[i - 1];
+    const RegistrySnapshot& cur = ring_[i];
+    const double span_s =
+        static_cast<double>(cur.steady_nanos - prev.steady_nanos) * 1e-9;
+    const MetricSample* c0 = prev.Find(counter_name);
+    const MetricSample* c1 = cur.Find(counter_name);
+    const int64_t delta = (c0 && c1) ? c1->value - c0->value : 0;
+    const MetricSample* h0 = prev.Find(histogram_name);
+    const MetricSample* h1 = cur.Find(histogram_name);
+    HistogramSnapshot hd;
+    if (h0 && h1) hd = h1->hist.Delta(h0->hist);
+    table.AddRow({std::to_string(i), TablePrinter::Fmt(span_s * 1e3, 1),
+                  std::to_string(delta),
+                  TablePrinter::Fmt(span_s > 0 ? delta / span_s : 0, 1),
+                  std::to_string(hd.count),
+                  TablePrinter::Fmt(hd.Quantile(0.50) * 1e3, 3),
+                  TablePrinter::Fmt(hd.Quantile(0.95) * 1e3, 3),
+                  TablePrinter::Fmt(hd.Quantile(0.99) * 1e3, 3)});
+  }
+  return table.Render("serving stats (per sampling interval)");
+}
+
+double QueryTraceSummary::StageSeconds(TraceStage s) const {
+  for (const StageSummary& st : stages) {
+    if (st.stage == s) return st.seconds;
+  }
+  return 0;
+}
+
+int64_t QueryTraceSummary::StageRows(TraceStage s) const {
+  for (const StageSummary& st : stages) {
+    if (st.stage == s) return st.rows;
+  }
+  return 0;
+}
+
+std::string QueryTraceSummary::ToString() const {
+  TablePrinter table({"stage", "wall_ms", "tasks", "rows"});
+  for (const StageSummary& st : stages) {
+    table.AddRow({TraceStageName(st.stage), TablePrinter::Fmt(st.seconds * 1e3, 3),
+                  std::to_string(st.tasks), std::to_string(st.rows)});
+  }
+  std::string out = table.Render("query trace");
+  out += "counters:";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out += " ";
+    out += TraceCounterName(static_cast<TraceCounter>(i));
+    out += "=" + std::to_string(counters[i]);
+  }
+  out += "\n";
+  return out;
+}
+
+QueryTraceSummary QueryTrace::Summary() const {
+  QueryTraceSummary summary;
+  for (size_t i = 0; i < kNumTraceStages; ++i) {
+    const StageCell& cell = stages_[i];
+    const int64_t nanos = cell.nanos.load(std::memory_order_relaxed);
+    const int64_t tasks = cell.tasks.load(std::memory_order_relaxed);
+    const int64_t rows = cell.rows.load(std::memory_order_relaxed);
+    if (nanos == 0 && tasks == 0 && rows == 0) continue;
+    StageSummary st;
+    st.stage = static_cast<TraceStage>(i);
+    st.seconds = static_cast<double>(nanos) * 1e-9;
+    st.tasks = tasks;
+    st.rows = rows;
+    summary.stages.push_back(st);
+  }
+  for (size_t i = 0; i < kNumTraceCounters; ++i) {
+    summary.counters[i] = counters_[i].load(std::memory_order_relaxed);
+  }
+  return summary;
+}
+
+void NotePostingBlockDecoded() {
+  if constexpr (!kTelemetryEnabled) return;
+  telemetry_internal::ThreadHotPathCounters().posting_blocks_decoded += 1;
+  static Counter* counter = MetricsRegistry::Global().GetCounter(
+      "blend_posting_blocks_decoded_total",
+      "Compressed posting blocks decoded by cursors.");
+  counter->Increment();
+}
+
+void NoteGallopSeek() {
+  if constexpr (!kTelemetryEnabled) return;
+  telemetry_internal::ThreadHotPathCounters().gallop_seeks += 1;
+  static Counter* counter = MetricsRegistry::Global().GetCounter(
+      "blend_gallop_seeks_total",
+      "SeekAtLeast operations issued by the galloping intersection.");
+  counter->Increment();
+}
+
+}  // namespace blend

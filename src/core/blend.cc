@@ -17,6 +17,48 @@ IndexBuildOptions BuildOptionsFor(const Blend::Options& options) {
   build.serve_compressed = options.serve_compressed;
   return build;
 }
+
+/// Per-run outcome instruments, keyed by the Status a run returns so control
+/// trips (deadline / cancel / budget) are distinguishable from genuine
+/// failures on a dashboard. Recorded once per run in RunReportImpl — the
+/// public Run/RunReport/RunMany surfaces all funnel through it.
+struct BlendMetrics {
+  Counter* runs_ok;
+  Counter* runs_deadline;
+  Counter* runs_cancelled;
+  Counter* runs_exhausted;
+  Counter* runs_error;
+  Counter* run_many;
+  Histogram* run_seconds;
+
+  static const BlendMetrics& Get() {
+    static const BlendMetrics m = [] {
+      auto& reg = MetricsRegistry::Global();
+      BlendMetrics out;
+      out.runs_ok = reg.GetCounter("blend_runs_ok_total",
+                                   "Discovery plan runs that completed OK.");
+      out.runs_deadline =
+          reg.GetCounter("blend_runs_deadline_exceeded_total",
+                         "Runs stopped by a QueryControl deadline.");
+      out.runs_cancelled = reg.GetCounter(
+          "blend_runs_cancelled_total",
+          "Runs stopped by QueryControl cancellation (incl. batch aborts).");
+      out.runs_exhausted =
+          reg.GetCounter("blend_runs_resource_exhausted_total",
+                         "Runs stopped by a QueryControl memory budget.");
+      out.runs_error = reg.GetCounter(
+          "blend_runs_error_total",
+          "Runs that failed for any non-control reason (plan, SQL, I/O).");
+      out.run_many = reg.GetCounter("blend_run_many_total",
+                                    "RunMany batch invocations.");
+      out.run_seconds = reg.GetHistogram(
+          "blend_run_seconds",
+          "End-to-end discovery run latency (optimize through sink).");
+      return out;
+    }();
+    return m;
+  }
+};
 }  // namespace
 
 Blend::Blend(const DataLake* lake, Options options)
@@ -138,6 +180,7 @@ Result<std::vector<TableList>> Blend::RunMany(std::span<const Plan> plans,
   // the first failing plan cancels its siblings through it, so an
   // already-doomed batch stops burning pool time instead of completing
   // results that would be thrown away.
+  BlendMetrics::Get().run_many->Increment();
   const QueryControl batch = QueryControl::Nested(control);
   std::vector<std::optional<Result<TableList>>> slots(plans.size());
   scheduler_->ParallelFor(plans.size(), [&](size_t i) {
@@ -165,20 +208,48 @@ Result<std::vector<TableList>> Blend::RunMany(std::span<const Plan> plans,
 }
 
 Result<ExecutionReport> Blend::RunReport(const Plan& plan) const {
-  PlanExecutor executor(&ctx_, model_ ? model_.get() : nullptr);
-  return executor.Run(plan, options_.optimize);
+  return RunReportImpl(plan, nullptr);
 }
 
 Result<ExecutionReport> Blend::RunReport(const Plan& plan,
                                          const QueryControl& control) const {
-  if (!control.active()) return RunReport(plan);
-  // Per-query context copy: the shared ctx_ stays control-free (Blend is
-  // shared-immutable across serving threads), the copy carries the caller's
-  // handle down through QueryOptions into every executor stage and seeker.
+  return RunReportImpl(plan, &control);
+}
+
+Result<ExecutionReport> Blend::RunReportImpl(const Plan& plan,
+                                             const QueryControl* control) const {
+  const BlendMetrics& metrics = BlendMetrics::Get();
+  LatencyTimer timer(metrics.run_seconds);
+  // Per-query context copy: the shared ctx_ stays control- and trace-free
+  // (Blend is shared-immutable across serving threads); the copy carries the
+  // caller's handle and this run's trace down through QueryOptions into every
+  // executor stage and seeker. The trace outlives execution by construction:
+  // PlanExecutor::Run summarizes it into the report before returning.
+  QueryTrace trace;
   DiscoveryContext ctx = ctx_;
-  ctx.query_options.control = &control;
+  if (control != nullptr && control->active()) ctx.query_options.control = control;
+  ctx.query_options.trace = &trace;
   PlanExecutor executor(&ctx, model_ ? model_.get() : nullptr);
-  return executor.Run(plan, options_.optimize);
+  Result<ExecutionReport> report = executor.Run(plan, options_.optimize);
+  if (report.ok()) {
+    metrics.runs_ok->Increment();
+  } else {
+    switch (report.status().code()) {
+      case StatusCode::kDeadlineExceeded:
+        metrics.runs_deadline->Increment();
+        break;
+      case StatusCode::kCancelled:
+        metrics.runs_cancelled->Increment();
+        break;
+      case StatusCode::kResourceExhausted:
+        metrics.runs_exhausted->Increment();
+        break;
+      default:
+        metrics.runs_error->Increment();
+        break;
+    }
+  }
+  return report;
 }
 
 Status Blend::TrainCostModel(int samples_per_type, uint64_t seed) {

@@ -116,7 +116,8 @@ class Blend {
                                          const QueryControl& control) const;
 
   /// Runs a plan and returns the full execution report (per-node outputs,
-  /// timings, executed step order).
+  /// timings, per-step wall times, executed step order, and the query's
+  /// finished telemetry trace — see ExecutionReport::trace).
   Result<ExecutionReport> RunReport(const Plan& plan) const;
   Result<ExecutionReport> RunReport(const Plan& plan,
                                     const QueryControl& control) const;
@@ -141,6 +142,13 @@ class Blend {
   /// Shared tail of the build and snapshot-load paths: adopts an already
   /// materialized bundle.
   Blend(const DataLake* lake, Options options, IndexBundle bundle);
+
+  /// The single execution path behind both RunReport overloads (and hence
+  /// every Run/RunMany): attaches the per-query trace, threads the optional
+  /// control, and records each run's outcome exactly once in the metrics
+  /// registry. `control` may be null or inactive.
+  Result<ExecutionReport> RunReportImpl(const Plan& plan,
+                                        const QueryControl* control) const;
 
   Options options_;
   const DataLake* lake_;

@@ -62,11 +62,16 @@ std::string BuildRewrite(
 
 Result<ExecutionReport> PlanExecutor::Run(const Plan& plan, bool optimize) const {
   ExecutionReport report;
+  QueryTrace* trace = ctx_->query_options.trace;
 
   StopWatch opt_watch;
   Optimizer optimizer(model_, ctx_->stats, QueryParallelism(ctx_->query_options));
   BLEND_ASSIGN_OR_RETURN(report.executed_plan, optimizer.Optimize(plan, optimize));
   report.optimize_seconds = opt_watch.ElapsedSeconds();
+  if (trace != nullptr) {
+    trace->AddStage(TraceStage::kOptimize,
+                    static_cast<int64_t>(report.optimize_seconds * 1e9), 1);
+  }
 
   StopWatch run_watch;
   const uint64_t queries_before = ctx_->engine->QueriesServed();
@@ -76,11 +81,17 @@ Result<ExecutionReport> PlanExecutor::Run(const Plan& plan, bool optimize) const
     // morsel checks inside each seeker's queries.
     BLEND_RETURN_NOT_OK(CheckControl(ctx_->query_options.control, "plan step"));
     const Plan::Node& node = plan.node(step.node);
+    StopWatch step_watch;
+    const TableList* step_out = nullptr;
+    std::string kind;
     if (node.is_seeker()) {
+      kind = node.seeker->name();
       std::string rewrite = BuildRewrite(step.rewrite, report.node_outputs);
       BLEND_ASSIGN_OR_RETURN(auto out, node.seeker->Execute(*ctx_, rewrite));
-      report.node_outputs.emplace(node.id, std::move(out));
+      step_out = &report.node_outputs.emplace(node.id, std::move(out))
+                      .first->second;
     } else {
+      kind = "combiner";
       std::vector<TableList> inputs;
       inputs.reserve(node.inputs.size());
       for (const auto& in : node.inputs) {
@@ -91,11 +102,23 @@ Result<ExecutionReport> PlanExecutor::Run(const Plan& plan, bool optimize) const
         }
         inputs.push_back(it->second);
       }
-      report.node_outputs.emplace(node.id, node.combiner->Combine(inputs));
+      step_out = &report.node_outputs
+                      .emplace(node.id, node.combiner->Combine(inputs))
+                      .first->second;
+    }
+    const double step_seconds = step_watch.ElapsedSeconds();
+    report.step_timings.push_back(
+        {node.id, kind, step_seconds, step_out->size()});
+    if (trace != nullptr) {
+      trace->AddStage(TraceStage::kPlanStep,
+                      static_cast<int64_t>(step_seconds * 1e9), 1);
+      trace->AddRows(TraceStage::kPlanStep,
+                     static_cast<int64_t>(step_out->size()));
     }
   }
   report.seconds = run_watch.ElapsedSeconds();
   report.engine_queries = ctx_->engine->QueriesServed() - queries_before;
+  if (trace != nullptr) report.trace = trace->Summary();
 
   BLEND_ASSIGN_OR_RETURN(auto sink, plan.SinkId());
   report.output = report.node_outputs.at(sink);

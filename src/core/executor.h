@@ -4,13 +4,28 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/telemetry.h"
 #include "core/context.h"
 #include "core/optimizer.h"
 #include "core/plan.h"
 
 namespace blend::core {
 
-/// Outcome of running a discovery plan.
+/// Wall time and output size of one executed plan step, in execution order.
+/// All fields zeroed/empty by default.
+struct PlanStepTiming {
+  /// Plan node id of the step.
+  std::string node;
+  /// Seeker modality name ("KW", "SC", "C", "MC") or "combiner".
+  std::string kind;
+  double seconds = 0;
+  size_t output_rows = 0;
+};
+
+/// Outcome of running a discovery plan. Every scalar field defaults to zero
+/// and every container to empty, so reports compose by whole-struct copy or
+/// move — never rebuild one field-by-field, or new telemetry fields (timings,
+/// trace) silently drop.
 struct ExecutionReport {
   /// Output of the plan's sink node.
   TableList output;
@@ -28,6 +43,12 @@ struct ExecutionReport {
   /// per-operator query budgets, e.g. that a dedup-top-k seeker issues one
   /// exhaustive statement instead of a widening retry loop.
   uint64_t engine_queries = 0;
+  /// Per-plan-step wall times and output sizes, in execution order.
+  std::vector<PlanStepTiming> step_timings;
+  /// The query's finished trace (stage wall times / task counts / rows plus
+  /// event counters: posting blocks decoded, gallop seeks, engine queries,
+  /// MC validation funnel). All-zero when the run carried no trace.
+  QueryTraceSummary trace;
   /// The steps that were executed, in order (for inspection and tests).
   ExecutionPlan executed_plan;
 };

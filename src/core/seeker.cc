@@ -7,11 +7,45 @@
 
 #include "common/control.h"
 #include "common/str_util.h"
+#include "common/telemetry.h"
+#include "common/timer.h"
 #include "common/xash.h"
 
 namespace blend::core {
 
 namespace {
+
+/// Per-modality execution counters, indexed by Seeker::Type. The series name
+/// is derived from the modality (Seeker::name() lowercased), so dashboards
+/// can break the discovery workload down by operator kind.
+struct SeekerMetrics {
+  Counter* executions[4];
+
+  static const SeekerMetrics& Get() {
+    static const SeekerMetrics m = [] {
+      auto& reg = MetricsRegistry::Global();
+      SeekerMetrics out;
+      out.executions[static_cast<int>(Seeker::Type::kKW)] =
+          reg.GetCounter("blend_seeker_kw_executions_total",
+                         "Keyword seeker executions.");
+      out.executions[static_cast<int>(Seeker::Type::kSC)] =
+          reg.GetCounter("blend_seeker_sc_executions_total",
+                         "Single-column seeker executions.");
+      out.executions[static_cast<int>(Seeker::Type::kC)] =
+          reg.GetCounter("blend_seeker_c_executions_total",
+                         "Correlation seeker executions.");
+      out.executions[static_cast<int>(Seeker::Type::kMC)] =
+          reg.GetCounter("blend_seeker_mc_executions_total",
+                         "Multi-column seeker executions.");
+      return out;
+    }();
+    return m;
+  }
+};
+
+void CountExecution(Seeker::Type t) {
+  SeekerMetrics::Get().executions[static_cast<int>(t)]->Increment();
+}
 
 /// Normalizes and de-duplicates raw input values (the inverted index stores
 /// normalized cells, so Q must be normalized the same way).
@@ -85,6 +119,8 @@ std::string SCSeeker::GenerateSql(const std::string& rewrite, int fetch_limit) c
 
 Result<TableList> SCSeeker::Execute(const DiscoveryContext& ctx,
                                     const std::string& rewrite) const {
+  CountExecution(Type::kSC);
+  TraceSpan span(ctx.query_options.trace, TraceStage::kSeeker);
   // All input values normalized to empty: no overlap is possible, and the
   // generated `CellValue IN ()` would not even parse.
   if (values_.empty()) return TableList{};
@@ -112,6 +148,8 @@ std::string KWSeeker::GenerateSql(const std::string& rewrite, int fetch_limit) c
 
 Result<TableList> KWSeeker::Execute(const DiscoveryContext& ctx,
                                     const std::string& rewrite) const {
+  CountExecution(Type::kKW);
+  TraceSpan span(ctx.query_options.trace, TraceStage::kSeeker);
   if (keywords_.empty()) return TableList{};
   BLEND_ASSIGN_OR_RETURN(
       auto res, ctx.engine->Query(GenerateSql(rewrite, k_), ctx.query_options));
@@ -195,6 +233,8 @@ bool AlignTuple(const std::vector<std::string>& row_cells,
 
 Result<TableList> MCSeeker::Execute(const DiscoveryContext& ctx,
                                     const std::string& rewrite) const {
+  CountExecution(Type::kMC);
+  TraceSpan seeker_span(ctx.query_options.trace, TraceStage::kSeeker);
   // Stats accumulate in a local and publish in one assignment at the end, so
   // an Execute never exposes half-updated counters (concurrent executions of
   // the *same* MCSeeker instance still race on the final write; give each
@@ -242,6 +282,9 @@ Result<TableList> MCSeeker::Execute(const DiscoveryContext& ctx,
   std::unordered_map<TableId, double> table_scores;
   std::vector<std::string> row_cells;
   size_t visited = 0;
+  // Validation funnel (candidates -> bloom pass -> validated) runs serially
+  // on this thread; one stage covers it, the funnel counters land below.
+  StopWatch validation_watch;
   // Accumulates commutative per-table sums; visit order cannot change them.
   // blend-lint: allow(unordered-iter)
   for (const auto& [key, super_key] : candidates) {
@@ -290,6 +333,19 @@ Result<TableList> MCSeeker::Execute(const DiscoveryContext& ctx,
     }
   }
   last_stats_ = stats;
+  if (QueryTrace* trace = ctx.query_options.trace; trace != nullptr) {
+    trace->AddStage(TraceStage::kMcValidation,
+                    static_cast<int64_t>(validation_watch.ElapsedSeconds() * 1e9),
+                    1);
+    trace->AddRows(TraceStage::kMcValidation,
+                   static_cast<int64_t>(stats.candidate_rows));
+    trace->AddCounter(TraceCounter::kMcCandidateRows,
+                      static_cast<int64_t>(stats.candidate_rows));
+    trace->AddCounter(TraceCounter::kMcBloomPassRows,
+                      static_cast<int64_t>(stats.bloom_pass_rows));
+    trace->AddCounter(TraceCounter::kMcValidatedRows,
+                      static_cast<int64_t>(stats.true_positives));
+  }
 
   TableList out;
   out.reserve(table_scores.size());
@@ -371,6 +427,8 @@ std::string CorrelationSeeker::GenerateSql(const std::string& rewrite,
 
 Result<TableList> CorrelationSeeker::Execute(const DiscoveryContext& ctx,
                                              const std::string& rewrite) const {
+  CountExecution(Type::kC);
+  TraceSpan span(ctx.query_options.trace, TraceStage::kSeeker);
   // Every join key normalized to empty: the keys-side scan would be
   // `CellValue IN ()`, which the parser rejects; no join is possible.
   if (all_keys_.empty()) return TableList{};

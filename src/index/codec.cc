@@ -579,6 +579,7 @@ std::span<const PostingValue> PostingCursor::NextBatch() {
   } else {
     DecodeBlock(blocks_ + BlockOffset(b), BlockFirst(b), len, scratch_);
   }
+  NotePostingBlockDecoded();
   return {scratch_, len};
 }
 

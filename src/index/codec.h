@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/telemetry.h"
 
 namespace blend {
 
@@ -265,6 +266,7 @@ class PostingIterator {
   /// < `target` unless it is the block the match lands in.
   void SeekAtLeast(PostingValue target) {
     if (AtEnd() || batch_[idx_] >= target) return;
+    NoteGallopSeek();
     if (batch_.back() >= target) {
       // Target is inside the already-decoded batch.
       idx_ = static_cast<size_t>(

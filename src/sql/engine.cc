@@ -1,8 +1,40 @@
 #include "sql/engine.h"
 
+#include "common/telemetry.h"
 #include "sql/parser.h"
 
 namespace blend::sql {
+
+namespace {
+
+/// Registry instruments of the SQL serving funnel; resolved once and cached.
+/// These are the exact series the serving bench reports from and the future
+/// `blendd` daemon exports, so the bench exercises the production path.
+struct EngineMetrics {
+  Counter* queries;
+  Counter* errors;
+  Histogram* latency;
+
+  static const EngineMetrics& Get() {
+    static const EngineMetrics m = [] {
+      auto& reg = MetricsRegistry::Global();
+      EngineMetrics out;
+      out.queries = reg.GetCounter("blend_sql_queries_total",
+                                   "SQL statements executed by sql::Engine.");
+      out.errors = reg.GetCounter(
+          "blend_sql_query_errors_total",
+          "SQL statements that returned a non-OK Status (parse, plan, "
+          "execution, or control trips).");
+      out.latency = reg.GetHistogram(
+          "blend_sql_query_seconds",
+          "End-to-end sql::Engine::Query latency (parse through execute).");
+      return out;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 Result<QueryResult> Engine::Query(const std::string& sql) const {
   return Query(sql, QueryOptions{});
@@ -10,16 +42,27 @@ Result<QueryResult> Engine::Query(const std::string& sql) const {
 
 Result<QueryResult> Engine::Query(const std::string& sql,
                                   const QueryOptions& options) const {
+  const EngineMetrics& metrics = EngineMetrics::Get();
+  metrics.queries->Increment();
+  LatencyTimer timer(metrics.latency);
   queries_.fetch_add(1, std::memory_order_relaxed);
-  BLEND_ASSIGN_OR_RETURN(auto stmt, Parse(sql));
-  QueryOptions effective = options;
-  if (effective.scheduler == nullptr) effective.scheduler = scheduler_;
-  if (bundle_->layout() == StoreLayout::kRow) {
-    return ExecuteSelect(*stmt, bundle_->row_store(), bundle_->dictionary(),
-                         effective);
+  if (options.trace != nullptr) {
+    options.trace->AddCounter(TraceCounter::kEngineQueries, 1);
   }
-  return ExecuteSelect(*stmt, bundle_->column_store(), bundle_->dictionary(),
-                       effective);
+  auto run = [&]() -> Result<QueryResult> {
+    BLEND_ASSIGN_OR_RETURN(auto stmt, Parse(sql));
+    QueryOptions effective = options;
+    if (effective.scheduler == nullptr) effective.scheduler = scheduler_;
+    if (bundle_->layout() == StoreLayout::kRow) {
+      return ExecuteSelect(*stmt, bundle_->row_store(), bundle_->dictionary(),
+                           effective);
+    }
+    return ExecuteSelect(*stmt, bundle_->column_store(), bundle_->dictionary(),
+                         effective);
+  };
+  Result<QueryResult> result = run();
+  if (!result.ok()) metrics.errors->Increment();
+  return result;
 }
 
 }  // namespace blend::sql

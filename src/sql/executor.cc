@@ -47,23 +47,34 @@ constexpr size_t kMergePartitions = 16;
 /// merged into a result, so a query that completes is byte-identical to an
 /// unconstrained run (the control never alters morsel geometry or merge
 /// order).
+/// Tracing rides the same boundaries: a TraceSpan brackets each task (so
+/// stage wall time and the codec's hot-path tallies land on the stage that
+/// caused them) and a QueueWaitProbe records the dispatch latency of the
+/// group's first task. Both are inert for a null trace — no clock reads —
+/// and neither touches morsel geometry, task order, or merge order.
 template <typename Fn>
 [[nodiscard]] Status RunTasks(Scheduler* sched, const QueryControl* control,
-                              const char* stage, size_t num_tasks,
-                              const Fn& fn) {
-  BLEND_RETURN_NOT_OK(CheckControl(control, stage));
+                              QueryTrace* trace, TraceStage stage,
+                              size_t num_tasks, const Fn& fn) {
+  const char* label = TraceStageName(stage);
+  BLEND_RETURN_NOT_OK(CheckControl(control, label));
+  QueueWaitProbe queue_wait(trace);
   if (sched == nullptr) {
     for (size_t t = 0; t < num_tasks; ++t) {
       if (ShouldStop(control)) break;
+      queue_wait.NoteTaskStart();
+      TraceSpan span(trace, stage);
       fn(t);
     }
   } else {
     sched->ParallelFor(num_tasks, [&](size_t t) {
       if (ShouldStop(control)) return;
+      queue_wait.NoteTaskStart();
+      TraceSpan span(trace, stage);
       fn(t);
     });
   }
-  return CheckControl(control, stage);
+  return CheckControl(control, label);
 }
 
 /// Interval (in serial-loop iterations) between control checks inside loops
@@ -270,7 +281,8 @@ std::vector<CellId> ResolveCellIds(const Expr& cell_in, const Dictionary& dict) 
 template <typename Store>
 Result<std::vector<RecordPos>> ScanRel(const AnalyzedRel& rel, const Store& store,
                                        const Dictionary& dict, Scheduler* sched,
-                                       const QueryControl* control) {
+                                       const QueryControl* control,
+                                       QueryTrace* trace) {
   const ScanSpec spec = ClassifyScan(rel.scan_pred);
 
   // Bind residual predicates once; evaluation is read-only and thread-safe.
@@ -342,7 +354,8 @@ Result<std::vector<RecordPos>> ScanRel(const AnalyzedRel& rel, const Store& stor
   for (const ScanMorsel& mo : morsels) total_records += mo.end - mo.begin;
   Scheduler* scan_sched = total_records > kScanMorselRecords ? sched : nullptr;
   std::vector<std::vector<RecordPos>> parts(morsels.size());
-  BLEND_RETURN_NOT_OK(RunTasks(scan_sched, control, "scan", morsels.size(), [&](size_t m) {
+  BLEND_RETURN_NOT_OK(RunTasks(scan_sched, control, trace, TraceStage::kScan,
+                               morsels.size(), [&](size_t m) {
     const ScanMorsel& mo = morsels[m];
     std::vector<RecordPos>& out = parts[m];
     if (mo.from_list) {
@@ -372,7 +385,11 @@ Result<std::vector<RecordPos>> ScanRel(const AnalyzedRel& rel, const Store& stor
     }
   }));
 
-  return ConcatParts(std::move(parts));
+  std::vector<RecordPos> out = ConcatParts(std::move(parts));
+  if (trace != nullptr) {
+    trace->AddRows(TraceStage::kScan, static_cast<int64_t>(out.size()));
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -424,7 +441,8 @@ Result<std::vector<RowCtx>> HashJoinStep(const Store& store,
                                          const std::vector<RecordPos>& scan,
                                          const StepKeys& keys, uint8_t step_side,
                                          Scheduler* sched,
-                                         const QueryControl* control) {
+                                         const QueryControl* control,
+                                         QueryTrace* trace) {
   auto left_hash = [&](const RowCtx& ctx, bool* has_null) {
     uint64_t h = 0x243F6A8885A308D3ULL;
     *has_null = false;
@@ -479,7 +497,8 @@ Result<std::vector<RowCtx>> HashJoinStep(const Store& store,
     std::vector<uint8_t> nulls(scan.size());
     const size_t build_chunks =
         (scan.size() + kScanMorselRecords - 1) / kScanMorselRecords;
-    BLEND_RETURN_NOT_OK(RunTasks(sched, control, "join build", build_chunks, [&](size_t c) {
+    BLEND_RETURN_NOT_OK(RunTasks(sched, control, trace, TraceStage::kJoinBuild,
+                                 build_chunks, [&](size_t c) {
       const size_t b = c * kScanMorselRecords;
       const size_t e = std::min(scan.size(), b + kScanMorselRecords);
       for (size_t i = b; i < e; ++i) {
@@ -498,7 +517,8 @@ Result<std::vector<RowCtx>> HashJoinStep(const Store& store,
     }
     const size_t probe_chunks = (rows.size() + num_chunks_of - 1) / num_chunks_of;
     std::vector<std::vector<RowCtx>> parts(probe_chunks);
-    BLEND_RETURN_NOT_OK(RunTasks(sched, control, "join probe", probe_chunks, [&](size_t c) {
+    BLEND_RETURN_NOT_OK(RunTasks(sched, control, trace, TraceStage::kJoinProbe,
+                                 probe_chunks, [&](size_t c) {
       const size_t b = c * num_chunks_of;
       const size_t e = std::min(rows.size(), b + num_chunks_of);
       for (size_t i = b; i < e; ++i) {
@@ -512,7 +532,11 @@ Result<std::vector<RowCtx>> HashJoinStep(const Store& store,
         }
       }
     }));
-    return ConcatParts(std::move(parts));
+    std::vector<RowCtx> joined = ConcatParts(std::move(parts));
+    if (trace != nullptr) {
+      trace->AddRows(TraceStage::kJoinProbe, static_cast<int64_t>(joined.size()));
+    }
+    return joined;
   }
 
   // Build on the prefix, probe with the new relation's scan.
@@ -520,7 +544,8 @@ Result<std::vector<RowCtx>> HashJoinStep(const Store& store,
   std::vector<uint8_t> nulls(rows.size());
   const size_t build_chunks =
       (rows.size() + kScanMorselRecords - 1) / kScanMorselRecords;
-  BLEND_RETURN_NOT_OK(RunTasks(sched, control, "join build", build_chunks, [&](size_t c) {
+  BLEND_RETURN_NOT_OK(RunTasks(sched, control, trace, TraceStage::kJoinBuild,
+                               build_chunks, [&](size_t c) {
     const size_t b = c * kScanMorselRecords;
     const size_t e = std::min(rows.size(), b + kScanMorselRecords);
     for (size_t i = b; i < e; ++i) {
@@ -539,7 +564,8 @@ Result<std::vector<RowCtx>> HashJoinStep(const Store& store,
   }
   const size_t probe_chunks = (scan.size() + num_chunks_of - 1) / num_chunks_of;
   std::vector<std::vector<RowCtx>> parts(probe_chunks);
-  BLEND_RETURN_NOT_OK(RunTasks(sched, control, "join probe", probe_chunks, [&](size_t c) {
+  BLEND_RETURN_NOT_OK(RunTasks(sched, control, trace, TraceStage::kJoinProbe,
+                               probe_chunks, [&](size_t c) {
     const size_t b = c * num_chunks_of;
     const size_t e = std::min(scan.size(), b + num_chunks_of);
     for (size_t i = b; i < e; ++i) {
@@ -554,7 +580,11 @@ Result<std::vector<RowCtx>> HashJoinStep(const Store& store,
       }
     }
   }));
-  return ConcatParts(std::move(parts));
+  std::vector<RowCtx> joined = ConcatParts(std::move(parts));
+  if (trace != nullptr) {
+    trace->AddRows(TraceStage::kJoinProbe, static_cast<int64_t>(joined.size()));
+  }
+  return joined;
 }
 
 // ---------------------------------------------------------------------------
@@ -675,6 +705,7 @@ std::optional<Result<QueryResult>> TryGallopingJoin(const AnalyzedQuery& q,
                                                     const QueryOptions& options) {
   Scheduler* sched = options.scheduler;
   const QueryControl* control = options.control;
+  QueryTrace* trace = options.trace;
   const size_t nrels = q.rels.size();
   if (nrels < 2 || q.join_ons.size() != nrels - 1) return std::nullopt;
   if (q.residual_where != nullptr || stmt.select_star) return std::nullopt;
@@ -771,8 +802,8 @@ std::optional<Result<QueryResult>> TryGallopingJoin(const AnalyzedQuery& q,
   const size_t num_tasks = std::max<size_t>(
       1, (num_records + kGallopChunkRecords - 1) / kGallopChunkRecords);
   std::vector<Step1Out> task_out(num_tasks);
-  Status st = RunTasks(sched, control, "gallop intersect", num_tasks,
-                       [&](size_t t) {
+  Status st = RunTasks(sched, control, trace, TraceStage::kGallopIntersect,
+                       num_tasks, [&](size_t t) {
     Step1Out& out = task_out[t];
     out.runs0.resize(cells[0].size());
     out.runs1.resize(cells[1].size());
@@ -933,7 +964,8 @@ std::optional<Result<QueryResult>> TryGallopingJoin(const AnalyzedQuery& q,
     const size_t nkeys = inter_keys.size();
     const size_t key_tasks = (nkeys + kGallopKeysPerTask - 1) / kGallopKeysPerTask;
     std::vector<StepOut> step_out(key_tasks);
-    st = RunTasks(sched, control, "gallop intersect", key_tasks, [&](size_t t) {
+    st = RunTasks(sched, control, trace, TraceStage::kGallopIntersect, key_tasks,
+                  [&](size_t t) {
       StepOut& out = step_out[t];
       out.runs.resize(cells[j].size());
       size_t ki = t * kGallopKeysPerTask;
@@ -1062,7 +1094,8 @@ std::optional<Result<QueryResult>> TryGallopingJoin(const AnalyzedQuery& q,
   result.rows.resize(static_cast<size_t>(total));
   const size_t emit_chunks =
       total == 0 ? 0 : static_cast<size_t>((total - 1) / kAggChunkRows + 1);
-  st = RunTasks(sched, control, "gallop emit", emit_chunks, [&](size_t c) {
+  st = RunTasks(sched, control, trace, TraceStage::kGallopEmit, emit_chunks,
+                [&](size_t c) {
     uint64_t row = c * kAggChunkRows;
     const uint64_t rend = std::min<uint64_t>(total, row + kAggChunkRows);
     size_t run = static_cast<size_t>(
@@ -1082,6 +1115,10 @@ std::optional<Result<QueryResult>> TryGallopingJoin(const AnalyzedQuery& q,
     }
   });
   if (!st.ok()) return Result<QueryResult>(std::move(st));
+  if (trace != nullptr) {
+    trace->AddRows(TraceStage::kGallopEmit,
+                   static_cast<int64_t>(result.rows.size()));
+  }
   return Result<QueryResult>(std::move(result));
 }
 
@@ -1382,8 +1419,9 @@ std::optional<Result<QueryResult>> TryFusedScanAgg(const AnalyzedQuery& q,
     CellId last_cell;  // per-posting-list dedup marker
   };
   std::vector<std::vector<FusedGroup>> parts(morsels.size());
-  Status fused_scan = RunTasks(sched, options.control, "fused scan",
-                               morsels.size(), [&](size_t m) {
+  Status fused_scan = RunTasks(sched, options.control, options.trace,
+                               TraceStage::kFusedScan, morsels.size(),
+                               [&](size_t m) {
     std::unordered_map<uint64_t, uint32_t> index;
     std::vector<FusedGroup>& groups_m = parts[m];
     for (size_t ci = morsels[m].begin; ci < morsels[m].end; ++ci) {
@@ -1456,6 +1494,10 @@ std::optional<Result<QueryResult>> TryFusedScanAgg(const AnalyzedQuery& q,
     }
     out.agg_vals.assign(aggs.size(), SqlValue::Int(g.count));
     groups.push_back(std::move(out));
+  }
+  if (options.trace != nullptr) {
+    options.trace->AddRows(TraceStage::kFusedScan,
+                           static_cast<int64_t>(groups.size()));
   }
   EmitGroups(groups, items, sort_ref, sort_exprs, desc, stmt, options, &result);
   return Result<QueryResult>(std::move(result));
@@ -1581,8 +1623,9 @@ std::optional<Result<QueryResult>> TryFusedScanProject(
 
   std::vector<std::vector<std::vector<SqlValue>>> row_parts(morsels.size());
   std::vector<std::vector<std::vector<SqlValue>>> sort_parts(morsels.size());
-  Status st = RunTasks(sched, options.control, "fused project",
-                       morsels.size(), [&](size_t m) {
+  Status st = RunTasks(sched, options.control, options.trace,
+                       TraceStage::kFusedProject, morsels.size(),
+                       [&](size_t m) {
     for (size_t ci = morsels[m].begin; ci < morsels[m].end; ++ci) {
       // Container-at-a-time: project straight from the cursor's decoded
       // batch; the position vector of the two-pass pipeline never exists.
@@ -1625,6 +1668,10 @@ std::optional<Result<QueryResult>> TryFusedScanProject(
     for (auto& v : sort_parts[m]) sort_vals.push_back(std::move(v));
   }
   SortAndLimit(&out_rows, &sort_vals, desc, stmt.limit, options);
+  if (options.trace != nullptr) {
+    options.trace->AddRows(TraceStage::kFusedProject,
+                           static_cast<int64_t>(out_rows.size()));
+  }
   result.rows = std::move(out_rows);
   return Result<QueryResult>(std::move(result));
 }
@@ -1638,6 +1685,7 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
   BLEND_ASSIGN_OR_RETURN(AnalyzedQuery q, Analyze(stmt));
   Scheduler* sched = options.scheduler;
   const QueryControl* control = options.control;
+  QueryTrace* trace = options.trace;
   BLEND_RETURN_NOT_OK(CheckControl(control, "query start"));
 
   // Galloping compressed-domain intersection for the MC join shape.
@@ -1667,7 +1715,7 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
   int64_t scan_bytes = 0;
   for (const auto& rel : q.rels) {
     BLEND_ASSIGN_OR_RETURN(auto positions,
-                           ScanRel(rel, store, dict, sched, control));
+                           ScanRel(rel, store, dict, sched, control, trace));
     scan_bytes += static_cast<int64_t>(positions.size() * sizeof(RecordPos));
     BLEND_RETURN_NOT_OK(mem.ChargeTo(scan_bytes));
     scans.push_back(std::move(positions));
@@ -1692,8 +1740,9 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
     const uint8_t step_side = static_cast<uint8_t>(j + 1);
     BLEND_ASSIGN_OR_RETURN(StepKeys keys,
                            ExtractStepKeys(q.join_ons[j], binder, step_side));
-    BLEND_ASSIGN_OR_RETURN(rows, HashJoinStep(store, rows, scans[step_side], keys,
-                                              step_side, sched, control));
+    BLEND_ASSIGN_OR_RETURN(rows,
+                           HashJoinStep(store, rows, scans[step_side], keys,
+                                        step_side, sched, control, trace));
     BLEND_RETURN_NOT_OK(mem.ChargeTo(
         scan_bytes + static_cast<int64_t>(rows.size() * sizeof(RowCtx))));
   }
@@ -1706,7 +1755,8 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
     const size_t n = rows.size();
     const size_t num_chunks = (n + kAggChunkRows - 1) / kAggChunkRows;
     std::vector<std::vector<RowCtx>> parts(num_chunks);
-    BLEND_RETURN_NOT_OK(RunTasks(sched, control, "filter", num_chunks, [&](size_t c) {
+    BLEND_RETURN_NOT_OK(RunTasks(sched, control, trace, TraceStage::kFilter,
+                                 num_chunks, [&](size_t c) {
       const size_t b = c * kAggChunkRows;
       const size_t e = std::min(n, b + kAggChunkRows);
       std::vector<RowCtx>& kept = parts[c];
@@ -1804,7 +1854,8 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
     const size_t num_chunks = (n + kAggChunkRows - 1) / kAggChunkRows;
     std::vector<std::vector<std::vector<SqlValue>>> row_parts(num_chunks);
     std::vector<std::vector<std::vector<SqlValue>>> sort_parts(num_chunks);
-    BLEND_RETURN_NOT_OK(RunTasks(sched, control, "projection", num_chunks, [&](size_t c) {
+    BLEND_RETURN_NOT_OK(RunTasks(sched, control, trace, TraceStage::kProjection,
+                                 num_chunks, [&](size_t c) {
       const size_t b = c * kAggChunkRows;
       const size_t e = std::min(n, b + kAggChunkRows);
       row_parts[c].reserve(e - b);
@@ -1929,7 +1980,8 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
     const size_t num_chunks = (n + kAggChunkRows - 1) / kAggChunkRows;
     std::vector<std::vector<LocalGroup>> chunk_groups(num_chunks);
     std::vector<uint8_t> overflowed(num_chunks, 0);
-    BLEND_RETURN_NOT_OK(RunTasks(sched, control, "aggregation", num_chunks, [&](size_t c) {
+    BLEND_RETURN_NOT_OK(RunTasks(sched, control, trace, TraceStage::kAggregation,
+                                 num_chunks, [&](size_t c) {
       const size_t b = c * kAggChunkRows;
       const size_t e = std::min(n, b + kAggChunkRows);
       std::unordered_map<uint64_t, uint32_t> index;
@@ -1974,7 +2026,8 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
     if (!any_overflow) {
       fast_done = true;
       std::vector<std::vector<LocalGroup>> part_groups(kMergePartitions);
-      BLEND_RETURN_NOT_OK(RunTasks(sched, control, "aggregation merge",
+      BLEND_RETURN_NOT_OK(RunTasks(sched, control, trace,
+                                   TraceStage::kAggregationMerge,
                                    kMergePartitions, [&](size_t part) {
         std::unordered_map<uint64_t, uint32_t> part_index;
         std::vector<LocalGroup>& merged = part_groups[part];
@@ -2027,7 +2080,8 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
     const size_t n = rows.size();
     const size_t num_chunks = (n + kAggChunkRows - 1) / kAggChunkRows;
     std::vector<std::vector<GenGroup>> chunk_groups(num_chunks);
-    BLEND_RETURN_NOT_OK(RunTasks(sched, control, "aggregation", num_chunks, [&](size_t c) {
+    BLEND_RETURN_NOT_OK(RunTasks(sched, control, trace, TraceStage::kAggregation,
+                                 num_chunks, [&](size_t c) {
       const size_t b = c * kAggChunkRows;
       const size_t e = std::min(n, b + kAggChunkRows);
       std::unordered_map<uint64_t, std::vector<uint32_t>> index;
@@ -2073,7 +2127,8 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
       // Merge with each worker owning a disjoint hash partition, folding
       // chunks in ascending chunk order (the double-sum rounding order).
       std::vector<std::vector<GenGroup>> part_groups(kMergePartitions);
-      BLEND_RETURN_NOT_OK(RunTasks(sched, control, "aggregation merge",
+      BLEND_RETURN_NOT_OK(RunTasks(sched, control, trace,
+                                   TraceStage::kAggregationMerge,
                                    kMergePartitions, [&](size_t part) {
         std::unordered_map<uint64_t, std::vector<uint32_t>> part_index;
         std::vector<GenGroup>& merged = part_groups[part];
@@ -2119,6 +2174,10 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
     Group g;
     g.states.resize(aggs.size());
     groups.push_back(std::move(g));
+  }
+
+  if (trace != nullptr) {
+    trace->AddRows(TraceStage::kAggregation, static_cast<int64_t>(groups.size()));
   }
 
   std::vector<GroupOut> out_groups;

@@ -5,6 +5,7 @@
 
 #include "common/control.h"
 #include "common/status.h"
+#include "common/telemetry.h"
 #include "sql/ast.h"
 #include "sql/expr_eval.h"
 #include "storage/dictionary.h"
@@ -69,6 +70,13 @@ struct QueryOptions {
   /// descriptive kDeadlineExceeded / kCancelled / kResourceExhausted Status,
   /// never a partial result.
   const QueryControl* control = nullptr;
+  /// Optional per-query trace: operators attribute wall time, task counts,
+  /// and rows to TraceStage cells at morsel-task granularity (TraceSpan /
+  /// QueueWaitProbe record around each task, never inside the task's loop).
+  /// Not owned; nullptr (the default) records nothing and reads no clocks.
+  /// Tracing never changes morsel geometry, merge order, or results — the
+  /// determinism suite pins byte-identity with tracing on vs off.
+  QueryTrace* trace = nullptr;
 };
 
 /// Executes an analyzed-and-parseable statement against a physical store.

@@ -309,6 +309,77 @@ TEST_P(EngineDeterminismTest, QueryControlPreservesByteIdentity) {
   }
 }
 
+TEST_P(EngineDeterminismTest, TraceTelemetryPreservesByteIdentity) {
+  // The telemetry dimension of the determinism matrix: attaching a QueryTrace
+  // must be pure observation — byte-identical results vs the untraced serial
+  // reference across serving codecs, pools, and fused / galloping settings.
+  // Spans record what the executor already decided; morsel geometry, task
+  // order, and merge order are untouched. The traced runs must also actually
+  // record (non-zero engine queries, at least one stage) when telemetry is
+  // compiled in, so this cannot silently degrade into tracing nothing.
+  Rng rng(GetParam() * 71 + 10);
+  const std::vector<std::string> sqls = {
+      "SELECT TableId, ColumnId, COUNT(DISTINCT CellValue) AS score "
+      "FROM AllTables WHERE CellValue IN (" +
+          RandomInList(&rng, 30) +
+          ") GROUP BY TableId, ColumnId ORDER BY score DESC LIMIT 25;",
+      "SELECT a.TableId, a.RowId, a.SuperKey FROM "
+      "(SELECT TableId, RowId, SuperKey FROM AllTables WHERE CellValue IN (" +
+          RandomInList(&rng, 20) +
+          ")) AS a INNER JOIN (SELECT TableId, RowId FROM AllTables "
+          "WHERE CellValue IN (" +
+          RandomInList(&rng, 20) +
+          ")) AS b ON a.TableId = b.TableId AND a.RowId = b.RowId;",
+  };
+  for (const std::string& sql : sqls) {
+    const bool has_join = sql.find("JOIN") != std::string::npos;
+    const std::vector<bool> gallop_dims =
+        has_join ? std::vector<bool>{true, false} : std::vector<bool>{true};
+    for (const EnginePair& pair : EnginePairs()) {
+      QueryOptions serial;
+      serial.scheduler = Scheduler::Serial();
+      auto ref = pair.raw->Query(sql, serial);
+      ASSERT_TRUE(ref.ok()) << ref.status().ToString() << "\n" << sql;
+      const std::string want = ResultToString(ref.value());
+      for (Engine* engine : {pair.raw, pair.compressed}) {
+        for (Scheduler* pool : TestPools()) {
+          for (bool fused : {true, false}) {
+            for (bool gallop : gallop_dims) {
+              QueryOptions opts;
+              opts.scheduler = pool;
+              opts.enable_fused_scan_agg = fused;
+              opts.enable_galloping_join = gallop;
+
+              QueryTrace trace;
+              opts.trace = &trace;
+              auto traced = engine->Query(sql, opts);
+              ASSERT_TRUE(traced.ok()) << traced.status().ToString() << "\n"
+                                       << sql;
+              EXPECT_EQ(want, ResultToString(traced.value()))
+                  << "traced run diverged: compressed="
+                  << (engine == pair.compressed)
+                  << " pool=" << pool->parallelism() << " fused=" << fused
+                  << " gallop=" << gallop << "\n"
+                  << sql;
+
+              opts.trace = nullptr;
+              auto untraced = engine->Query(sql, opts);
+              ASSERT_TRUE(untraced.ok()) << untraced.status().ToString();
+              EXPECT_EQ(want, ResultToString(untraced.value()));
+
+              if constexpr (kTelemetryEnabled) {
+                const QueryTraceSummary s = trace.Summary();
+                EXPECT_EQ(s.CounterValue(TraceCounter::kEngineQueries), 1);
+                EXPECT_FALSE(s.stages.empty());
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
 TEST_P(EngineDeterminismTest, ServeCompressedActuallyServesCompressed) {
   // Guard against the dimension silently testing raw-vs-raw: the
   // serve_compressed builds must hold block-compressed postings and a

@@ -31,6 +31,13 @@
 //                     An error Status reaching ValueOrDie aborts with no
 //                     diagnostic context; production paths must branch on
 //                     ok() (or prove the invariant with BLEND_CHECK) first.
+//   hot-clock         steady_clock / high_resolution_clock ::now() in the
+//                     query/index hot paths (src/core, src/sql, src/index).
+//                     Timing those paths is the telemetry subsystem's job:
+//                     raw clock reads belong in common/telemetry.h,
+//                     common/timer.h (StopWatch), and common/control.h only,
+//                     where they are centrally accounted, compile-out-able,
+//                     and kept off the per-row fast path.
 //
 // Escape hatch: `// blend-lint: allow(rule)` on the offending line or the
 // line directly above suppresses that rule there (comma-separate several
@@ -285,6 +292,7 @@ struct FileContext {
   bool allow_raw_thread = false;     // common/scheduler.{h,cc}
   bool allow_reinterpret = false;    // index/snapshot.cc, index/codec.cc
   bool checked_value_scope = false;  // non-test code: .value() needs a guard
+  bool allow_hot_clock = false;      // telemetry/timer/control: the clock owners
 };
 
 bool Allowed(const LexedFile& lf, int line, const std::string& rule) {
@@ -533,6 +541,25 @@ void RuleUncheckedValue(const FileContext& ctx, const LexedFile& lf,
   }
 }
 
+void RuleHotClock(const FileContext& ctx, const LexedFile& lf,
+                  std::vector<Violation>* out) {
+  if (!ctx.deterministic_scope || ctx.allow_hot_clock) return;
+  const auto& toks = lf.tokens;
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t != "steady_clock" && t != "high_resolution_clock") continue;
+    // Only a now() call is a clock read; the bare type name (time_point
+    // declarations, template arguments) costs nothing at runtime.
+    if (toks[i + 1].text != "::" || toks[i + 2].text != "now") continue;
+    if (i + 3 >= toks.size() || toks[i + 3].text != "(") continue;
+    Report(ctx, lf, toks[i].line, "hot-clock",
+           "'" + t + "::now()' in a query/index hot path; time through the "
+           "telemetry layer (TraceSpan, LatencyTimer, StopWatch) so clock "
+           "reads stay centrally accounted and compile-out-able",
+           out);
+  }
+}
+
 void RuleUncheckedCast(const FileContext& ctx, const LexedFile& lf,
                        std::vector<Violation>* out) {
   if (ctx.allow_reinterpret) return;
@@ -577,6 +604,9 @@ FileContext MakeContext(const fs::path& path, bool fixture_mode) {
       (base == "snapshot.cc" || base == "codec.cc");
   ctx.checked_value_scope = p.find("/tests/") == std::string::npos &&
                             base.find("_test.") == std::string::npos;
+  ctx.allow_hot_clock = base.rfind("telemetry.", 0) == 0 ||
+                        base.rfind("timer.", 0) == 0 ||
+                        base.rfind("control.", 0) == 0;
   return ctx;
 }
 
@@ -591,6 +621,7 @@ void LintFile(const fs::path& path, const std::string& src,
   RuleNondeterminism(ctx, lf, out);
   RuleUnorderedIter(ctx, lf, header_toks, out);
   RuleUncheckedValue(ctx, lf, out);
+  RuleHotClock(ctx, lf, out);
   RuleUncheckedCast(ctx, lf, out);
 }
 
@@ -722,7 +753,7 @@ int RunSelfTest(const std::string& fixtures_dir) {
   // rule that silently stops matching cannot pass the self-test.
   for (const char* rule : {"ignored-status", "raw-thread", "nondeterminism",
                            "unordered-iter", "unchecked-value",
-                           "unchecked-cast"}) {
+                           "unchecked-cast", "hot-clock"}) {
     if (rules_fired.count(rule) == 0) {
       std::fprintf(stderr, "SELF-TEST FAIL: no fixture exercises [%s]\n", rule);
       ++failures;
