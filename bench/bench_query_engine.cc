@@ -19,6 +19,13 @@
 // metrics registry's `blend_sql_query_seconds` histogram — the same series a
 // production scrape would read — not from a bench-private sample sort, so
 // the bench exercises and validates the telemetry path it reports from.
+// The serving section also replays the mix with the full introspection stack
+// attached (per-query trace + event-log record with slow-query capture) and
+// reports the event-log line count, slow captures, and the overhead vs the
+// plain replay; `--smoke` enforces the <= 2% overhead budget. The drained
+// event-log text is validated with ValidateEventLogJson before counting.
+// `--trace-out=FILE` additionally exports one serving query's morsel-task
+// timeline as validated Chrome trace-event JSON (Perfetto loadable).
 
 #include <benchmark/benchmark.h>
 
@@ -28,6 +35,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -35,6 +43,8 @@
 
 #include "bench_util.h"
 #include "common/control.h"
+#include "common/eventlog.h"
+#include "common/hashing.h"
 #include "common/scheduler.h"
 #include "common/str_util.h"
 #include "common/table_printer.h"
@@ -148,6 +158,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool serving_only = false;
   long deadline_ms = 0;  // 0 = unconstrained serving mode
+  std::string trace_out;
   int out_argc = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -156,6 +167,8 @@ int main(int argc, char** argv) {
       serving_only = true;
     } else if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
       deadline_ms = std::strtol(argv[i] + 14, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
     } else {
       argv[out_argc++] = argv[i];
     }
@@ -288,6 +301,7 @@ int main(int argc, char** argv) {
   // client helps drain its own query's morsel tasks. Each client's results
   // are checked byte-identical against the serial reference.
   // -------------------------------------------------------------------------
+  bool thresholds_ok = true;
   {
     sql::Engine engine(g_col_bundle);  // engine pool = Scheduler::Default()
     std::vector<std::string> mix;
@@ -384,6 +398,117 @@ int main(int argc, char** argv) {
     std::printf("\n%s", sp.Render("Concurrent serving (shared engine + pool)").c_str());
     std::printf("Serving results are %s across client counts.\n",
                 serving_identical ? "byte-identical" : "DIVERGENT (BUG)");
+
+    // -----------------------------------------------------------------------
+    // Introspection overhead: replay the mix with the full observability
+    // stack attached — a per-query trace and one event-log record per query,
+    // with slow-query full-trace capture armed — vs the plain replay,
+    // min-of-3 each. The measured cost is the serving hot path (trace +
+    // Record enqueue); JSON rendering and the sink write happen at Drain on
+    // the consumer side, off the critical path, exactly as a production
+    // log-writer thread would run them. The hot-path budget is <= 2%
+    // (`--smoke` enforces it below): observability must be cheap enough to
+    // leave on in production serving.
+    // -----------------------------------------------------------------------
+    EventLog event_log(4096);
+    StringEventSink event_sink;
+    auto replay_plain = [&] {
+      for (const auto& sqltext : mix) (void)engine.Query(sqltext);
+    };
+    double plain_s = bench::MeasureSeconds(replay_plain, 3);
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      plain_s = std::min(plain_s, bench::MeasureSeconds(replay_plain, 3));
+    }
+    // Slow threshold: 2x the plain replay's mean per-query time, so ordinary
+    // queries stay line-only and genuine stragglers carry their full trace.
+    const double slow_threshold =
+        mix.empty() ? 0 : 2.0 * plain_s / static_cast<double>(mix.size());
+    auto replay_introspected = [&] {
+      for (const auto& sqltext : mix) {
+        QueryTrace qtrace;
+        sql::QueryOptions opts;
+        opts.trace = &qtrace;
+        StopWatch qsw;
+        auto res = engine.Query(sqltext, opts);
+        QueryEvent event;
+        event.fingerprint = Fnv1a64(sqltext);
+        event.outcome = res.ok() ? StatusCode::kOk : res.status().code();
+        event.seconds = qsw.ElapsedSeconds();
+        event.summary = qtrace.Summary();
+        if (slow_threshold > 0 && event.seconds > slow_threshold) {
+          event.slow = true;
+          event.trace_text = event.summary.ToString();
+        }
+        event_log.Record(std::move(event));
+      }
+    };
+    // Drain between measurements (not inside them) so the ring never wraps
+    // and the consumer-side rendering stays off the measured hot path.
+    double introspected_s = bench::MeasureSeconds(replay_introspected, 3);
+    (void)event_log.Drain(&event_sink);
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      introspected_s = std::min(introspected_s,
+                                bench::MeasureSeconds(replay_introspected, 3));
+      (void)event_log.Drain(&event_sink);
+    }
+    const double introspection_overhead =
+        plain_s > 0 ? std::max(0.0, introspected_s / plain_s - 1.0) : 0.0;
+    // The emitted lines are a real exposition surface: validate before
+    // counting, same ship-your-own-checker pattern as the Prometheus text.
+    size_t eventlog_lines = 0;
+    {
+      Status valid = ValidateEventLogJson(event_sink.text());
+      if (!valid.ok()) {
+        std::fprintf(stderr, "INVALID event log: %s\n",
+                     valid.ToString().c_str());
+        return 1;
+      }
+      for (char ch : event_sink.text()) {
+        if (ch == '\n') ++eventlog_lines;
+      }
+    }
+    const long long slow_captures =
+        static_cast<long long>(event_log.slow_captures());
+    std::printf(
+        "Event log: %zu lines (validated OK), %lld slow-query captures, "
+        "introspection overhead %.2f%% (trace + event record vs plain).\n",
+        eventlog_lines, slow_captures, introspection_overhead * 100.0);
+    if (smoke && introspection_overhead > 0.02) {
+      std::fprintf(stderr,
+                   "THRESHOLD FAIL: introspection overhead %.2f%% > 2%% "
+                   "(observability must stay cheap enough to leave on)\n",
+                   introspection_overhead * 100.0);
+      thresholds_ok = false;
+    }
+
+    // Optional Chrome trace export of one serving query's morsel timeline.
+    if (!trace_out.empty()) {
+      QueryTrace qtrace;
+      qtrace.EnableSpanCapture();
+      sql::QueryOptions opts;
+      opts.trace = &qtrace;
+      auto res = engine.Query(mix.empty() ? sc_sql : mix.front(), opts);
+      if (!res.ok()) {
+        std::fprintf(stderr, "trace-out query failed: %s\n",
+                     res.status().ToString().c_str());
+        return 1;
+      }
+      const std::string json = RenderChromeTrace(qtrace.TakeSpans());
+      Status valid = ValidateChromeTraceJson(json);
+      if (!valid.ok()) {
+        std::fprintf(stderr, "INVALID Chrome trace JSON: %s\n",
+                     valid.ToString().c_str());
+        return 1;
+      }
+      std::ofstream out(trace_out, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+        return 1;
+      }
+      out << json;
+      std::printf("Chrome trace: %zu bytes, validated OK -> %s\n", json.size(),
+                  trace_out.c_str());
+    }
     if (deadline_ms > 0) {
       std::printf("Deadline %ld ms: %lld queries timed out (descriptive "
                   "Status, no partial results).\n",
@@ -397,10 +522,13 @@ int main(int argc, char** argv) {
         "\"qps_4_clients\":%.2f,\"qps_max_clients\":%.2f,"
         "\"p50_ms\":%.4f,\"p95_ms\":%.4f,\"p99_ms\":%.4f,"
         "\"deadline_ms\":%ld,\"deadline_hits\":%lld,"
+        "\"eventlog_lines\":%zu,\"slow_captures\":%lld,"
+        "\"introspection_overhead\":%.4f,"
         "\"identical_across_clients\":%s}\n",
         smoke ? "true" : "false", hw, mix.size(), qps_1, qps_4, qps_hw, p50_ms,
         p95_ms, p99_ms, deadline_ms,
         static_cast<long long>(deadline_hits.load(std::memory_order_relaxed)),
+        eventlog_lines, slow_captures, introspection_overhead,
         serving_identical ? "true" : "false");
     identical = identical && serving_identical;
   }
@@ -415,7 +543,6 @@ int main(int argc, char** argv) {
   // silent-fallback failure mode where the gallop gate stops matching this
   // shape and the "speedup" collapses to ~1x.
   // -------------------------------------------------------------------------
-  bool thresholds_ok = true;
   if (!serving_only) {
     IndexBuildOptions comp_opts;
     comp_opts.serve_compressed = true;

@@ -11,7 +11,7 @@
 //
 // Usage: blend_snapshot [--tables=N] [--layout=row|column]
 //                       [--codec=raw|compressed] [--serve-compressed]
-//                       [--path=FILE] [--stats]
+//                       [--path=FILE] [--stats] [--trace-out=FILE]
 //
 // --serve-compressed builds and serves the in-memory index on the
 // block-compressed postings (Blend::Options::serve_compressed), so the smoke
@@ -21,13 +21,21 @@
 // --stats replaces the snapshot round-trip with the observability smoke
 // check: it serves a small discovery workload off the built index, samples
 // the metrics registry into the StatsTimeSeries ring between rounds, prints
-// the per-interval serving-stats table, one query's trace anatomy, and the
-// full Prometheus text exposition — which the binary itself validates
-// (well-formed lines, legal names, no duplicates), exiting non-zero if the
-// scrape surface is malformed.
+// the per-interval serving-stats table, one query's trace anatomy with its
+// per-statement EXPLAIN-ANALYZE plans, and the full Prometheus text
+// exposition — which the binary itself validates (well-formed lines, legal
+// names, no duplicates), exiting non-zero if the scrape surface is malformed.
+//
+// --trace-out=FILE runs one discovery plan with per-morsel-task span capture
+// and exports the timeline as Chrome trace-event JSON (load it in Perfetto
+// or chrome://tracing: one track per worker thread, one slice per morsel
+// task). The binary validates the JSON in-process before writing — same
+// ship-your-own-checker pattern as the Prometheus exposition — and exits
+// non-zero if the export is malformed.
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -110,6 +118,15 @@ int RunStatsMode(const core::Blend& blend, const DataLake& lake) {
   }
   std::printf("%s\n", report.value().trace.ToString().c_str());
 
+  // Per-statement introspection: every SQL statement the plan's seekers
+  // issued, with its EXPLAIN-ANALYZE-style annotated operator tree.
+  const std::string plans = report.value().RenderStatementPlans();
+  if (plans.empty()) {
+    std::fprintf(stderr, "no statement plans captured\n");
+    return 1;
+  }
+  std::printf("%s\n", plans.c_str());
+
   // The scrape surface, self-validated: CI fails if the exposition ever
   // degrades (bad name, duplicate series, unparseable value).
   const std::string text = MetricsRegistry::Global().RenderPrometheus();
@@ -124,6 +141,45 @@ int RunStatsMode(const core::Blend& blend, const DataLake& lake) {
   return 0;
 }
 
+/// The Chrome trace export behind `--trace-out=FILE` (see file header).
+int RunTraceExport(const core::Blend& blend, const DataLake& lake,
+                   const std::string& out_path) {
+  Rng rng(5);
+  std::vector<std::string> values = lakegen::SampleColumnQuery(lake, 12, &rng);
+  core::Plan plan;
+  (void)plan.Add("sc", std::make_shared<core::SCSeeker>(values, 10));
+  auto report = blend.RunReport(plan);
+  if (!report.ok()) {
+    std::fprintf(stderr, "trace-export run failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  if (report.value().trace_spans.empty()) {
+    std::fprintf(stderr, "no trace spans captured\n");
+    return 1;
+  }
+  const std::string json = RenderChromeTrace(report.value().trace_spans);
+  // Ship-your-own-checker: validate before writing, so CI catches a
+  // malformed export without a browser in the loop.
+  Status valid = ValidateChromeTraceJson(json);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "INVALID Chrome trace JSON: %s\n",
+                 valid.ToString().c_str());
+    return 1;
+  }
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << json;
+  out.close();
+  std::printf("Chrome trace: %zu spans, %zu bytes, validated OK -> %s\n",
+              report.value().trace_spans.size(), json.size(),
+              out_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -133,11 +189,14 @@ int main(int argc, char** argv) {
   bool serve_compressed = false;
   bool stats_mode = false;
   std::string path = "blend_index.snapshot";
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--tables=", 9) == 0) {
       num_tables = static_cast<size_t>(std::atoi(argv[i] + 9));
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       stats_mode = true;
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
     } else if (std::strcmp(argv[i], "--layout=row") == 0) {
       layout = StoreLayout::kRow;
     } else if (std::strcmp(argv[i], "--layout=column") == 0) {
@@ -158,7 +217,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--tables=N] [--layout=row|column] "
                    "[--codec=raw|compressed] [--serve-compressed] "
-                   "[--path=FILE] [--stats]\n",
+                   "[--path=FILE] [--stats] [--trace-out=FILE]\n",
                    argv[0]);
       return 2;
     }
@@ -176,6 +235,10 @@ int main(int argc, char** argv) {
   options.layout = layout;
   options.snapshot_codec = codec;
   options.serve_compressed = serve_compressed;
+  // Introspection capture for the observability modes; off for the snapshot
+  // round-trip so it exercises the plain serving configuration.
+  options.capture_statement_plans = stats_mode;
+  options.capture_trace_spans = !trace_out.empty();
   StopWatch build_sw;
   core::Blend built(&lake, options);
   const double build_s = build_sw.ElapsedSeconds();
@@ -184,6 +247,7 @@ int main(int argc, char** argv) {
               build_s * 1e3);
 
   if (stats_mode) return RunStatsMode(built, lake);
+  if (!trace_out.empty()) return RunTraceExport(built, lake, trace_out);
 
   // 2. save.
   StopWatch save_sw;

@@ -161,6 +161,11 @@ void GenSqlSeeds(const fs::path& dir) {
       "SELECT TableId FROM AllTables WHERE TableId NOT IN (1,2,3)",
       "SELECT TableId, COUNT(*), SUM(RowId), AVG(RowId * 1.5) "
       "FROM AllTables GROUP BY TableId",
+      "EXPLAIN SELECT TableId, COUNT(DISTINCT CellValue) AS score "
+      "FROM AllTables WHERE CellValue IN ('a','b') "
+      "GROUP BY TableId ORDER BY score DESC LIMIT 5;",
+      "EXPLAIN ANALYZE SELECT TableId, RowId FROM AllTables "
+      "WHERE CellValue IN ('x') LIMIT 3;",
   };
   int n = 0;
   for (const char* q : queries) {

@@ -21,5 +21,12 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   if (parsed.ok()) {
     FUZZ_CHECK(parsed.value() != nullptr, "ok parse returned null statement");
   }
+  // The top-level grammar (EXPLAIN [ANALYZE] prefix) over the same input: an
+  // accepted statement always carries a SELECT body.
+  auto stmt = blend::sql::ParseStatement(text);
+  if (stmt.ok()) {
+    FUZZ_CHECK(stmt.value().select != nullptr,
+               "ok ParseStatement returned null select");
+  }
   return 0;
 }

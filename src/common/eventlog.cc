@@ -1,0 +1,188 @@
+#include "common/eventlog.h"
+
+#include <cstdio>
+
+#include "common/json_check.h"
+
+namespace blend {
+namespace {
+
+/// Shortest round-trippable rendering for durations; same contract as the
+/// Prometheus renderer's value formatting.
+std::string FmtDouble(double v) {
+  char buf[64];
+  // Formatting into a returned string, not a terminal write.
+  // blend-lint: allow(no-raw-stdio)
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// Fixed-width lowercase hex for the statement fingerprint. Rendered as a
+/// JSON string because 64-bit values don't survive a double round-trip.
+std::string FmtFingerprint(uint64_t v) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kHex[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+/// One ring slot: the Vyukov sequence plus the pending event. `seq` encodes
+/// slot state relative to the ticket counters — equal to the producer ticket
+/// when free, ticket+1 when filled — so producers and consumers coordinate
+/// with one acquire load and one release store per side.
+struct EventLog::Slot {
+  std::atomic<size_t> seq{0};
+  QueryEvent event;
+};
+
+EventLog::EventLog(size_t capacity) {
+  size_t cap = 2;
+  while (cap < capacity) cap <<= 1;
+  slots_ = std::make_unique<Slot[]>(cap);
+  for (size_t i = 0; i < cap; ++i) {
+    slots_[i].seq.store(i, std::memory_order_relaxed);
+  }
+  mask_ = cap - 1;
+}
+
+EventLog::~EventLog() = default;
+
+void EventLog::Record(QueryEvent event) {
+  if constexpr (!kTelemetryEnabled) return;
+  if (event.slow) slow_.fetch_add(1, std::memory_order_relaxed);
+  size_t pos = enqueue_.load(std::memory_order_relaxed);
+  for (;;) {
+    Slot& slot = slots_[pos & mask_];
+    const size_t seq = slot.seq.load(std::memory_order_acquire);
+    const intptr_t dif =
+        static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+    if (dif == 0) {
+      if (enqueue_.compare_exchange_weak(pos, pos + 1,
+                                         std::memory_order_relaxed)) {
+        slot.event = std::move(event);
+        slot.seq.store(pos + 1, std::memory_order_release);
+        recorded_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      // CAS refreshed `pos`; retry with the new ticket.
+    } else if (dif < 0) {
+      // The slot still holds an undrained event a full lap behind: ring full.
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    } else {
+      pos = enqueue_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+size_t EventLog::Drain(EventSink* sink) {
+  size_t drained = 0;
+  size_t pos = dequeue_.load(std::memory_order_relaxed);
+  for (;;) {
+    Slot& slot = slots_[pos & mask_];
+    const size_t seq = slot.seq.load(std::memory_order_acquire);
+    const intptr_t dif =
+        static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+    if (dif == 0) {
+      if (dequeue_.compare_exchange_weak(pos, pos + 1,
+                                         std::memory_order_relaxed)) {
+        if (sink != nullptr) sink->Write(RenderJson(slot.event));
+        slot.event = QueryEvent();  // release the slow-trace string, if any
+        slot.seq.store(pos + mask_ + 1, std::memory_order_release);
+        ++drained;
+        ++pos;
+      }
+    } else if (dif < 0) {
+      return drained;  // ring empty (or a producer mid-publish)
+    } else {
+      pos = dequeue_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+std::string EventLog::RenderJson(const QueryEvent& event) {
+  std::string out = "{\"fingerprint\":\"";
+  out += FmtFingerprint(event.fingerprint);
+  out += "\",\"outcome\":\"";
+  out += StatusCodeName(event.outcome);
+  out += "\",\"seconds\":";
+  out += FmtDouble(event.seconds);
+  out += ",\"peak_memory\":";
+  out += std::to_string(event.peak_memory);
+  out += ",\"control_tripped\":";
+  out += event.control_tripped ? "true" : "false";
+  out += ",\"slow\":";
+  out += event.slow ? "true" : "false";
+  out += ",\"stages\":{";
+  bool first = true;
+  for (const StageSummary& s : event.summary.stages) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(TraceStageName(s.stage), &out);
+    out += ":{\"seconds\":";
+    out += FmtDouble(s.seconds);
+    out += ",\"tasks\":";
+    out += std::to_string(s.tasks);
+    out += ",\"rows\":";
+    out += std::to_string(s.rows);
+    out += "}";
+  }
+  out += "},\"counters\":{";
+  first = true;
+  for (size_t i = 0; i < kNumTraceCounters; ++i) {
+    if (event.summary.counters[i] == 0) continue;
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(TraceCounterName(static_cast<TraceCounter>(i)), &out);
+    out += ":";
+    out += std::to_string(event.summary.counters[i]);
+  }
+  out += "}";
+  if (!event.trace_text.empty()) {
+    out += ",\"trace\":";
+    AppendJsonString(event.trace_text, &out);
+  }
+  out += "}";
+  return out;
+}
+
+Status ValidateEventLogJson(const std::string& text) {
+  static constexpr const char* kRequired[] = {
+      "\"fingerprint\":", "\"outcome\":", "\"seconds\":", "\"peak_memory\":"};
+  size_t line_no = 0;
+  size_t begin = 0;
+  while (begin <= text.size()) {
+    size_t end = text.find('\n', begin);
+    if (end == std::string::npos) end = text.size();
+    const std::string_view line(text.data() + begin, end - begin);
+    begin = end + 1;
+    if (line.empty()) continue;
+    ++line_no;
+    const Status st = ValidateJson(line);
+    if (!st.ok()) {
+      return Status::InvalidArgument("event log line " +
+                                     std::to_string(line_no) + ": " +
+                                     st.message());
+    }
+    if (line.front() != '{') {
+      return Status::InvalidArgument("event log line " +
+                                     std::to_string(line_no) +
+                                     ": not a JSON object");
+    }
+    for (const char* key : kRequired) {
+      if (line.find(key) == std::string_view::npos) {
+        return Status::InvalidArgument("event log line " +
+                                       std::to_string(line_no) +
+                                       ": missing field " + key);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace blend

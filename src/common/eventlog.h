@@ -1,0 +1,112 @@
+#pragma once
+
+// Structured query event log: one JSON-lines record per finished query
+// (fingerprint, outcome, per-stage timings, control trips, peak memory),
+// buffered in a lock-free bounded MPMC ring so serving threads never block
+// on the sink. The driver (core::Blend) records events; whoever owns the
+// log drains it into a pluggable EventSink at its leisure. Rendering to
+// JSON happens at drain time on the consumer, so the serving hot path pays
+// only a struct enqueue. A slow-query threshold additionally captures the
+// full trace anatomy for offending queries. Recording compiles out with
+// BLEND_TELEMETRY=OFF, like the rest of the telemetry layer, and never
+// alters query execution.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "common/telemetry.h"
+
+namespace blend {
+
+/// One query's outcome record. POD-ish and copyable: the caller fills it
+/// after the query finishes, so nothing here is read on the hot path.
+struct QueryEvent {
+  uint64_t fingerprint = 0;      ///< stable hash of the statement or plan
+  StatusCode outcome = StatusCode::kOk;
+  double seconds = 0;            ///< end-to-end wall time
+  int64_t peak_memory = 0;       ///< high-water mark of charged bytes
+  bool control_tripped = false;  ///< cancelled / deadline / memory budget
+  bool slow = false;             ///< exceeded the slow-query threshold
+  QueryTraceSummary summary;     ///< per-stage seconds/tasks/rows
+  std::string trace_text;        ///< full trace anatomy (slow queries only)
+};
+
+/// Where drained event lines go. Write receives one complete JSON object
+/// per call, without the trailing newline.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void Write(const std::string& line) = 0;
+};
+
+/// Sink that accumulates lines into a newline-delimited string — the
+/// in-memory form tests and the bench validate with ValidateEventLogJson.
+class StringEventSink : public EventSink {
+ public:
+  void Write(const std::string& line) override {
+    text_ += line;
+    text_ += '\n';
+  }
+  const std::string& text() const { return text_; }
+  void Clear() { text_.clear(); }
+
+ private:
+  std::string text_;
+};
+
+/// Bounded multi-producer/multi-consumer ring of pending events
+/// (Vyukov-style sequence slots). Record never blocks and moves the event
+/// into its slot without rendering — JSON rendering is deferred to Drain,
+/// keeping the producer (serving) side to a struct enqueue. A full ring
+/// drops the event and counts it, because observability must not create
+/// backpressure on queries.
+class EventLog {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit EventLog(size_t capacity = 1024);
+  ~EventLog();
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Enqueues `event` (by move). Thread-safe; drops (and counts) when the
+  /// ring is full. No-op when telemetry is compiled out.
+  void Record(QueryEvent event);
+
+  /// Dequeues every buffered event, renders each to a JSON line and writes
+  /// it to `sink` (null sink discards them). Thread-safe; returns the
+  /// number of events drained by this call.
+  size_t Drain(EventSink* sink);
+
+  int64_t recorded() const { return recorded_.load(std::memory_order_relaxed); }
+  int64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  /// Events recorded with `slow` set — i.e. full-trace captures.
+  int64_t slow_captures() const {
+    return slow_.load(std::memory_order_relaxed);
+  }
+
+  /// The JSON object for one event (no trailing newline). Deterministic:
+  /// fixed key order, stages in enum order, only non-zero counters.
+  static std::string RenderJson(const QueryEvent& event);
+
+ private:
+  struct Slot;
+
+  std::unique_ptr<Slot[]> slots_;
+  size_t mask_ = 0;
+  std::atomic<size_t> enqueue_{0};
+  std::atomic<size_t> dequeue_{0};
+  std::atomic<int64_t> recorded_{0};
+  std::atomic<int64_t> dropped_{0};
+  std::atomic<int64_t> slow_{0};
+};
+
+/// OK iff `text` is a well-formed event log: every non-empty line is one
+/// valid JSON object carrying the required fields (fingerprint, outcome,
+/// seconds, peak_memory). Mirrors ValidatePrometheusText /
+/// ValidateChromeTraceJson: the exposition surface ships its own checker.
+Status ValidateEventLogJson(const std::string& text);
+
+}  // namespace blend

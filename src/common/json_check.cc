@@ -1,0 +1,234 @@
+#include "common/json_check.h"
+
+#include <cctype>
+#include <string>
+
+namespace blend {
+namespace {
+
+/// Recursive-descent scanner over `text`. `pos` always points at the next
+/// unconsumed byte; every method returns false after recording the first
+/// defect in `error` / `error_pos`.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view text) : text_(text) {}
+
+  bool ScanValue(int depth) {
+    if (depth > kMaxDepth) return Fail("nesting deeper than 64 levels");
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("expected a value");
+    switch (text_[pos_]) {
+      case '{': return ScanObject(depth);
+      case '[': return ScanArray(depth);
+      case '"': return ScanString();
+      case 't': return ScanLiteral("true");
+      case 'f': return ScanLiteral("false");
+      case 'n': return ScanLiteral("null");
+      default: return ScanNumber();
+    }
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  size_t pos() const { return pos_; }
+  const std::string& error() const { return error_; }
+  size_t error_pos() const { return error_pos_; }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool Fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what;
+      error_pos_ = pos_;
+    }
+    return false;
+  }
+
+  bool ScanLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      return Fail("expected '" + std::string(lit) + "'");
+    }
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool ScanString() {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return Fail("truncated escape");
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+              return Fail("bad \\u escape");
+            }
+          }
+          pos_ += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return Fail("bad escape character");
+        }
+      }
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ScanNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    size_t digits = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+      ++digits;
+    }
+    if (digits == 0) {
+      pos_ = start;
+      return Fail("expected a value");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      size_t frac = 0;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        ++frac;
+      }
+      if (frac == 0) return Fail("digits required after decimal point");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      size_t exp = 0;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        ++exp;
+      }
+      if (exp == 0) return Fail("digits required in exponent");
+    }
+    return true;
+  }
+
+  bool ScanObject(int depth) {
+    ++pos_;  // '{'
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected a string key");
+      }
+      if (!ScanString()) return false;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Fail("expected ':' after key");
+      }
+      ++pos_;
+      if (!ScanValue(depth + 1)) return false;
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool ScanArray(int depth) {
+    ++pos_;  // '['
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      if (!ScanValue(depth + 1)) return false;
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string error_;
+  size_t error_pos_ = 0;
+};
+
+}  // namespace
+
+Status ValidateJson(std::string_view text) {
+  Scanner s(text);
+  if (!s.ScanValue(0)) {
+    return Status::InvalidArgument("JSON defect at byte " +
+                                   std::to_string(s.error_pos()) + ": " +
+                                   s.error());
+  }
+  s.SkipSpace();
+  if (s.pos() != text.size()) {
+    return Status::InvalidArgument("trailing bytes after JSON value at byte " +
+                                   std::to_string(s.pos()));
+  }
+  return Status::OK();
+}
+
+void AppendJsonString(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static constexpr char kHex[] = "0123456789abcdef";
+          *out += "\\u00";
+          out->push_back(kHex[(static_cast<unsigned char>(c) >> 4) & 0xF]);
+          out->push_back(kHex[static_cast<unsigned char>(c) & 0xF]);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace blend

@@ -1,0 +1,27 @@
+#pragma once
+
+// Structural JSON validation for the introspection export surfaces (the
+// event log's JSON-lines records and the Chrome trace-event documents).
+// This is a well-formedness scanner, not a DOM parser: it verifies syntax
+// (strings, numbers, nesting, commas) in one pass with no allocation
+// proportional to input size, and reports the byte offset of the first
+// defect in a descriptive Status — the same self-validating-exposition
+// pattern as ValidatePrometheusText.
+
+#include <string_view>
+
+#include "common/status.h"
+
+namespace blend {
+
+/// OK iff `text` is exactly one well-formed JSON value (object, array,
+/// string, number, true/false/null) with nothing but whitespace around it.
+Status ValidateJson(std::string_view text);
+
+/// Appends `s` to *out as a JSON string literal, escaping quotes,
+/// backslashes, and control characters. The one JSON-string producer shared
+/// by the event log and the trace exporter, so the validators above always
+/// accept what the renderers emit.
+void AppendJsonString(std::string_view s, std::string* out);
+
+}  // namespace blend

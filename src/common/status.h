@@ -109,6 +109,7 @@ class [[nodiscard]] Result {
   T& ValueOrDie() {
     if (!ok()) {
       // Deliberately crash with the message visible.
+      // blend-lint: allow(no-raw-stdio)
       fprintf(stderr, "Result error: %s\n", status().ToString().c_str());
       abort();
     }
@@ -126,6 +127,8 @@ namespace internal {
 [[noreturn]] inline void CheckFailed(const char* file, int line,
                                      const char* condition,
                                      const std::string& detail) {
+  // Abort path: the process is about to die, stderr is the only channel.
+  // blend-lint: allow(no-raw-stdio)
   std::fprintf(stderr, "BLEND_CHECK failed at %s:%d: %s%s%s\n", file, line,
                condition, detail.empty() ? "" : " — ", detail.c_str());
   std::abort();

@@ -14,12 +14,16 @@ void TablePrinter::AddRow(std::vector<std::string> row) {
 
 std::string TablePrinter::Fmt(double v, int precision) {
   char buf[64];
+  // Formatting into a returned string, not a terminal write.
+  // blend-lint: allow(no-raw-stdio)
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
   return buf;
 }
 
 std::string TablePrinter::Pct(double ratio, int precision) {
   char buf[64];
+  // Formatting into a returned string, not a terminal write.
+  // blend-lint: allow(no-raw-stdio)
   std::snprintf(buf, sizeof(buf), "%.*f%%", precision, ratio * 100.0);
   return buf;
 }

@@ -7,7 +7,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <set>
 
+#include "common/json_check.h"
 #include "common/table_printer.h"
 
 namespace blend {
@@ -21,6 +23,12 @@ size_t ShardIndex() {
   thread_local const size_t shard =
       next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
   return shard;
+}
+
+uint32_t TrackId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
 }
 
 HotPathCounters& ThreadHotPathCounters() {
@@ -47,6 +55,8 @@ std::array<double, kHistogramFiniteBounds> MakeBounds() {
 /// Shortest round-trippable rendering for bucket bounds and sample values.
 std::string FmtDouble(double v) {
   char buf[64];
+  // Formatting into a returned string, not a terminal write.
+  // blend-lint: allow(no-raw-stdio)
   std::snprintf(buf, sizeof(buf), "%.9g", v);
   return buf;
 }
@@ -410,6 +420,96 @@ std::string QueryTraceSummary::ToString() const {
   return out;
 }
 
+QueryTraceSummary QueryTraceSummary::Delta(
+    const QueryTraceSummary& earlier) const {
+  QueryTraceSummary d;
+  for (const StageSummary& st : stages) {
+    StageSummary out = st;
+    for (const StageSummary& was : earlier.stages) {
+      if (was.stage == st.stage) {
+        out.seconds -= was.seconds;
+        out.tasks -= was.tasks;
+        out.rows -= was.rows;
+        break;
+      }
+    }
+    if (out.seconds != 0 || out.tasks != 0 || out.rows != 0) {
+      d.stages.push_back(out);
+    }
+  }
+  for (size_t i = 0; i < counters.size(); ++i) {
+    d.counters[i] = counters[i] - earlier.counters[i];
+  }
+  return d;
+}
+
+/// Mutex-guarded bounded buffer behind the opt-in span capture. The mutex is
+/// fine here: capture is off on the serving hot path and only enabled for
+/// explicit trace-export runs.
+struct QueryTrace::SpanCapture {
+  std::mutex mu;
+  std::chrono::steady_clock::time_point epoch;
+  size_t max_spans = 0;
+  std::vector<CapturedSpan> spans;
+  int64_t dropped = 0;
+};
+
+QueryTrace::QueryTrace() = default;
+QueryTrace::~QueryTrace() = default;
+
+void QueryTrace::EnableSpanCapture(size_t max_spans) {
+  if constexpr (!kTelemetryEnabled) return;
+  if (capture_ != nullptr) return;
+  capture_ = std::make_unique<SpanCapture>();
+  capture_->epoch = std::chrono::steady_clock::now();
+  capture_->max_spans = max_spans == 0 ? 1 : max_spans;
+}
+
+void QueryTrace::CaptureSpan(TraceStage stage,
+                             std::chrono::steady_clock::time_point start,
+                             std::chrono::steady_clock::time_point end) {
+  if (capture_ == nullptr) return;
+  CapturedSpan span;
+  span.stage = stage;
+  span.start_nanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         start - capture_->epoch)
+                         .count();
+  span.dur_nanos =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start).count();
+  span.track = telemetry_internal::TrackId();
+  std::lock_guard<std::mutex> lock(capture_->mu);
+  if (capture_->spans.size() >= capture_->max_spans) {
+    ++capture_->dropped;
+    return;
+  }
+  capture_->spans.push_back(span);
+}
+
+std::vector<CapturedSpan> QueryTrace::TakeSpans() {
+  if (capture_ == nullptr) return {};
+  std::vector<CapturedSpan> spans;
+  {
+    std::lock_guard<std::mutex> lock(capture_->mu);
+    spans = std::move(capture_->spans);
+    capture_->spans.clear();
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const CapturedSpan& a, const CapturedSpan& b) {
+              if (a.start_nanos != b.start_nanos) {
+                return a.start_nanos < b.start_nanos;
+              }
+              if (a.track != b.track) return a.track < b.track;
+              return static_cast<int>(a.stage) < static_cast<int>(b.stage);
+            });
+  return spans;
+}
+
+int64_t QueryTrace::DroppedSpans() const {
+  if (capture_ == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(capture_->mu);
+  return capture_->dropped;
+}
+
 QueryTraceSummary QueryTrace::Summary() const {
   QueryTraceSummary summary;
   for (size_t i = 0; i < kNumTraceStages; ++i) {
@@ -429,6 +529,149 @@ QueryTraceSummary QueryTrace::Summary() const {
     summary.counters[i] = counters_[i].load(std::memory_order_relaxed);
   }
   return summary;
+}
+
+std::string RenderChromeTrace(const std::vector<CapturedSpan>& spans) {
+  // Stable track order: one metadata event per distinct worker track.
+  std::set<uint32_t> tracks;
+  for (const CapturedSpan& s : spans) tracks.insert(s.track);
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto append_event = [&](const std::string& body) {
+    if (!first) out += ",";
+    first = false;
+    out += "{" + body + "}";
+  };
+  append_event(
+      "\"ph\":\"M\",\"name\":\"process_name\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"blend\"}");
+  for (const uint32_t t : tracks) {
+    append_event("\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":" +
+                 std::to_string(t) + ",\"args\":{\"name\":\"worker-" +
+                 std::to_string(t) + "\"}");
+  }
+  for (const CapturedSpan& s : spans) {
+    std::string name;
+    AppendJsonString(TraceStageName(s.stage), &name);
+    append_event("\"ph\":\"X\",\"name\":" + name +
+                 ",\"cat\":\"blend\",\"pid\":1,\"tid\":" +
+                 std::to_string(s.track) + ",\"ts\":" +
+                 FmtDouble(static_cast<double>(s.start_nanos) * 1e-3) +
+                 ",\"dur\":" +
+                 FmtDouble(static_cast<double>(s.dur_nanos) * 1e-3));
+  }
+  out += "]}";
+  return out;
+}
+
+namespace {
+
+/// Extracts the top-level objects of the JSON array starting at `begin`
+/// (the byte after '['). Assumes the document already passed ValidateJson,
+/// so only quote/brace tracking is needed. Returns the object substrings.
+std::vector<std::string> SplitArrayObjects(const std::string& text,
+                                           size_t begin) {
+  std::vector<std::string> objects;
+  int depth = 0;
+  bool in_string = false;
+  size_t obj_start = 0;
+  for (size_t i = begin; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      if (depth == 0) obj_start = i;
+      ++depth;
+    } else if (c == '}') {
+      --depth;
+      if (depth == 0) objects.push_back(text.substr(obj_start, i - obj_start + 1));
+    } else if (c == ']' && depth == 0) {
+      break;
+    }
+  }
+  return objects;
+}
+
+/// The integer value of `"key":<int>` inside one flat event object, or -1.
+int64_t EventIntField(const std::string& obj, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = obj.find(needle);
+  if (at == std::string::npos) return -1;
+  return std::atoll(obj.c_str() + at + needle.size());
+}
+
+/// The one-character `"ph"` phase of an event object, or '\0'.
+char EventPhase(const std::string& obj) {
+  const size_t at = obj.find("\"ph\":\"");
+  if (at == std::string::npos || at + 6 >= obj.size()) return '\0';
+  return obj[at + 6];
+}
+
+}  // namespace
+
+Status ValidateChromeTraceJson(const std::string& text) {
+  BLEND_RETURN_NOT_OK(ValidateJson(text));
+  const size_t events_key = text.find("\"traceEvents\"");
+  if (events_key == std::string::npos) {
+    return Status::InvalidArgument("trace document has no traceEvents array");
+  }
+  const size_t open = text.find('[', events_key);
+  if (open == std::string::npos) {
+    return Status::InvalidArgument("traceEvents is not an array");
+  }
+  const std::vector<std::string> events = SplitArrayObjects(text, open + 1);
+  if (events.empty()) {
+    return Status::InvalidArgument("traceEvents array has no events");
+  }
+  std::set<int64_t> named_tracks;
+  std::set<int64_t> span_tracks;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const std::string& ev = events[i];
+    const std::string where = "event " + std::to_string(i);
+    if (ev.find("\"name\":") == std::string::npos) {
+      return Status::InvalidArgument(where + ": missing name");
+    }
+    const char ph = EventPhase(ev);
+    if (ph == '\0') {
+      return Status::InvalidArgument(where + ": missing ph");
+    }
+    if (ph != 'X' && ph != 'M') {
+      return Status::InvalidArgument(where + ": unexpected phase '" +
+                                     std::string(1, ph) + "'");
+    }
+    if (EventIntField(ev, "pid") < 0) {
+      return Status::InvalidArgument(where + ": missing pid");
+    }
+    const int64_t tid = EventIntField(ev, "tid");
+    if (tid < 0) {
+      return Status::InvalidArgument(where + ": missing tid");
+    }
+    if (ph == 'X') {
+      if (ev.find("\"ts\":") == std::string::npos ||
+          ev.find("\"dur\":") == std::string::npos) {
+        return Status::InvalidArgument(where + ": X event missing ts/dur");
+      }
+      span_tracks.insert(tid);
+    } else if (ev.find("\"name\":\"thread_name\"") != std::string::npos) {
+      named_tracks.insert(tid);
+    }
+  }
+  for (const int64_t tid : span_tracks) {
+    if (named_tracks.count(tid) == 0) {
+      return Status::InvalidArgument("track " + std::to_string(tid) +
+                                     " has spans but no thread_name metadata");
+    }
+  }
+  return Status::OK();
 }
 
 void NotePostingBlockDecoded() {

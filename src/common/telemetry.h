@@ -55,6 +55,12 @@ inline constexpr size_t kMetricShards = 16;
 /// Stable shard index of the calling thread.
 size_t ShardIndex();
 
+/// Stable, process-unique serial id of the calling thread, assigned on first
+/// use. Unlike ShardIndex() (which wraps modulo kMetricShards and so maps
+/// many threads onto one shard) these never collide, which is what the trace
+/// export needs: one timeline track per worker thread.
+uint32_t TrackId();
+
 /// A cache-line-isolated atomic cell; one per shard per metric.
 struct alignas(64) MetricCell {
   std::atomic<int64_t> v{0};
@@ -347,8 +353,22 @@ struct QueryTraceSummary {
   int64_t CounterValue(TraceCounter c) const {
     return counters[static_cast<size_t>(c)];
   }
+  /// This summary minus an earlier one of the same trace: the stage totals
+  /// and counters accumulated in between (all-zero stages dropped). Lets a
+  /// multi-statement run attribute one shared trace to its statements.
+  QueryTraceSummary Delta(const QueryTraceSummary& earlier) const;
   /// Human "trace anatomy" table: one row per touched stage, then counters.
   std::string ToString() const;
+};
+
+/// One captured morsel-task span: stage, start offset and duration relative
+/// to the trace's capture epoch, and the recording thread's track id. Only
+/// recorded when span capture is explicitly enabled on the trace.
+struct CapturedSpan {
+  TraceStage stage = TraceStage::kNumStages;
+  int64_t start_nanos = 0;
+  int64_t dur_nanos = 0;
+  uint32_t track = 0;
 };
 
 /// A per-query trace: per-stage {nanos, tasks, rows} cells plus event
@@ -359,7 +379,8 @@ struct QueryTraceSummary {
 /// QueryOptions::trace; a null trace pointer disables every recording site.
 class QueryTrace {
  public:
-  QueryTrace() = default;
+  QueryTrace();
+  ~QueryTrace();
   QueryTrace(const QueryTrace&) = delete;
   QueryTrace& operator=(const QueryTrace&) = delete;
 
@@ -381,14 +402,33 @@ class QueryTrace {
 
   QueryTraceSummary Summary() const;
 
+  /// Opt-in per-span capture for timeline export. Off (the default), span
+  /// recording stays the pair of relaxed adds above; on, each finished
+  /// TraceSpan also appends a CapturedSpan (mutex-guarded, bounded by
+  /// `max_spans`; overflow increments a drop counter instead of growing).
+  /// Capture never changes morsel geometry or results — it records what the
+  /// executor already decided, like the rest of the trace.
+  void EnableSpanCapture(size_t max_spans = 1 << 16);
+  bool capturing_spans() const { return capture_ != nullptr; }
+  void CaptureSpan(TraceStage stage,
+                   std::chrono::steady_clock::time_point start,
+                   std::chrono::steady_clock::time_point end);
+  /// Captured spans in deterministic (start, track, stage) order; clears the
+  /// buffer. Empty when capture was never enabled.
+  std::vector<CapturedSpan> TakeSpans();
+  int64_t DroppedSpans() const;
+
  private:
   struct StageCell {
     std::atomic<int64_t> nanos{0};
     std::atomic<int64_t> tasks{0};
     std::atomic<int64_t> rows{0};
   };
+  struct SpanCapture;  // defined in telemetry.cc
+
   std::array<StageCell, kNumTraceStages> stages_{};
   std::array<std::atomic<int64_t>, kNumTraceCounters> counters_{};
+  std::unique_ptr<SpanCapture> capture_;
 };
 
 /// RAII span: attributes its lifetime (and the thread's hot-path counter
@@ -417,6 +457,7 @@ class TraceSpan {
                        hot.posting_blocks_decoded - hot_.posting_blocks_decoded);
     trace_->AddCounter(TraceCounter::kGallopSeeks,
                        hot.gallop_seeks - hot_.gallop_seeks);
+    if (trace_->capturing_spans()) trace_->CaptureSpan(stage_, start_, end);
   }
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
@@ -490,5 +531,18 @@ class LatencyTimer {
 /// so the codec header stays free of registry plumbing.
 void NotePostingBlockDecoded();
 void NoteGallopSeek();
+
+/// Renders captured spans as a Chrome trace-event JSON document (the format
+/// Perfetto and chrome://tracing load): one "X" complete event per span with
+/// microsecond ts/dur, one timeline track (tid) per recording worker thread,
+/// plus "M" thread_name metadata events. Deterministic for a fixed span list.
+std::string RenderChromeTrace(const std::vector<CapturedSpan>& spans);
+
+/// Structural validation of a Chrome trace-event JSON document, mirroring
+/// ValidatePrometheusText: the document must be well-formed JSON with a
+/// traceEvents array whose every event carries name/ph/pid/tid, "X" events
+/// carry ts and dur, and the event count matches the renderer's contract.
+/// Used by the --trace-out smoke checks so CI pins the export surface.
+Status ValidateChromeTraceJson(const std::string& text);
 
 }  // namespace blend

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/eventlog.h"
 #include "core/executor.h"
 
 namespace blend::core {
@@ -65,6 +66,28 @@ class Blend {
     /// results). Build path only — snapshots record their own codec, so
     /// OpenSnapshot ignores this.
     bool serve_compressed = false;
+    /// Structured event log: when set, every RunReport records one JSON-lines
+    /// QueryEvent (plan fingerprint, outcome Status code, per-stage nanos,
+    /// control trips, peak memory charge) into this log. Not owned; the log
+    /// must outlive the Blend. Recording is wait-free and never alters morsel
+    /// geometry or results; nullptr (the default) records nothing.
+    EventLog* event_log = nullptr;
+    /// Slow-query capture: a run whose wall time exceeds this many seconds is
+    /// logged with `slow: true` and carries its full rendered trace in the
+    /// event record. 0 (the default) disables the threshold; requires
+    /// `event_log`.
+    double slow_query_log_seconds = 0;
+    /// Capture an EXPLAIN-ANALYZE-style annotated plan for every SQL
+    /// statement a run's seekers issue (ExecutionReport::statement_plans).
+    /// Describe-mode planning reruns the dispatch gates without executing,
+    /// so results stay byte-identical; off by default because it adds a
+    /// describe pass per statement.
+    bool capture_statement_plans = false;
+    /// Capture per-morsel-task trace spans (ExecutionReport::trace_spans) for
+    /// Chrome/Perfetto trace export. Span capture appends to a bounded
+    /// side-buffer under its own lock and never changes morsel geometry or
+    /// results; off by default.
+    bool capture_trace_spans = false;
   };
 
   /// Builds the index for the lake (the offline phase, paper Fig. 2e). The

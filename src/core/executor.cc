@@ -60,6 +60,19 @@ std::string BuildRewrite(
 
 }  // namespace
 
+std::string ExecutionReport::RenderStatementPlans() const {
+  std::string out;
+  for (size_t i = 0; i < statement_plans.size(); ++i) {
+    const sql::CapturedStatementPlan& entry = statement_plans[i];
+    out += "-- statement " + std::to_string(i + 1) + " of " +
+           std::to_string(statement_plans.size()) + " --\n";
+    out += entry.sql;
+    if (!entry.sql.empty() && entry.sql.back() != '\n') out += '\n';
+    out += entry.plan.Render();
+  }
+  return out;
+}
+
 Result<ExecutionReport> PlanExecutor::Run(const Plan& plan, bool optimize) const {
   ExecutionReport report;
   QueryTrace* trace = ctx_->query_options.trace;

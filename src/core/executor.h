@@ -8,6 +8,7 @@
 #include "core/context.h"
 #include "core/optimizer.h"
 #include "core/plan.h"
+#include "sql/explain.h"
 
 namespace blend::core {
 
@@ -51,6 +52,21 @@ struct ExecutionReport {
   QueryTraceSummary trace;
   /// The steps that were executed, in order (for inspection and tests).
   ExecutionPlan executed_plan;
+  /// Annotated plans of every SQL statement the run's seekers issued, in
+  /// execution order (Blend::Options::capture_statement_plans). Each entry
+  /// pairs the statement text with its EXPLAIN-ANALYZE-style operator tree;
+  /// a four-seeker discovery plan shows up as one report with all of its
+  /// statements' plans. Empty when capture is off.
+  std::vector<sql::CapturedStatementPlan> statement_plans;
+  /// Per-morsel-task spans of the run's trace, sorted by start time
+  /// (Blend::Options::capture_trace_spans). Feed to RenderChromeTrace for a
+  /// Perfetto-loadable timeline. Empty when capture is off.
+  std::vector<CapturedSpan> trace_spans;
+
+  /// Renders every captured statement plan as one report: each statement's
+  /// SQL followed by its annotated operator table. Empty string when no
+  /// plans were captured.
+  std::string RenderStatementPlans() const;
 };
 
 /// Runs optimized execution plans: executes seekers against the engine with

@@ -10,6 +10,8 @@ namespace blend::lakegen {
 void MustAppendRow(Table& t, const std::vector<std::string>& values) {
   Status s = t.AppendRow(values);
   if (!s.ok()) {
+    // Abort path of the generator: stderr then die.
+    // blend-lint: allow(no-raw-stdio)
     std::fprintf(stderr, "lakegen: AppendRow failed: %s\n", s.message().c_str());
     std::abort();
   }

@@ -79,6 +79,21 @@ struct OrderItem {
   bool desc = false;
 };
 
+/// EXPLAIN prefix mode of a parsed statement.
+enum class ExplainMode {
+  kNone,     // plain statement: execute as usual
+  kPlan,     // EXPLAIN: render the plan, do not execute
+  kAnalyze,  // EXPLAIN ANALYZE: execute and annotate the plan with actuals
+};
+
+/// A full parsed statement: an optional EXPLAIN [ANALYZE] prefix plus the
+/// SELECT it introspects. ParseStatement returns this; the legacy Parse
+/// entry point keeps returning the bare SelectStmt.
+struct Statement {
+  ExplainMode explain = ExplainMode::kNone;
+  std::unique_ptr<SelectStmt> select;
+};
+
 /// A parsed SELECT. The dialect covers exactly what BLEND's seekers emit:
 /// single-table scans, chains of INNER JOINs of subqueries (one per MC query
 /// column), WHERE conjunctions with IN-lists, GROUP BY, aggregate select

@@ -29,8 +29,12 @@ class Engine {
       : bundle_(bundle),
         scheduler_(scheduler != nullptr ? scheduler : Scheduler::Default()) {}
 
-  /// Parses and executes one SELECT statement with default QueryOptions
-  /// (morsel-parallel on the engine pool).
+  /// Parses and executes one statement with default QueryOptions
+  /// (morsel-parallel on the engine pool). A statement is a SELECT,
+  /// optionally prefixed with EXPLAIN (return the planned operator tree
+  /// without executing) or EXPLAIN ANALYZE (execute, then annotate the tree
+  /// with per-node actuals; the result rows are byte-identical to the bare
+  /// statement's).
   Result<QueryResult> Query(const std::string& sql) const;
 
   /// Parses and executes one SELECT statement with explicit execution knobs.

@@ -702,7 +702,8 @@ std::optional<Result<QueryResult>> TryGallopingJoin(const AnalyzedQuery& q,
                                                     const SelectStmt& stmt,
                                                     const Store& store,
                                                     const Dictionary& dict,
-                                                    const QueryOptions& options) {
+                                                    const QueryOptions& options,
+                                                    PlanDescription* describe) {
   Scheduler* sched = options.scheduler;
   const QueryControl* control = options.control;
   QueryTrace* trace = options.trace;
@@ -776,7 +777,47 @@ std::optional<Result<QueryResult>> TryGallopingJoin(const AnalyzedQuery& q,
   for (size_t r = 0; r < nrels; ++r) {
     cells[r] = ResolveCellIds(*cell_ins[r], dict);
     for (CellId id : cells[r]) sz[r] += store.PostingCount(id);
-    if (sz[r] == 0) return Result<QueryResult>(std::move(result));
+    // In describe mode keep going so the plan shows every relation's
+    // cardinality even when one side is empty.
+    if (sz[r] == 0 && describe == nullptr) {
+      return Result<QueryResult>(std::move(result));
+    }
+  }
+
+  // Describe mode: the gate has passed and the step-1 partition geometry is
+  // a pure function of the store, so report the plan and bail — no
+  // leapfrogging, no memory charges.
+  if (describe != nullptr) {
+    const size_t recs = store.NumRecords();
+    describe->pipeline = "galloping-join";
+    PlanNode root;
+    root.op = "GallopingJoin";
+    root.detail = std::to_string(nrels) + " relations on (TableId, RowId); " +
+                  std::to_string(kGallopChunkRecords) +
+                  "-record step-1 chunks, " +
+                  std::to_string(kGallopKeysPerTask) + " keys/task after";
+    root.stage = TraceStage::kGallopIntersect;
+    root.planned_tasks = static_cast<int64_t>(std::max<size_t>(
+        1, (recs + kGallopChunkRecords - 1) / kGallopChunkRecords));
+    describe->nodes.push_back(std::move(root));
+    for (size_t r = 0; r < nrels; ++r) {
+      PlanNode probe;
+      probe.depth = 1;
+      probe.op = "PostingProbe";
+      probe.detail = "rel " + std::to_string(r) + ": " +
+                     std::to_string(cells[r].size()) + " cells";
+      probe.est_rows = static_cast<int64_t>(sz[r]);
+      describe->nodes.push_back(std::move(probe));
+    }
+    PlanNode emit;
+    emit.depth = 1;
+    emit.op = "GallopEmit";
+    emit.detail = std::to_string(kAggChunkRows) + "-row chunks" +
+                  (stmt.limit >= 0 ? "; limit " + std::to_string(stmt.limit)
+                                   : std::string());
+    emit.stage = TraceStage::kGallopEmit;
+    describe->nodes.push_back(std::move(emit));
+    return Result<QueryResult>(std::move(result));
   }
   if (stmt.limit == 0) return Result<QueryResult>(std::move(result));
 
@@ -1299,7 +1340,8 @@ std::optional<Result<QueryResult>> TryFusedScanAgg(const AnalyzedQuery& q,
                                                    const SelectStmt& stmt,
                                                    const Store& store,
                                                    const Dictionary& dict,
-                                                   const QueryOptions& options) {
+                                                   const QueryOptions& options,
+                                                   PlanDescription* describe) {
   Scheduler* sched = options.scheduler;
   if (q.rels.size() != 1 || !q.join_ons.empty() || q.residual_where != nullptr) {
     return std::nullopt;
@@ -1412,6 +1454,41 @@ std::optional<Result<QueryResult>> TryFusedScanAgg(const AnalyzedQuery& q,
     mb = me;
   }
 
+  // Describe mode: the gate has passed and the whole-cell morsel packing is
+  // decided, so report the plan and bail without scanning.
+  if (describe != nullptr) {
+    describe->pipeline = "fused-scan-agg";
+    PlanNode root;
+    root.op = "FusedScanAgg";
+    root.detail = std::string("COUNT(DISTINCT CellValue) GROUP BY TableId") +
+                  (with_column ? ", ColumnId" : "") + "; whole-cell morsels <= " +
+                  std::to_string(kScanMorselRecords) + " records";
+    root.stage = TraceStage::kFusedScan;
+    root.planned_tasks = static_cast<int64_t>(morsels.size());
+    describe->nodes.push_back(std::move(root));
+    PlanNode scan;
+    scan.depth = 1;
+    scan.op = "PostingScan";
+    scan.detail = std::to_string(cells.size()) + " cells";
+    if (use_table_filter) scan.detail += "; TableId filter";
+    if (row_lt >= 0) scan.detail += "; RowId < " + std::to_string(row_lt);
+    if (!preds.empty()) {
+      scan.detail += "; " + std::to_string(preds.size()) + " residual preds";
+    }
+    scan.est_rows = static_cast<int64_t>(base.back());
+    describe->nodes.push_back(std::move(scan));
+    PlanNode tail;
+    tail.depth = 1;
+    tail.op = "EmitGroups";
+    tail.detail = (stmt.order_by.empty()
+                       ? std::string("first-appearance order")
+                       : std::to_string(stmt.order_by.size()) + " sort keys") +
+                  (stmt.limit >= 0 ? "; limit " + std::to_string(stmt.limit)
+                                   : std::string());
+    describe->nodes.push_back(std::move(tail));
+    return Result<QueryResult>(std::move(result));
+  }
+
   struct FusedGroup {
     uint64_t key;
     size_t first;  // global ordinal of the group's first passing record
@@ -1515,7 +1592,8 @@ std::optional<Result<QueryResult>> TryFusedScanAgg(const AnalyzedQuery& q,
 template <typename Store>
 std::optional<Result<QueryResult>> TryFusedScanProject(
     const AnalyzedQuery& q, const SelectStmt& stmt, const Store& store,
-    const Dictionary& dict, const QueryOptions& options) {
+    const Dictionary& dict, const QueryOptions& options,
+    PlanDescription* describe) {
   Scheduler* sched = options.scheduler;
   if (q.rels.size() != 1 || !q.join_ons.empty() || q.residual_where != nullptr) {
     return std::nullopt;
@@ -1614,6 +1692,44 @@ std::optional<Result<QueryResult>> TryFusedScanProject(
     mb = me;
   }
 
+  // Describe mode: bail before the memory charge — EXPLAIN must never trip
+  // a budget the real query would only reach by materializing rows.
+  if (describe != nullptr) {
+    describe->pipeline = "fused-scan-project";
+    PlanNode root;
+    root.op = "FusedScanProject";
+    root.detail = std::to_string(items.size()) +
+                  " items projected from posting batches; morsels <= " +
+                  std::to_string(kScanMorselRecords) + " records";
+    root.stage = TraceStage::kFusedProject;
+    root.planned_tasks = static_cast<int64_t>(morsels.size());
+    root.est_rows = static_cast<int64_t>(base.back());
+    describe->nodes.push_back(std::move(root));
+    PlanNode scan;
+    scan.depth = 1;
+    scan.op = "PostingScan";
+    scan.detail = std::to_string(cells.size()) + " cells";
+    if (use_table_filter) scan.detail += "; TableId filter";
+    if (row_lt >= 0) scan.detail += "; RowId < " + std::to_string(row_lt);
+    if (!preds.empty()) {
+      scan.detail += "; " + std::to_string(preds.size()) + " residual preds";
+    }
+    scan.est_rows = static_cast<int64_t>(base.back());
+    describe->nodes.push_back(std::move(scan));
+    PlanNode tail;
+    tail.depth = 1;
+    tail.op = "SortLimit";
+    tail.detail = std::to_string(stmt.order_by.size()) + " sort keys" +
+                  (stmt.limit >= 0 ? "; limit " + std::to_string(stmt.limit)
+                                   : std::string()) +
+                  (options.dedup_column >= 0
+                       ? "; dedup col " + std::to_string(options.dedup_column) +
+                             " top " + std::to_string(options.dedup_limit)
+                       : std::string());
+    describe->nodes.push_back(std::move(tail));
+    return Result<QueryResult>(std::move(result));
+  }
+
   // Budget: the output rows are the dominant materialization; charge the
   // unfiltered upper bound so the accounting is codec-independent.
   ScopedMemoryCharge mem(options.control);
@@ -1676,12 +1792,161 @@ std::optional<Result<QueryResult>> TryFusedScanProject(
   return Result<QueryResult>(std::move(result));
 }
 
+// ---------------------------------------------------------------------------
+// Describe mode for the generic pipeline. The fast paths describe themselves
+// at their gate (they know their geometry before running); the generic
+// pipeline's plan is derived here from scan metadata and chunk-size
+// constants only — describe must not run ScanRel, join, or charge budgets.
+// ---------------------------------------------------------------------------
+
+/// Plan node for one generic-pipeline relation scan, mirroring ScanRel's
+/// access-path choice and exact morsel geometry without touching postings.
+template <typename Store>
+PlanNode DescribeScanNode(const AnalyzedRel& rel, const Store& store,
+                          const Dictionary& dict, int depth) {
+  const ScanSpec spec = ClassifyScan(rel.scan_pred);
+  PlanNode node;
+  node.depth = depth;
+  node.op = "Scan";
+  node.stage = TraceStage::kScan;
+  uint64_t records = 0;
+  size_t tasks = 0;
+  if (spec.cell_in != nullptr) {
+    const std::vector<CellId> cells = ResolveCellIds(*spec.cell_in, dict);
+    for (CellId id : cells) {
+      const size_t n = store.PostingCount(id);
+      records += n;
+      tasks += (n + kScanMorselRecords - 1) / kScanMorselRecords;
+    }
+    node.detail = "CellValue index: " + std::to_string(cells.size()) + " cells";
+    if (spec.table_in != nullptr) node.detail += "; TableId filter";
+  } else if (spec.table_in != nullptr) {
+    std::vector<int64_t> ids(spec.table_in->in_ints.begin(),
+                             spec.table_in->in_ints.end());
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    size_t valid = 0;
+    for (int64_t id : ids) {
+      if (id < 0 || static_cast<size_t>(id) >= store.NumTables()) continue;
+      ++valid;
+      auto [b, e] = store.TableRange(static_cast<TableId>(id));
+      records += e - b;
+      tasks += (e - b + kScanMorselRecords - 1) / kScanMorselRecords;
+    }
+    node.detail =
+        "TableId clustered index: " + std::to_string(valid) + " tables";
+  } else if (spec.need_quadrant) {
+    const size_t n = store.QuadrantPositions().size();
+    records = n;
+    tasks = (n + kScanMorselRecords - 1) / kScanMorselRecords;
+    node.detail = "Quadrant partial index";
+  } else {
+    const size_t n = store.NumRecords();
+    records = n;
+    tasks = (n + kScanMorselRecords - 1) / kScanMorselRecords;
+    node.detail = "full scan";
+  }
+  if (spec.row_lt >= 0) {
+    node.detail += "; RowId < " + std::to_string(spec.row_lt);
+  }
+  if (!spec.residual.empty()) {
+    node.detail +=
+        "; " + std::to_string(spec.residual.size()) + " residual preds";
+  }
+  node.detail += "; morsel=" + std::to_string(kScanMorselRecords) + " records";
+  node.est_rows = static_cast<int64_t>(records);
+  node.planned_tasks = static_cast<int64_t>(tasks);
+  return node;
+}
+
+/// Populates `describe` with the generic pipeline's operator tree. Task
+/// counts that follow the joined row count (filter/projection/aggregation
+/// chunks) stay unknown (-1) with the chunk size in the detail text; scans
+/// report their exact planned morsel counts.
+template <typename Store>
+void DescribeGenericPipeline(const AnalyzedQuery& q, const SelectStmt& stmt,
+                             const Store& store, const Dictionary& dict,
+                             const QueryOptions& options,
+                             PlanDescription* describe) {
+  describe->pipeline = "generic";
+  bool has_agg = !stmt.group_by.empty();
+  for (const auto& item : stmt.items) {
+    if (Binder::ContainsAggregate(*item.expr)) has_agg = true;
+  }
+  PlanNode root;
+  if (has_agg) {
+    root.op = "Aggregate";
+    root.stage = TraceStage::kAggregation;
+    root.detail = std::to_string(stmt.group_by.size()) + " group keys; " +
+                  std::to_string(kAggChunkRows) + "-row chunks, " +
+                  std::to_string(kMergePartitions) + " merge partitions";
+  } else {
+    root.op = "Project";
+    root.stage = TraceStage::kProjection;
+    root.detail = (stmt.select_star
+                       ? std::string("SELECT *")
+                       : std::to_string(stmt.items.size()) + " items") +
+                  "; " + std::to_string(kAggChunkRows) + "-row chunks";
+  }
+  describe->nodes.push_back(std::move(root));
+  if (!stmt.order_by.empty() || stmt.limit >= 0 || options.dedup_column >= 0) {
+    PlanNode sort;
+    sort.depth = 1;
+    sort.op = "SortLimit";
+    sort.detail = std::to_string(stmt.order_by.size()) + " sort keys" +
+                  (stmt.limit >= 0 ? "; limit " + std::to_string(stmt.limit)
+                                   : std::string()) +
+                  (options.dedup_column >= 0
+                       ? "; dedup col " + std::to_string(options.dedup_column) +
+                             " top " + std::to_string(options.dedup_limit)
+                       : std::string());
+    describe->nodes.push_back(std::move(sort));
+  }
+  if (q.residual_where != nullptr) {
+    PlanNode filter;
+    filter.depth = 1;
+    filter.op = "Filter";
+    filter.stage = TraceStage::kFilter;
+    filter.detail =
+        "residual WHERE; " + std::to_string(kAggChunkRows) + "-row chunks";
+    describe->nodes.push_back(std::move(filter));
+  }
+  for (size_t j = 0; j < q.join_ons.size(); ++j) {
+    PlanNode join;
+    join.depth = 1;
+    join.op = "HashJoin";
+    join.stage = TraceStage::kJoinProbe;
+    join.detail = "step " + std::to_string(j + 1) +
+                  "; build side chosen by size at run time; probe chunk=" +
+                  std::to_string(kScanMorselRecords) + " rows";
+    describe->nodes.push_back(std::move(join));
+    PlanNode build;
+    build.depth = 2;
+    build.op = "HashBuild";
+    build.stage = TraceStage::kJoinBuild;
+    build.detail = "smaller input of step " + std::to_string(j + 1);
+    describe->nodes.push_back(std::move(build));
+  }
+  const int scan_depth = q.rels.size() > 1 ? 2 : 1;
+  for (size_t r = 0; r < q.rels.size(); ++r) {
+    PlanNode scan = DescribeScanNode(q.rels[r], store, dict, scan_depth);
+    scan.detail = "rel " + std::to_string(r) + ": " + scan.detail;
+    describe->nodes.push_back(std::move(scan));
+  }
+}
+
 }  // namespace
 
+/// The one implementation behind ExecuteSelect and DescribeSelect. A null
+/// `describe` executes normally; a non-null one makes every pipeline bail
+/// with its plan right after its dispatch gate passes, so EXPLAIN reports
+/// exactly the path execution would take.
 template <typename Store>
-Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
-                                  const Dictionary& dict,
-                                  const QueryOptions& options) {
+Result<QueryResult> ExecuteOrDescribe(const SelectStmt& stmt,
+                                      const Store& store,
+                                      const Dictionary& dict,
+                                      const QueryOptions& options,
+                                      PlanDescription* describe) {
   BLEND_ASSIGN_OR_RETURN(AnalyzedQuery q, Analyze(stmt));
   Scheduler* sched = options.scheduler;
   const QueryControl* control = options.control;
@@ -1690,19 +1955,26 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
 
   // Galloping compressed-domain intersection for the MC join shape.
   if (options.enable_galloping_join) {
-    if (auto gallop = TryGallopingJoin(q, stmt, store, dict, options)) {
+    if (auto gallop = TryGallopingJoin(q, stmt, store, dict, options, describe)) {
       return std::move(*gallop);
     }
   }
 
   // Fused fast paths for the dominant seeker shapes.
   if (options.enable_fused_scan_agg) {
-    if (auto fused = TryFusedScanAgg(q, stmt, store, dict, options)) {
+    if (auto fused = TryFusedScanAgg(q, stmt, store, dict, options, describe)) {
       return std::move(*fused);
     }
-    if (auto fused = TryFusedScanProject(q, stmt, store, dict, options)) {
+    if (auto fused =
+            TryFusedScanProject(q, stmt, store, dict, options, describe)) {
       return std::move(*fused);
     }
+  }
+
+  // Generic pipeline chosen. Describe mode reports it from metadata alone.
+  if (describe != nullptr) {
+    DescribeGenericPipeline(q, stmt, store, dict, options, describe);
+    return QueryResult{};
   }
 
   // Budget accounting covers the pipeline's dominant materializations (scan
@@ -2195,6 +2467,24 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
   return result;
 }
 
+template <typename Store>
+Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
+                                  const Dictionary& dict,
+                                  const QueryOptions& options) {
+  return ExecuteOrDescribe(stmt, store, dict, options, nullptr);
+}
+
+template <typename Store>
+Result<PlanDescription> DescribeSelect(const SelectStmt& stmt,
+                                       const Store& store,
+                                       const Dictionary& dict,
+                                       const QueryOptions& options) {
+  PlanDescription plan;
+  auto r = ExecuteOrDescribe(stmt, store, dict, options, &plan);
+  if (!r.ok()) return r.status();
+  return plan;
+}
+
 template Result<QueryResult> ExecuteSelect<RowStore>(const SelectStmt&,
                                                      const RowStore&,
                                                      const Dictionary&,
@@ -2203,5 +2493,12 @@ template Result<QueryResult> ExecuteSelect<ColumnStore>(const SelectStmt&,
                                                         const ColumnStore&,
                                                         const Dictionary&,
                                                         const QueryOptions&);
+template Result<PlanDescription> DescribeSelect<RowStore>(const SelectStmt&,
+                                                          const RowStore&,
+                                                          const Dictionary&,
+                                                          const QueryOptions&);
+template Result<PlanDescription> DescribeSelect<ColumnStore>(
+    const SelectStmt&, const ColumnStore&, const Dictionary&,
+    const QueryOptions&);
 
 }  // namespace blend::sql

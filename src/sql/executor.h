@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "common/telemetry.h"
 #include "sql/ast.h"
+#include "sql/explain.h"
 #include "sql/expr_eval.h"
 #include "storage/dictionary.h"
 
@@ -21,6 +22,12 @@ namespace blend::sql {
 struct QueryResult {
   std::vector<std::string> columns;
   std::vector<std::vector<SqlValue>> rows;
+  /// EXPLAIN / EXPLAIN ANALYZE output: the structured plan and its rendered
+  /// table. Plain statements leave both empty. Introspection never rides in
+  /// `rows` — an EXPLAIN ANALYZE's rows stay byte-identical to the bare
+  /// statement's (EXPLAIN returns no rows at all).
+  PlanDescription plan;
+  std::string explain_text;
 
   size_t NumRows() const { return rows.size(); }
   int64_t Int(size_t r, size_t c) const { return rows[r][c].AsInt(); }
@@ -77,6 +84,12 @@ struct QueryOptions {
   /// Tracing never changes morsel geometry, merge order, or results — the
   /// determinism suite pins byte-identity with tracing on vs off.
   QueryTrace* trace = nullptr;
+  /// Optional plan collector: when set, Engine::Query describes each plain
+  /// statement it executes and appends the (trace-annotated, when a trace is
+  /// attached) plan here. Describe-mode planning reruns the dispatch gates
+  /// without executing, so capture never alters morsel geometry or results.
+  /// Not owned; nullptr (the default) captures nothing.
+  PlanCaptureSink* plan_capture = nullptr;
 };
 
 /// Executes an analyzed-and-parseable statement against a physical store.
@@ -86,5 +99,19 @@ template <typename Store>
 Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, const Store& store,
                                   const Dictionary& dict,
                                   const QueryOptions& options = {});
+
+/// Plans `stmt` without executing it: runs the same dispatch cascade as
+/// ExecuteSelect in describe mode — every gate (galloping join, fused
+/// scan->agg, fused scan->project, generic) decides exactly as it would for
+/// execution, then reports the chosen pipeline, its operator tree, posting
+/// cardinalities, and planned morsel geometry instead of running tasks.
+/// EXPLAIN is therefore guaranteed to describe the path the bare statement
+/// takes. Binds expressions (so it can fail with the same binder errors) but
+/// never scans, joins, or charges memory budgets.
+template <typename Store>
+Result<PlanDescription> DescribeSelect(const SelectStmt& stmt,
+                                       const Store& store,
+                                       const Dictionary& dict,
+                                       const QueryOptions& options = {});
 
 }  // namespace blend::sql

@@ -1,0 +1,59 @@
+#include "sql/explain.h"
+
+#include "common/table_printer.h"
+
+namespace blend::sql {
+
+void PlanDescription::Annotate(const QueryTraceSummary& summary) {
+  analyzed = true;
+  for (PlanNode& node : nodes) {
+    if (node.stage == TraceStage::kNumStages) continue;
+    for (const StageSummary& s : summary.stages) {
+      if (s.stage != node.stage) continue;
+      node.actual_seconds = s.seconds;
+      node.actual_tasks = s.tasks;
+      node.actual_rows = s.rows;
+      break;
+    }
+  }
+}
+
+std::string PlanDescription::Render() const {
+  std::vector<std::string> header = {"operator", "detail", "est_rows",
+                                     "planned_tasks"};
+  if (analyzed) {
+    header.push_back("time_ms");
+    header.push_back("tasks");
+    header.push_back("rows");
+  }
+  TablePrinter printer(std::move(header));
+  for (const PlanNode& node : nodes) {
+    std::vector<std::string> row;
+    row.push_back(std::string(static_cast<size_t>(node.depth) * 2, ' ') +
+                  node.op);
+    row.push_back(node.detail);
+    row.push_back(node.est_rows < 0 ? "?" : std::to_string(node.est_rows));
+    row.push_back(node.planned_tasks < 0 ? "?"
+                                         : std::to_string(node.planned_tasks));
+    if (analyzed) {
+      // A node can legitimately stay unannotated: its stage never ran (e.g.
+      // short-circuited on an empty posting list) or maps to no trace stage.
+      if (node.actual_seconds < 0) {
+        row.push_back("-");
+        row.push_back("-");
+        row.push_back("-");
+      } else {
+        row.push_back(TablePrinter::Fmt(node.actual_seconds * 1e3, 3));
+        row.push_back(std::to_string(node.actual_tasks));
+        row.push_back(std::to_string(node.actual_rows));
+      }
+    }
+    printer.AddRow(std::move(row));
+  }
+  const std::string title =
+      std::string(analyzed ? "EXPLAIN ANALYZE" : "EXPLAIN") + " — pipeline: " +
+      pipeline;
+  return printer.Render(title);
+}
+
+}  // namespace blend::sql

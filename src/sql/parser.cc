@@ -21,6 +21,24 @@ class Parser {
     return stmt;
   }
 
+  Result<Statement> ParseTopLevel() {
+    Statement stmt;
+    if (AcceptKeyword("EXPLAIN")) {
+      stmt.explain =
+          AcceptKeyword("ANALYZE") ? ExplainMode::kAnalyze : ExplainMode::kPlan;
+      if (CheckKeyword("EXPLAIN")) return Err("EXPLAIN cannot be nested");
+      if (Check(TokKind::kEnd) || Check(TokKind::kSemicolon)) {
+        return Err("EXPLAIN requires a statement");
+      }
+    } else if (CheckKeyword("ANALYZE")) {
+      return Err("ANALYZE is only valid as EXPLAIN ANALYZE");
+    }
+    BLEND_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
+    Accept(TokKind::kSemicolon);
+    if (!Check(TokKind::kEnd)) return Err("trailing tokens after statement");
+    return stmt;
+  }
+
  private:
   // ---- token helpers -------------------------------------------------------
 
@@ -414,6 +432,12 @@ Result<std::unique_ptr<SelectStmt>> Parse(const std::string& sql) {
   BLEND_ASSIGN_OR_RETURN(auto toks, Lex(sql));
   Parser p(std::move(toks));
   return p.ParseStatement();
+}
+
+Result<Statement> ParseStatement(const std::string& sql) {
+  BLEND_ASSIGN_OR_RETURN(auto toks, Lex(sql));
+  Parser p(std::move(toks));
+  return p.ParseTopLevel();
 }
 
 }  // namespace blend::sql

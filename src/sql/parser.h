@@ -8,7 +8,15 @@
 
 namespace blend::sql {
 
-/// Parses one SELECT statement (optionally ';'-terminated).
+/// Parses one SELECT statement (optionally ';'-terminated). Rejects the
+/// EXPLAIN prefix — callers that accept introspection statements use
+/// ParseStatement below.
 Result<std::unique_ptr<SelectStmt>> Parse(const std::string& sql);
+
+/// Parses one statement with an optional EXPLAIN [ANALYZE] prefix:
+///   [EXPLAIN [ANALYZE]] SELECT ... [';']
+/// EXPLAIN must wrap a complete SELECT; nested EXPLAIN and a bare ANALYZE
+/// are parse errors.
+Result<Statement> ParseStatement(const std::string& sql);
 
 }  // namespace blend::sql

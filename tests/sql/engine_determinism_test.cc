@@ -380,6 +380,77 @@ TEST_P(EngineDeterminismTest, TraceTelemetryPreservesByteIdentity) {
   }
 }
 
+TEST_P(EngineDeterminismTest, ExplainAnalyzePreservesByteIdentity) {
+  // The introspection dimension of the determinism matrix: `EXPLAIN ANALYZE
+  // <q>` executes the bare statement unchanged, so its rows must be
+  // byte-identical to `<q>` across serving codecs, pools, and fused /
+  // galloping settings — describing and annotating the plan may not perturb
+  // morsel geometry, task order, or merge order. Every annotated run must
+  // also carry a non-empty plan (pipeline named, at least one node), so the
+  // dimension cannot silently degrade into explaining nothing.
+  Rng rng(GetParam() * 73 + 11);
+  const std::vector<std::string> sqls = {
+      "SELECT TableId, ColumnId, COUNT(DISTINCT CellValue) AS score "
+      "FROM AllTables WHERE CellValue IN (" +
+          RandomInList(&rng, 30) +
+          ") GROUP BY TableId, ColumnId ORDER BY score DESC LIMIT 25;",
+      "SELECT a.TableId, a.RowId, a.SuperKey FROM "
+      "(SELECT TableId, RowId, SuperKey FROM AllTables WHERE CellValue IN (" +
+          RandomInList(&rng, 20) +
+          ")) AS a INNER JOIN (SELECT TableId, RowId FROM AllTables "
+          "WHERE CellValue IN (" +
+          RandomInList(&rng, 20) +
+          ")) AS b ON a.TableId = b.TableId AND a.RowId = b.RowId;",
+      "SELECT TableId, COUNT(*), SUM(RowId), AVG(RowId * 1.5) FROM AllTables "
+      "GROUP BY TableId;",
+  };
+  for (const std::string& sql : sqls) {
+    const bool has_join = sql.find("JOIN") != std::string::npos;
+    const std::vector<bool> gallop_dims =
+        has_join ? std::vector<bool>{true, false} : std::vector<bool>{true};
+    for (const EnginePair& pair : EnginePairs()) {
+      QueryOptions serial;
+      serial.scheduler = Scheduler::Serial();
+      auto ref = pair.raw->Query(sql, serial);
+      ASSERT_TRUE(ref.ok()) << ref.status().ToString() << "\n" << sql;
+      const std::string want = ResultToString(ref.value());
+      for (Engine* engine : {pair.raw, pair.compressed}) {
+        for (Scheduler* pool : TestPools()) {
+          for (bool fused : {true, false}) {
+            for (bool gallop : gallop_dims) {
+              QueryOptions opts;
+              opts.scheduler = pool;
+              opts.enable_fused_scan_agg = fused;
+              opts.enable_galloping_join = gallop;
+              auto analyzed = engine->Query("EXPLAIN ANALYZE " + sql, opts);
+              ASSERT_TRUE(analyzed.ok())
+                  << analyzed.status().ToString() << "\n" << sql;
+              EXPECT_EQ(want, ResultToString(analyzed.value()))
+                  << "EXPLAIN ANALYZE diverged: compressed="
+                  << (engine == pair.compressed)
+                  << " pool=" << pool->parallelism() << " fused=" << fused
+                  << " gallop=" << gallop << "\n"
+                  << sql;
+              EXPECT_FALSE(analyzed.value().plan.nodes.empty()) << sql;
+              EXPECT_FALSE(analyzed.value().plan.pipeline.empty()) << sql;
+              EXPECT_FALSE(analyzed.value().explain_text.empty()) << sql;
+
+              // Bare EXPLAIN never executes: a plan, no rows.
+              auto described = engine->Query("EXPLAIN " + sql, opts);
+              ASSERT_TRUE(described.ok())
+                  << described.status().ToString() << "\n" << sql;
+              EXPECT_TRUE(described.value().rows.empty()) << sql;
+              EXPECT_EQ(described.value().plan.pipeline,
+                        analyzed.value().plan.pipeline)
+                  << sql;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
 TEST_P(EngineDeterminismTest, ServeCompressedActuallyServesCompressed) {
   // Guard against the dimension silently testing raw-vs-raw: the
   // serve_compressed builds must hold block-compressed postings and a

@@ -158,5 +158,69 @@ TEST(ParserTest, BareAliasWithoutAs) {
   EXPECT_EQ(stmt->from[0].alias, "a");
 }
 
+// --- top-level grammar: EXPLAIN [ANALYZE] --------------------------------
+
+TEST(ParserTest, ExplainSelectParses) {
+  auto r = ParseStatement("EXPLAIN SELECT TableId FROM AllTables;");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().explain, ExplainMode::kPlan);
+  ASSERT_NE(r.value().select, nullptr);
+  EXPECT_EQ(r.value().select->items[0].expr->column, "TableId");
+}
+
+TEST(ParserTest, ExplainAnalyzeSelectParses) {
+  auto r = ParseStatement(
+      "explain analyze SELECT TableId, COUNT(DISTINCT CellValue) AS score "
+      "FROM AllTables WHERE CellValue IN ('a') GROUP BY TableId");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().explain, ExplainMode::kAnalyze);
+  ASSERT_NE(r.value().select, nullptr);
+  EXPECT_EQ(r.value().select->items.size(), 2u);
+}
+
+TEST(ParserTest, PlainStatementHasNoExplainMode) {
+  auto r = ParseStatement("SELECT TableId FROM AllTables");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().explain, ExplainMode::kNone);
+}
+
+TEST(ParserTest, NestedExplainRejected) {
+  auto r = ParseStatement("EXPLAIN EXPLAIN SELECT TableId FROM AllTables");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("EXPLAIN cannot be nested"),
+            std::string::npos)
+      << r.status().ToString();
+  auto ra =
+      ParseStatement("EXPLAIN ANALYZE EXPLAIN SELECT TableId FROM AllTables");
+  ASSERT_FALSE(ra.ok());
+  EXPECT_NE(ra.status().ToString().find("EXPLAIN cannot be nested"),
+            std::string::npos)
+      << ra.status().ToString();
+}
+
+TEST(ParserTest, ExplainWithoutStatementRejected) {
+  for (const char* sql : {"EXPLAIN", "EXPLAIN;", "EXPLAIN ANALYZE"}) {
+    auto r = ParseStatement(sql);
+    ASSERT_FALSE(r.ok()) << sql;
+    EXPECT_NE(r.status().ToString().find("EXPLAIN requires a statement"),
+              std::string::npos)
+        << sql << " -> " << r.status().ToString();
+  }
+}
+
+TEST(ParserTest, BareAnalyzeRejected) {
+  auto r = ParseStatement("ANALYZE SELECT TableId FROM AllTables");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("ANALYZE is only valid as EXPLAIN"),
+            std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(ParserTest, LegacyParseRejectsExplainPrefix) {
+  // Parse() is the SELECT-only entry point: the EXPLAIN prefix must not
+  // silently vanish there.
+  EXPECT_FALSE(Parse("EXPLAIN SELECT TableId FROM AllTables").ok());
+}
+
 }  // namespace
 }  // namespace blend::sql

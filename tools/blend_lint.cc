@@ -31,6 +31,13 @@
 //                     An error Status reaching ValueOrDie aborts with no
 //                     diagnostic context; production paths must branch on
 //                     ok() (or prove the invariant with BLEND_CHECK) first.
+//   no-raw-stdio      printf-family calls or std::cout/std::cerr in library
+//                     code (src/). The library reports through Status values
+//                     and rendered strings; direct terminal writes belong to
+//                     the tools/examples/bench entry points that own the
+//                     process's stdio. The few legitimate sites (table
+//                     renderers' snprintf formatting, abort-path fprintf in
+//                     status.h) carry allow annotations.
 //   hot-clock         steady_clock / high_resolution_clock ::now() in the
 //                     query/index hot paths (src/core, src/sql, src/index).
 //                     Timing those paths is the telemetry subsystem's job:
@@ -293,6 +300,7 @@ struct FileContext {
   bool allow_reinterpret = false;    // index/snapshot.cc, index/codec.cc
   bool checked_value_scope = false;  // non-test code: .value() needs a guard
   bool allow_hot_clock = false;      // telemetry/timer/control: the clock owners
+  bool raw_stdio_scope = false;      // library code under src/
 };
 
 bool Allowed(const LexedFile& lf, int line, const std::string& rule) {
@@ -560,6 +568,44 @@ void RuleHotClock(const FileContext& ctx, const LexedFile& lf,
   }
 }
 
+void RuleNoRawStdio(const FileContext& ctx, const LexedFile& lf,
+                    std::vector<Violation>* out) {
+  if (!ctx.raw_stdio_scope) return;
+  const auto& toks = lf.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    const std::string prev = i > 0 ? toks[i - 1].text : "";
+    const std::string next = i + 1 < toks.size() ? toks[i + 1].text : "";
+    const bool std_qualified =
+        prev == "::" && i >= 2 && toks[i - 2].text == "std";
+    if (t == "cout" || t == "cerr") {
+      // Only the std streams; a member or local named cout/cerr is fine.
+      if (!std_qualified) continue;
+      Report(ctx, lf, toks[i].line, "no-raw-stdio",
+             "std::" + t + " in library code; return a Status or a rendered "
+             "string and let the tools/examples own the terminal",
+             out);
+      continue;
+    }
+    if (t == "printf" || t == "fprintf" || t == "sprintf" ||
+        t == "snprintf" || t == "puts" || t == "putchar" || t == "fputs") {
+      if (next != "(") continue;
+      const bool member_access = prev == "." || prev == "->";
+      // A preceding identifier is a declaration of a like-named member, not a
+      // call of the libc function.
+      const bool declaration =
+          !prev.empty() && IsIdentStart(prev[0]) && prev != "return" &&
+          prev != "else" && prev != "do" && prev != "case";
+      if (member_access || declaration) continue;
+      if (prev == "::" && !std_qualified) continue;  // some_ns::printf
+      Report(ctx, lf, toks[i].line, "no-raw-stdio",
+             "'" + t + "()' in library code; format into a std::string (or "
+             "report through Status) instead of writing to stdio",
+             out);
+    }
+  }
+}
+
 void RuleUncheckedCast(const FileContext& ctx, const LexedFile& lf,
                        std::vector<Violation>* out) {
   if (ctx.allow_reinterpret) return;
@@ -593,6 +639,7 @@ FileContext MakeContext(const fs::path& path, bool fixture_mode) {
   if (fixture_mode) {
     ctx.deterministic_scope = true;
     ctx.checked_value_scope = true;
+    ctx.raw_stdio_scope = true;
     return ctx;
   }
   ctx.deterministic_scope = p.find("/core/") != std::string::npos ||
@@ -607,6 +654,10 @@ FileContext MakeContext(const fs::path& path, bool fixture_mode) {
   ctx.allow_hot_clock = base.rfind("telemetry.", 0) == 0 ||
                         base.rfind("timer.", 0) == 0 ||
                         base.rfind("control.", 0) == 0;
+  // Library scope: src/ only. tools/, examples/, bench/, tests/ are entry
+  // points (or test code) that legitimately own the process's stdio.
+  ctx.raw_stdio_scope =
+      p.rfind("src/", 0) == 0 || p.find("/src/") != std::string::npos;
   return ctx;
 }
 
@@ -622,6 +673,7 @@ void LintFile(const fs::path& path, const std::string& src,
   RuleUnorderedIter(ctx, lf, header_toks, out);
   RuleUncheckedValue(ctx, lf, out);
   RuleHotClock(ctx, lf, out);
+  RuleNoRawStdio(ctx, lf, out);
   RuleUncheckedCast(ctx, lf, out);
 }
 
@@ -753,7 +805,7 @@ int RunSelfTest(const std::string& fixtures_dir) {
   // rule that silently stops matching cannot pass the self-test.
   for (const char* rule : {"ignored-status", "raw-thread", "nondeterminism",
                            "unordered-iter", "unchecked-value",
-                           "unchecked-cast", "hot-clock"}) {
+                           "unchecked-cast", "hot-clock", "no-raw-stdio"}) {
     if (rules_fired.count(rule) == 0) {
       std::fprintf(stderr, "SELF-TEST FAIL: no fixture exercises [%s]\n", rule);
       ++failures;

@@ -1,0 +1,51 @@
+// Fixture: the no-raw-stdio rule. Library code (src/) must not write to the
+// terminal: it reports through Status values and rendered strings, and the
+// tools/examples/bench entry points decide what reaches stdout/stderr.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+namespace blend {
+
+void Bad(double v) {
+  printf("value = %f\n", v);               // expect-violation(no-raw-stdio)
+  fprintf(stderr, "oops: %f\n", v);        // expect-violation(no-raw-stdio)
+  std::cout << "value = " << v << "\n";    // expect-violation(no-raw-stdio)
+  std::cerr << "oops\n";                   // expect-violation(no-raw-stdio)
+  puts("done");                            // expect-violation(no-raw-stdio)
+}
+
+std::string BadFormat(double v) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%.9g", v);   // expect-violation(no-raw-stdio)
+  return buf;
+}
+
+// A justified formatting site carries an allow annotation.
+std::string GoodFormat(double v) {
+  char buf[32];
+  // blend-lint: allow(no-raw-stdio)
+  snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+struct Logger {
+  // A member named like a stdio function is a declaration, not a call of the
+  // libc function...
+  void printf(const char* msg);
+  void Use(const char* msg) {
+    // ...and calling it through a member access is equally fine.
+    this->printf(msg);
+  }
+};
+
+// Streams not qualified with std:: (e.g. a test's capture object) are fine.
+struct FakeOut {
+  FakeOut& operator<<(const std::string&) { return *this; }
+};
+void GoodStream() {
+  FakeOut cout;
+  cout << "captured";
+}
+
+}  // namespace blend
